@@ -1,0 +1,253 @@
+package ustore
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its experiment through the internal/bench harness and reports
+// the headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// doubles as the reproduction run. EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ustore/internal/bench"
+	"ustore/internal/cost"
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+	"ustore/internal/power"
+	"ustore/internal/workload"
+)
+
+// BenchmarkTableICost regenerates Table I (CapEx of 10PB, five solutions).
+func BenchmarkTableICost(b *testing.B) {
+	var ustoreCapEx, backblazeCapEx float64
+	for i := 0; i < b.N; i++ {
+		for _, rep := range cost.TableI() {
+			switch rep.Solution {
+			case "UStore":
+				ustoreCapEx = float64(rep.CapEx)
+			case "BACKBLAZE":
+				backblazeCapEx = float64(rep.CapEx)
+			}
+		}
+	}
+	b.ReportMetric(ustoreCapEx/1000, "UStore_CapEx_$k")
+	b.ReportMetric(cost.Savings(cost.Money(ustoreCapEx), cost.Money(backblazeCapEx))*100, "saving_vs_backblaze_%")
+}
+
+// BenchmarkTableIISingleDisk regenerates Table II: one disk over SATA, a
+// bare USB bridge, and the full hub+switch fabric.
+func BenchmarkTableIISingleDisk(b *testing.B) {
+	specs := workload.PaperWorkloads()
+	var fabric4KSeqRead float64
+	for i := 0; i < b.N; i++ {
+		for _, ic := range []disk.Interconnect{disk.AttachSATA, disk.AttachUSB, disk.AttachFabric} {
+			for _, spec := range specs {
+				v := bench.TableIICell(ic, spec)
+				if ic == disk.AttachFabric && spec.String() == "4K-SR" {
+					fabric4KSeqRead = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(fabric4KSeqRead, "H&S_4K-SR_IOPS") // paper: 5381
+}
+
+// BenchmarkFigure5Scaling regenerates Figure 5: aggregate throughput vs
+// number of disks on one host.
+func BenchmarkFigure5Scaling(b *testing.B) {
+	var eight, twelve float64
+	spec := workload.Spec{Size: 4 << 10, ReadPct: 100, Pattern: disk.Sequential}
+	for i := 0; i < b.N; i++ {
+		var err error
+		eight, err = bench.Figure5Point(spec, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twelve, err = bench.Figure5Point(spec, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(eight/1, "4K-SR_8disks_MBps")
+	b.ReportMetric(twelve/1, "4K-SR_12disks_MBps") // flat vs 8: tree saturated
+}
+
+// BenchmarkDuplexThroughput regenerates the §VII-A headline: ~540 MB/s per
+// port, ~2160 MB/s per deploy unit with half reads, half writes.
+func BenchmarkDuplexThroughput(b *testing.B) {
+	var unit float64
+	for i := 0; i < b.N; i++ {
+		tab := bench.DuplexHeadline()
+		if len(tab.Rows) == 2 {
+			var v float64
+			_, err := fmt.Sscan(tab.Rows[1][1], &v)
+			if err == nil {
+				unit = v
+			}
+		}
+	}
+	b.ReportMetric(unit, "unit_MBps") // paper: 2160
+}
+
+// BenchmarkFigure6Switching regenerates Figure 6: switching time and its
+// three components vs number of disks switched.
+func BenchmarkFigure6Switching(b *testing.B) {
+	var one, twelve bench.SwitchParts
+	for i := 0; i < b.N; i++ {
+		var err error
+		one, err = bench.MeasureSwitch(1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		twelve, err = bench.MeasureSwitch(12, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(one.Total().Seconds(), "switch_1disk_s")
+	b.ReportMetric(twelve.Total().Seconds(), "switch_12disks_s")
+	b.ReportMetric(twelve.Part1.Seconds()-one.Part1.Seconds(), "part1_growth_s")
+}
+
+// BenchmarkHostFailover regenerates the 5.8-second single-host-failure
+// recovery headline.
+func BenchmarkHostFailover(b *testing.B) {
+	var took time.Duration
+	for i := 0; i < b.N; i++ {
+		var err error
+		took, err = bench.MeasureFailover(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(took.Seconds(), "recovery_s") // paper: 5.8
+}
+
+// BenchmarkTableIIIDiskPower regenerates Table III (one-disk power by
+// state and attachment).
+func BenchmarkTableIIIDiskPower(b *testing.B) {
+	p := disk.DT01ACA300()
+	var bridgeActive float64
+	for i := 0; i < b.N; i++ {
+		bridgeActive = power.DiskWithBridgeWatts(p, disk.StateActive)
+	}
+	b.ReportMetric(bridgeActive, "USB_bridge_RW_W") // paper: 7.56
+}
+
+// BenchmarkTableIVHubPower regenerates Table IV (hub power vs connected
+// disks).
+func BenchmarkTableIVHubPower(b *testing.B) {
+	var four float64
+	for i := 0; i < b.N; i++ {
+		four = power.HubWatts(4)
+	}
+	b.ReportMetric(four, "hub_4disks_W") // paper: 1.67
+}
+
+// BenchmarkTableVSolutionPower regenerates Table V (16-disk solution power
+// in spinning and powered-off states).
+func BenchmarkTableVSolutionPower(b *testing.B) {
+	p := disk.DT01ACA300()
+	var spin, off float64
+	for i := 0; i < b.N; i++ {
+		f, err := fabric.Prototype()
+		if err != nil {
+			b.Fatal(err)
+		}
+		states := make(map[fabric.NodeID]disk.State)
+		for _, d := range f.Disks() {
+			states[d] = disk.StateActive
+		}
+		spin = power.UnitPower(f, p, states, 6, 1).WallW
+		for _, d := range f.Disks() {
+			states[d] = disk.StatePoweredOff
+		}
+		off = power.UnitPower(f, p, states, 6, 1).WallW
+	}
+	b.ReportMetric(spin, "UStore_spinning_W")   // paper: 166.8
+	b.ReportMetric(off, "UStore_powered_off_W") // paper: 22.1
+}
+
+// BenchmarkHDFSSwitch regenerates the §VII-B experiment (HDFS write across
+// a disk switch).
+func BenchmarkHDFSSwitch(b *testing.B) {
+	var stalls float64
+	for i := 0; i < b.N; i++ {
+		tab := bench.HDFSSwitch()
+		for _, row := range tab.Rows {
+			if row[0] == "datanode transparent remounts" {
+				var v float64
+				if _, err := fmt.Sscan(row[1], &v); err == nil {
+					stalls = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(stalls, "dn_remounts")
+}
+
+// BenchmarkRebuildOffload regenerates the §IV-E rebuild-offload ablation
+// and reports network bytes saved by switching the source disk first.
+func BenchmarkRebuildOffload(b *testing.B) {
+	var savedMB float64
+	for i := 0; i < b.N; i++ {
+		tab := bench.AblateRebuild()
+		if len(tab.Rows) != 2 {
+			b.Fatalf("rebuild ablation rows: %d", len(tab.Rows))
+		}
+		var network, offload float64
+		if _, err := fmt.Sscan(tab.Rows[0][1], &network); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fmt.Sscan(tab.Rows[1][1], &offload); err != nil {
+			b.Fatal(err)
+		}
+		savedMB = network - offload
+	}
+	b.ReportMetric(savedMB, "network_MB_saved")
+}
+
+// BenchmarkAvailabilitySoak runs the accelerated-aging availability soak.
+func BenchmarkAvailabilitySoak(b *testing.B) {
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		tab := bench.AblateAvailability()
+		for _, row := range tab.Rows {
+			if row[0] == "UStore availability" {
+				if _, err := fmt.Sscanf(row[1], "%f%%", &avail); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(avail, "availability_%")
+}
+
+// BenchmarkAblations runs the design-choice studies.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tab := range bench.Ablations() {
+			if len(tab.Rows) == 0 {
+				b.Fatalf("ablation %s empty", tab.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterBoot measures how fast the simulator boots the full
+// prototype (simulation performance, not a paper number).
+func BenchmarkClusterBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Settle(BootTime)
+		if c.ActiveMaster() == nil {
+			b.Fatal("no active master")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command fabric-plan is a deploy-unit designer: given a disk count, host
+// count, and hub fan-in, it builds both Figure 2 topologies, prints their
+// bills of materials, interconnect cost, bandwidth envelope, and the fault
+// domains a single component failure takes out.
+//
+// Usage:
+//
+//	fabric-plan -disks 64 -hosts 4 -fanin 4
+//	fabric-plan -disks 64 -hosts 4 -fanin 4 -design full-trees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+	"ustore/internal/usb"
+	"ustore/internal/workload"
+)
+
+func main() {
+	disks := flag.Int("disks", 64, "disks in the unit")
+	hosts := flag.Int("hosts", 4, "hosts of the unit")
+	fanIn := flag.Int("fanin", 4, "hub fan-in factor")
+	design := flag.String("design", "both", "switch-high | full-trees | both")
+	flag.Parse()
+
+	cfg := fabric.Config{FanIn: *fanIn, Disks: *disks}
+	for i := 1; i <= *hosts; i++ {
+		cfg.Hosts = append(cfg.Hosts, fmt.Sprintf("h%d", i))
+	}
+
+	show := func(name string, build func(fabric.Config) (*fabric.Fabric, error)) {
+		f, err := build(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			return
+		}
+		b := f.BOM()
+		fmt.Printf("== %s ==\n", name)
+		fmt.Printf("  components: %d hubs, %d 2:1 switches, %d SATA-USB bridges\n",
+			b.Hubs, b.Switches, b.Bridges)
+		icCost := float64(b.Hubs+b.Switches+b.Bridges) * 1.0 * 2.0
+		fmt.Printf("  interconnect silicon: $%.0f (BOM x2), $%.2f per disk\n",
+			icCost, icCost/float64(b.Disks))
+
+		// Largest co-moving group = switching granularity.
+		maxGroup := 0
+		for _, g := range f.CoMovingGroups() {
+			if len(g) > maxGroup {
+				maxGroup = len(g)
+			}
+		}
+		fmt.Printf("  switching granularity: %d disk(s) move together\n", maxGroup)
+
+		// Per-host device count vs the Intel 14-device quirk.
+		maxDevices := 0
+		for _, h := range f.Hosts() {
+			if n := len(f.VisibleTree(h)); n > maxDevices {
+				maxDevices = n
+			}
+		}
+		warn := ""
+		if maxDevices > usb.IntelRootHubDeviceLimit {
+			warn = fmt.Sprintf("  (exceeds the Intel %d-device quirk; balanced ok, degenerate configs will not enumerate)",
+				usb.IntelRootHubDeviceLimit)
+		}
+		fmt.Printf("  devices per host tree (balanced): %d%s\n", maxDevices, warn)
+
+		// Bandwidth envelope: per-host aggregate for the 4MB sequential
+		// read workload at the balanced attachment.
+		perHost := float64(*disks) / float64(*hosts)
+		spec := workload.Spec{Size: 4 << 20, ReadPct: 100, Pattern: disk.Sequential}
+		r, w := spec.StandaloneRate(disk.DT01ACA300(), disk.AttachFabric)
+		demand := (r + w) * perHost
+		cap := usb.RootPortBytesPerSec
+		agg := demand
+		if agg > cap {
+			agg = cap
+		}
+		fmt.Printf("  per-host 4M-SR envelope: %.0f MB/s (demand %.0f, root port cap %.0f)\n",
+			agg/1e6, demand/1e6, float64(cap)/1e6)
+		fmt.Printf("  unit duplex ceiling: %.0f MB/s across %d hosts\n",
+			2*float64(cap)*float64(*hosts)*0.9/1e6, *hosts)
+
+		// Fault domains: what a single leaf-hub failure costs.
+		worst := 0
+		for _, hub := range f.Hubs() {
+			n := 0
+			for _, d := range f.Disks() {
+				path, err := f.PathToRoot(d)
+				if err != nil {
+					continue
+				}
+				for _, id := range path {
+					if id == hub {
+						n++
+					}
+				}
+			}
+			if n > worst {
+				worst = n
+			}
+		}
+		fmt.Printf("  worst single-hub fault domain: %d disks (until switched around or repaired)\n\n", worst)
+	}
+
+	switch *design {
+	case "switch-high":
+		show("switch-high (Fig.2 right)", fabric.BuildSwitchHigh)
+	case "full-trees":
+		show("full trees (Fig.2 left)", fabric.BuildFullTrees)
+	case "both":
+		show("switch-high (Fig.2 right)", fabric.BuildSwitchHigh)
+		show("full trees (Fig.2 left)", fabric.BuildFullTrees)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+}

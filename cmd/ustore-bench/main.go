@@ -1,0 +1,83 @@
+// Command ustore-bench regenerates the paper's evaluation: every table and
+// figure (§VI-§VII) plus the ablation studies, printed as aligned text
+// tables with the paper's numbers alongside for comparison.
+//
+// Usage:
+//
+//	ustore-bench                 # all tables and figures
+//	ustore-bench -quick          # skip the slow switching/failover runs
+//	ustore-bench -exp fig6       # one experiment by ID
+//	ustore-bench -ablate         # the design-choice ablations
+//	ustore-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ustore/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip slow experiments (fig6, failover, hdfs)")
+	exp := flag.String("exp", "", "run a single experiment by ID")
+	ablate := flag.Bool("ablate", false, "run the ablation studies instead")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	runners := map[string]func() *bench.Table{
+		"table1":   bench.TableI,
+		"table2":   bench.TableII,
+		"fig5":     bench.Figure5,
+		"duplex":   bench.DuplexHeadline,
+		"fig6":     bench.Figure6,
+		"failover": bench.Failover,
+		"hdfs":     bench.HDFSSwitch,
+		"table3":   bench.TableIII,
+		"table4":   bench.TableIV,
+		"table5":   bench.TableV,
+
+		"ablate-topology":     bench.AblateTopology,
+		"ablate-fanin":        bench.AblateFanIn,
+		"ablate-singletree":   bench.AblateSingleTree,
+		"ablate-heartbeat":    bench.AblateHeartbeat,
+		"ablate-spindown":     bench.AblateSpinDown,
+		"ablate-rebuild":      bench.AblateRebuild,
+		"ablate-availability": bench.AblateAvailability,
+		"ablate-powercurve":   bench.AblatePowerCurve,
+	}
+
+	if *list {
+		for _, id := range []string{"table1", "table2", "fig5", "duplex", "fig6", "failover", "hdfs",
+			"table3", "table4", "table5", "ablate-topology", "ablate-fanin",
+			"ablate-singletree", "ablate-heartbeat", "ablate-spindown", "ablate-rebuild",
+			"ablate-availability", "ablate-powercurve"} {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *exp != "" {
+		run, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(run().Render())
+		return
+	}
+
+	if *ablate {
+		for _, t := range bench.Ablations() {
+			fmt.Print(t.Render())
+			fmt.Println()
+		}
+		return
+	}
+
+	for _, t := range bench.All(*quick) {
+		fmt.Print(t.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,101 @@
+// Archive: an erasure-coded cold-object store over UStore. Objects are
+// split RS(4,2) across six spaces on six distinct disks spread over the
+// four hosts. The demo stores a batch of objects, fails one physical disk
+// outright (the §IV-E case UStore delegates upward), crashes a host on top,
+// and reads everything back through parity reconstruction — no replicas, no
+// rebuild, 1.5x storage overhead instead of 3x.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"ustore"
+	"ustore/internal/archive"
+	"ustore/internal/core"
+	"ustore/internal/fabric"
+)
+
+func main() {
+	cluster, err := ustore.NewCluster(ustore.DefaultConfig())
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	cluster.Settle(ustore.BootTime)
+	if cluster.ActiveMaster() == nil {
+		log.Fatal("no active master")
+	}
+	say := func(format string, args ...any) {
+		fmt.Printf("[t=%8s] %s\n",
+			cluster.Sched.Now().Truncate(time.Millisecond), fmt.Sprintf(format, args...))
+	}
+
+	// RS(4,2): any two simultaneous disk/host losses are survivable.
+	hosts := cluster.Fabric.Hosts()
+	store, err := archive.New(func(slot int) *core.ClientLib {
+		host := hosts[slot%len(hosts)]
+		return cluster.Client(fmt.Sprintf("%s-arch%d", host, slot), fmt.Sprintf("archive-slot%d", slot))
+	}, cluster.Sched, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Open(16<<30, func(err error) {
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+	})
+	cluster.Settle(30 * time.Second)
+	say("archive open: RS(4,2) striped over disks %v", store.Slots())
+
+	// Store a batch of cold objects.
+	objects := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("/vault/photo-%03d.raw", i)
+		data := make([]byte, 256<<10)
+		for j := range data {
+			data[j] = byte(j*13 + i*7)
+		}
+		objects[name] = data
+		store.Put(name, data, func(err error) {
+			if err != nil {
+				log.Fatalf("put %s: %v", name, err)
+			}
+		})
+		cluster.Settle(5 * time.Second)
+	}
+	say("stored %d objects (%.1f MB user data, 1.5x raw overhead)", store.Objects(), 8*0.25)
+
+	// Disaster one: a disk dies outright.
+	deadDisk := store.Slots()[1]
+	say("DISK FAILURE: %s (bridge+disk failure unit, §IV-E)", deadDisk)
+	if err := cluster.Fabric.Fail(fabric.NodeID(deadDisk)); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Binding.Resync()
+	cluster.Settle(2 * time.Second)
+
+	// Disaster two: a host crashes while we read.
+	victimHost := cluster.ActiveMaster().DiskHost(store.Slots()[2])
+	say("HOST CRASH: %s (while reads are in flight)", victimHost)
+	cluster.CrashHost(victimHost)
+
+	ok := 0
+	for name, want := range objects {
+		name, want := name, want
+		store.Get(name, func(got []byte, err error) {
+			if err != nil {
+				log.Fatalf("get %s: %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				log.Fatalf("%s corrupted", name)
+			}
+			ok++
+		})
+		cluster.Settle(15 * time.Second)
+	}
+	say("read back %d/%d objects intact; %d degraded reads served from parity",
+		ok, len(objects), store.Reconstructions)
+	say("UStore provided raw switched capacity; the archive layer provided durability — the paper's division of labour")
+}

@@ -1,0 +1,124 @@
+// HDFS-on-UStore: the §VII-B experiment as a runnable demo. A 3-replica
+// HDFS-like file service is deployed over UStore volumes (namenode on h1,
+// datanodes on h2-h4). Mid-write, the Master deliberately switches the
+// disk group backing one datanode to a different host. The write stalls
+// for a few seconds while the datanode's ClientLib remounts, then resumes;
+// a read-back afterwards is untouched because replicas mask the moved disk.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"ustore"
+	"ustore/internal/core"
+	"ustore/internal/fabric"
+	"ustore/internal/hdfs"
+)
+
+func main() {
+	cluster, err := ustore.NewCluster(ustore.DefaultConfig())
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	cluster.Settle(ustore.BootTime)
+	if cluster.ActiveMaster() == nil {
+		log.Fatal("no active master")
+	}
+	say := func(format string, args ...any) {
+		fmt.Printf("[t=%8s] %s\n",
+			cluster.Sched.Now().Truncate(time.Millisecond), fmt.Sprintf(format, args...))
+	}
+
+	// Deploy HDFS: namenode on h1, datanodes on h2-h4 (the paper's
+	// split), three replicas.
+	hdfs.NewNameNode(cluster.Net, "h1")
+	var dataNodes []*hdfs.DataNode
+	var dnClients []*ustore.ClientLib
+	for _, host := range []string{"h2", "h3", "h4"} {
+		cl := cluster.Client(host+"-dn", "hdfs-"+host)
+		dn := hdfs.NewDataNode(cluster.Net, host, "h1", cl)
+		dn.Start(64<<30, func(err error) {
+			if err != nil {
+				log.Fatalf("datanode %s: %v", host, err)
+			}
+		})
+		cluster.Settle(5 * time.Second)
+		dataNodes = append(dataNodes, dn)
+		dnClients = append(dnClients, cl)
+		say("datanode %s up, volume %s", host, dn.Space())
+	}
+	client := hdfs.NewClient(cluster.Net, "writer", "h1")
+
+	// Start a 64MB write (16 blocks, 3-way replicated).
+	data := make([]byte, 16*hdfs.BlockSize)
+	for i := range data {
+		data[i] = byte(i * 2654435761)
+	}
+	start := cluster.Sched.Now()
+	client.WriteFile("/backup/2026-07-06.tar", data, func(err error) {
+		if err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		say("write finished in %s (stalls: %d)",
+			(cluster.Sched.Now() - start).Truncate(10*time.Millisecond), client.WriteStalls)
+	})
+
+	// Mid-write, switch the disk group under the first datanode.
+	cluster.Settle(500 * time.Millisecond)
+	space := dataNodes[0].Space()
+	var backing ustore.LookupReply
+	dnClients[0].Lookup(space, func(rep ustore.LookupReply, err error) {
+		if err != nil {
+			log.Fatalf("lookup: %v", err)
+		}
+		backing = rep
+	})
+	cluster.Settle(time.Second)
+	var dst string
+	for _, h := range cluster.Fabric.Hosts() {
+		if h != backing.Host {
+			dst = h
+			break
+		}
+	}
+	cmd := core.ExecuteArgs{Force: true}
+	for _, group := range cluster.Fabric.CoMovingGroups() {
+		for _, d := range group {
+			if string(d) == backing.DiskID {
+				for _, member := range group {
+					cmd.Pairs = append(cmd.Pairs, fabric.DiskHost{Disk: member, Host: dst})
+				}
+			}
+		}
+	}
+	say("switching %s's disk group (%d disks) from %s to %s mid-write",
+		dataNodes[0].Space(), len(cmd.Pairs), backing.Host, dst)
+	cluster.ActiveMaster().ExecuteTopology(cmd, func(err error) {
+		if err != nil {
+			log.Fatalf("switch: %v", err)
+		}
+		say("controller verified the switch")
+	})
+
+	cluster.Settle(3 * time.Minute)
+	remounts := uint64(0)
+	for _, cl := range dnClients {
+		remounts += cl.Remounts
+	}
+	say("datanode transparent remounts during the switch: %d", remounts)
+
+	// Read back: replicas mask everything; bytes are intact.
+	client.ReadFile("/backup/2026-07-06.tar", func(got []byte, err error) {
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			log.Fatal("data mismatch after switch")
+		}
+		say("read back %d bytes intact — reads uninterrupted, as §VII-B reports", len(got))
+	})
+	cluster.Settle(time.Minute)
+}

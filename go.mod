@@ -1,0 +1,3 @@
+module ustore
+
+go 1.22

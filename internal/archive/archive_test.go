@@ -1,0 +1,196 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ustore/internal/core"
+	"ustore/internal/fabric"
+)
+
+// rig boots a cluster with an open RS(4,2) archive store.
+func rig(t *testing.T) (*core.Cluster, *Store) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(8 * time.Second)
+	if c.ActiveMaster() == nil {
+		t.Fatal("no active master")
+	}
+	// Host-aware placement: slot clients carry round-robin locality hints
+	// so shards spread across hosts as well as disks (a host crash then
+	// takes at most ceil((k+m)/hosts) = 2 shards, within m's tolerance).
+	hosts := c.Fabric.Hosts()
+	st, err := New(func(slot int) *core.ClientLib {
+		host := hosts[slot%len(hosts)]
+		return c.Client(fmt.Sprintf("%s-arch%d", host, slot), fmt.Sprintf("archive-slot%d", slot))
+	}, c.Sched, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var openErr error = errors.New("pending")
+	st.Open(8<<30, func(err error) { openErr = err })
+	c.Settle(30 * time.Second)
+	if openErr != nil {
+		t.Fatalf("open: %v", openErr)
+	}
+	return c, st
+}
+
+func TestOpenPlacesSlotsOnDistinctDisks(t *testing.T) {
+	_, st := rig(t)
+	seen := map[string]bool{}
+	for _, d := range st.Slots() {
+		if seen[d] {
+			t.Fatalf("duplicate backing disk %s: %v", d, st.Slots())
+		}
+		seen[d] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("slots = %v, want 6 distinct disks", st.Slots())
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, st := rig(t)
+	objects := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("/backup/obj%d", i)
+		data := make([]byte, 100+i*3777)
+		for j := range data {
+			data[j] = byte(j*7 + i)
+		}
+		objects[name] = data
+		var putErr error = errors.New("pending")
+		st.Put(name, data, func(err error) { putErr = err })
+		c.Settle(10 * time.Second)
+		if putErr != nil {
+			t.Fatalf("put %s: %v", name, putErr)
+		}
+	}
+	if st.Objects() != 5 {
+		t.Fatalf("objects = %d", st.Objects())
+	}
+	for name, want := range objects {
+		var got []byte
+		var getErr error = errors.New("pending")
+		st.Get(name, func(b []byte, err error) { got, getErr = b, err })
+		c.Settle(10 * time.Second)
+		if getErr != nil {
+			t.Fatalf("get %s: %v", name, getErr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted", name)
+		}
+	}
+	if st.Reconstructions != 0 {
+		t.Fatalf("healthy reads reconstructed %d times", st.Reconstructions)
+	}
+}
+
+func TestGetUnknownObject(t *testing.T) {
+	c, st := rig(t)
+	var getErr error
+	st.Get("/nope", func(_ []byte, err error) { getErr = err })
+	c.Settle(time.Second)
+	if !errors.Is(getErr, ErrUnknownObject) {
+		t.Fatalf("err = %v", getErr)
+	}
+}
+
+func TestDegradedReadAfterDiskFailure(t *testing.T) {
+	c, st := rig(t)
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	var putErr error = errors.New("pending")
+	st.Put("/x", data, func(err error) { putErr = err })
+	c.Settle(10 * time.Second)
+	if putErr != nil {
+		t.Fatal(putErr)
+	}
+	// Fail the physical disk under shard 0 (bridge/disk failure unit) —
+	// the §IV-E case UStore delegates upward.
+	victim := st.Slots()[0]
+	if err := c.Fabric.Fail(fabric.NodeID(victim)); err != nil {
+		t.Fatal(err)
+	}
+	c.Binding.Resync()
+	c.Settle(2 * time.Second)
+
+	var got []byte
+	var getErr error = errors.New("pending")
+	st.Get("/x", func(b []byte, err error) { got, getErr = b, err })
+	c.Settle(30 * time.Second)
+	if getErr != nil {
+		t.Fatalf("degraded get: %v", getErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruction produced wrong bytes")
+	}
+	if st.Reconstructions != 1 {
+		t.Fatalf("reconstructions = %d, want 1", st.Reconstructions)
+	}
+}
+
+func TestDegradedReadDuringHostCrash(t *testing.T) {
+	c, st := rig(t)
+	data := make([]byte, 32<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var putErr error = errors.New("pending")
+	st.Put("/y", data, func(err error) { putErr = err })
+	c.Settle(10 * time.Second)
+	if putErr != nil {
+		t.Fatal(putErr)
+	}
+	// Crash the host serving shard 0's disk and read IMMEDIATELY — before
+	// failover completes, parity must carry the read.
+	m := c.ActiveMaster()
+	victimHost := m.DiskHost(st.Slots()[0])
+	c.CrashHost(victimHost)
+	var got []byte
+	var getErr error = errors.New("pending")
+	st.Get("/y", func(b []byte, err error) { got, getErr = b, err })
+	c.Settle(30 * time.Second)
+	if getErr != nil {
+		t.Fatalf("get during crash: %v", getErr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wrong bytes during crash window")
+	}
+}
+
+func TestTooManyFailuresRefused(t *testing.T) {
+	c, st := rig(t)
+	data := make([]byte, 8<<10)
+	var putErr error = errors.New("pending")
+	st.Put("/z", data, func(err error) { putErr = err })
+	c.Settle(10 * time.Second)
+	if putErr != nil {
+		t.Fatal(putErr)
+	}
+	// Fail 3 backing disks of an RS(4,2) stripe: Get must error, not
+	// fabricate data.
+	for _, d := range st.Slots()[:3] {
+		if err := c.Fabric.Fail(fabric.NodeID(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Binding.Resync()
+	c.Settle(2 * time.Second)
+	var getErr error
+	st.Get("/z", func(_ []byte, err error) { getErr = err })
+	c.Settle(60 * time.Second)
+	if getErr == nil {
+		t.Fatal("get with 3 of 6 shards lost succeeded")
+	}
+}

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ustore/internal/core"
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+	"ustore/internal/faults"
+	"ustore/internal/power"
+	"ustore/internal/simtime"
+)
+
+// AblateTopology compares the two Figure 2 designs: component counts and
+// the smallest move granularity each allows.
+func AblateTopology() *Table {
+	t := &Table{
+		ID:     "ablate-topology",
+		Title:  "Switch placement: full trees (Fig.2 left) vs switch-high (Fig.2 right)",
+		Header: []string{"Design", "Hubs", "Switches", "Move granularity (disks)"},
+		Notes: []string{
+			"switch-high needs far fewer components (the paper's cost argument) but moves whole leaf-hub groups",
+		},
+	}
+	cfg := fabric.Config{Hosts: []string{"h1", "h2", "h3", "h4"}, Disks: 16, FanIn: 4}
+	for _, v := range []struct {
+		name  string
+		build func(fabric.Config) (*fabric.Fabric, error)
+	}{
+		{"full trees", fabric.BuildFullTrees},
+		{"switch-high", fabric.BuildSwitchHigh},
+	} {
+		f, err := v.build(cfg)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{v.name, "err", err.Error(), ""})
+			continue
+		}
+		b := f.BOM()
+		gran := 0
+		for _, g := range f.CoMovingGroups() {
+			if len(g) > gran {
+				gran = len(g)
+			}
+		}
+		t.Rows = append(t.Rows, []string{v.name, fmt.Sprint(b.Hubs), fmt.Sprint(b.Switches), fmt.Sprint(gran)})
+	}
+	return t
+}
+
+// AblateFanIn sweeps the hub fan-in factor for a 64-disk unit.
+func AblateFanIn() *Table {
+	t := &Table{
+		ID:     "ablate-fanin",
+		Title:  "Hub fan-in factor k for a 64-disk, 4-host unit",
+		Header: []string{"k", "Hubs", "Switches", "Max USB tier", "Devices/host tree"},
+		Notes: []string{
+			"larger hubs mean fewer components and shallower trees, but coarser co-moving groups and more bandwidth sharing",
+		},
+	}
+	for _, k := range []int{2, 4, 7} {
+		f, err := fabric.BuildSwitchHigh(fabric.Config{
+			Hosts: []string{"h1", "h2", "h3", "h4"}, Disks: 64, FanIn: k,
+		})
+		if err != nil {
+			t.Rows = append(t.Rows, []string{fmt.Sprint(k), "err: " + err.Error(), "", "", ""})
+			continue
+		}
+		b := f.BOM()
+		// Depth and device count of one host's visible tree.
+		maxTier := 0
+		devices := 0
+		host := f.Hosts()[0]
+		depth := map[fabric.NodeID]int{fabric.NodeID("root:" + host): 1}
+		for _, e := range f.VisibleTree(host) {
+			d := depth[e.Parent] + 1
+			depth[e.Child] = d
+			if d > maxTier {
+				maxTier = d
+			}
+			devices++
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k), fmt.Sprint(b.Hubs), fmt.Sprint(b.Switches),
+			fmt.Sprint(maxTier), fmt.Sprint(devices),
+		})
+	}
+	return t
+}
+
+// AblateSingleTree contrasts availability after a host failure: a
+// Backblaze-like single tree (disks pinned to the host) versus UStore's
+// reconfigurable fabric.
+func AblateSingleTree() *Table {
+	t := &Table{
+		ID:     "ablate-singletree",
+		Title:  "Host failure: single-tree (Backblaze-like) vs UStore fabric",
+		Header: []string{"Design", "Disk downtime per host failure", "Expected disk downtime/yr"},
+		Notes: []string{
+			"host MTTF 3.4 months, repair 10 min; single tree loses the disks for the whole repair, UStore for one failover",
+		},
+	}
+	failover, err := MeasureFailover(1)
+	if err != nil {
+		failover = 6 * time.Second
+		t.Notes = append(t.Notes, "failover measurement failed, using 6s: "+err.Error())
+	}
+	repair := 10 * time.Minute
+	perYear := func(down time.Duration) time.Duration {
+		events := float64(365*24*time.Hour) / float64(faults.HostMTTF)
+		return time.Duration(events * float64(down))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"single tree", repair.String(), perYear(repair).Truncate(time.Second).String()},
+		[]string{"UStore", failover.Truncate(10 * time.Millisecond).String(), perYear(failover).Truncate(time.Second).String()},
+	)
+	return t
+}
+
+// AblateHeartbeat sweeps the heartbeat interval: recovery time vs control
+// traffic.
+func AblateHeartbeat() *Table {
+	t := &Table{
+		ID:     "ablate-heartbeat",
+		Title:  "Heartbeat interval vs recovery time and control traffic",
+		Header: []string{"Interval", "Recovery", "Heartbeats/s (4 hosts x 3 masters)"},
+		Notes: []string{
+			"detection dominates recovery below ~1s intervals; traffic grows inversely",
+		},
+	}
+	for _, hb := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, 1 * time.Second, 2 * time.Second} {
+		took, err := measureFailoverWithHeartbeat(hb)
+		rec := "err"
+		if err == nil {
+			rec = took.Truncate(10 * time.Millisecond).String()
+		}
+		msgsPerSec := 4.0 * 3.0 / hb.Seconds()
+		t.Rows = append(t.Rows, []string{hb.String(), rec, Cell(msgsPerSec)})
+	}
+	return t
+}
+
+func measureFailoverWithHeartbeat(hb time.Duration) (time.Duration, error) {
+	cfg := core.DefaultConfig()
+	cfg.HeartbeatInterval = hb
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.Settle(12 * time.Second)
+	m := c.ActiveMaster()
+	if m == nil {
+		return 0, fmt.Errorf("no active master")
+	}
+	victim := c.Fabric.Hosts()[2]
+	var done time.Duration
+	m.OnFailoverDone = func(h string, took time.Duration) { done = took }
+	crash := c.Sched.Now()
+	detectAt := simtime.Time(0)
+	m.OnHostDead = func(h string) { detectAt = c.Sched.Now() }
+	c.CrashHost(victim)
+	c.Settle(60 * time.Second)
+	if done == 0 {
+		return 0, fmt.Errorf("failover incomplete")
+	}
+	return (detectAt - crash) + done, nil
+}
+
+// AblateSpinDown compares fixed vs adaptive idle thresholds under a bursty
+// access pattern: energy and spin-up wear.
+func AblateSpinDown() *Table {
+	t := &Table{
+		ID:     "ablate-spindown",
+		Title:  "Spin-down policy under bursty cold access (one disk, 2h)",
+		Header: []string{"Policy", "Energy (Wh)", "Spin-ups", "Mean access latency"},
+		Notes: []string{
+			"bursts of accesses arrive every ~5 min; the adaptive policy (§IV-F) raises the threshold when the disk thrashes",
+		},
+	}
+	type variant struct {
+		name     string
+		idle     time.Duration
+		adaptive bool
+	}
+	for _, v := range []variant{
+		{"always-on", 0, false},
+		{"fixed 30s", 30 * time.Second, false},
+		{"adaptive from 30s", 30 * time.Second, true},
+	} {
+		energy, spinUps, lat := runSpinDownScenario(v.idle, v.adaptive)
+		t.Rows = append(t.Rows, []string{
+			v.name, Cell(energy), fmt.Sprint(spinUps), lat.Truncate(time.Millisecond).String(),
+		})
+	}
+	return t
+}
+
+// AblatePowerCurve sweeps the fraction of powered-off disks in a 16-disk
+// unit and reports wall power with and without §IV-F's cascading fabric
+// power-off (a leaf hub whose four disks are all off is cut too).
+func AblatePowerCurve() *Table {
+	t := &Table{
+		ID:     "ablate-powercurve",
+		Title:  "Power proportionality: unit watts vs powered-off disks (16-disk unit)",
+		Header: []string{"Disks off", "Watts (disks only)", "Watts (+ cascading hub cut)"},
+		Notes: []string{
+			"§IV-F: \"if the disks are spun down or powered off, the part of the interconnect fabric that connects these disks is powered off as well\"",
+		},
+	}
+	p := disk.DT01ACA300()
+	for _, off := range []int{0, 4, 8, 12, 16} {
+		plain, err := powerWithOff(p, off, false)
+		if err != nil {
+			t.Notes = append(t.Notes, "error: "+err.Error())
+			return t
+		}
+		cascade, err := powerWithOff(p, off, true)
+		if err != nil {
+			t.Notes = append(t.Notes, "error: "+err.Error())
+			return t
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(off), Cell(plain), Cell(cascade)})
+	}
+	return t
+}
+
+// powerWithOff computes unit wall power with `off` disks powered off
+// (whole leaf-hub groups first, matching how a service would consolidate),
+// optionally cutting fully-idle leaf hubs.
+func powerWithOff(p disk.Params, off int, cascade bool) (float64, error) {
+	f, err := fabric.Prototype()
+	if err != nil {
+		return 0, err
+	}
+	states := make(map[fabric.NodeID]disk.State)
+	for i, d := range f.Disks() {
+		if i < off {
+			states[d] = disk.StatePoweredOff
+		} else {
+			states[d] = disk.StateIdle
+		}
+	}
+	if cascade {
+		// Cut leaf hubs whose whole group is off (groups are 4-aligned).
+		for g := 0; g*4+3 < off; g++ {
+			hub := fabric.NodeID(fmt.Sprintf("leafhub%02d", g))
+			if f.Node(hub) != nil {
+				if err := f.SetPower(hub, false); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return power.UnitPower(f, p, states, 6, 1).WallW, nil
+}
+
+// runSpinDownScenario drives one simulated disk for two hours with bursty
+// reads and returns energy, spin-up count, and mean access latency.
+func runSpinDownScenario(idle time.Duration, adaptive bool) (wh float64, spinUps int, meanLat time.Duration) {
+	s := simtime.NewScheduler(3)
+	d := disk.New(s, "d0", disk.DT01ACA300(), disk.AttachFabric)
+	d.SpinUp()
+	meter := power.NewMeter(func() time.Duration { return s.Now() })
+	meter.TrackDisk("d0", d)
+
+	threshold := idle
+	lastThrashCheck := 0
+	// Policy loop (standalone equivalent of core.PowerManager for a bare
+	// disk).
+	if idle > 0 {
+		s.Every(time.Second, func() {
+			if adaptive {
+				ups := d.SpinUpCount()
+				if ups-lastThrashCheck > 3 {
+					threshold *= 2
+					lastThrashCheck = ups
+				}
+			}
+			since, ok := d.IdleSince()
+			if ok && s.Now()-since >= threshold {
+				d.SpinDown()
+			}
+		})
+	}
+
+	var totalLat time.Duration
+	accesses := 0
+	// Bursts: every ~5 minutes, 5 reads spaced 20s apart (just over a 30s
+	// fixed threshold, maximizing thrash).
+	for burst := 0; burst < 24; burst++ {
+		base := time.Duration(burst) * 5 * time.Minute
+		for i := 0; i < 5; i++ {
+			at := base + time.Duration(i)*20*time.Second
+			s.At(at, func() {
+				start := s.Now()
+				d.Submit(&disk.Request{
+					Op: disk.Op{Read: true, Size: 1 << 20, Pattern: disk.Random},
+					Done: func([]byte, error) {
+						totalLat += s.Now() - start
+						accesses++
+					},
+				})
+			})
+		}
+	}
+	s.RunUntil(2 * time.Hour)
+	wh = meter.EnergyWh()
+	spinUps = d.SpinUpCount()
+	if accesses > 0 {
+		meanLat = totalLat / time.Duration(accesses)
+	}
+	return wh, spinUps, meanLat
+}

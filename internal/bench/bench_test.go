@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ustore/internal/disk"
+	"ustore/internal/workload"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"longer", "3"}},
+		Notes:  []string{"note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"=== x: demo ===", "a       bee", "longer  3", "note: note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIHasAllSolutions(t *testing.T) {
+	tab := TableI()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[4][0] != "UStore" {
+		t.Fatalf("last row = %v, want UStore", tab.Rows[4])
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	tab := TableII()
+	if len(tab.Rows) != 36 { // 12 workloads x 3 interconnects
+		t.Fatalf("rows = %d, want 36", len(tab.Rows))
+	}
+}
+
+func TestFigure5ShapeAndSaturation(t *testing.T) {
+	spec := workload.Spec{Size: 4 << 20, ReadPct: 100, Pattern: disk.Sequential}
+	two, err := Figure5Point(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twelve, err := Figure5Point(spec, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twelve > two*1.02 {
+		t.Fatalf("4M-SR kept scaling: 2 disks %.0f vs 12 disks %.0f", two, twelve)
+	}
+}
+
+func TestFigure6PartsShape(t *testing.T) {
+	p1, err := MeasureSwitch(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := MeasureSwitch(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Part1 <= p1.Part1 {
+		t.Fatalf("part1 did not grow: 1 disk %v, 4 disks %v", p1.Part1, p4.Part1)
+	}
+	// Parts 2 and 3 stay roughly flat (within 1.5s of each other).
+	if d := (p4.Part2 - p1.Part2); d > 1500*time.Millisecond || d < -1500*time.Millisecond {
+		t.Fatalf("part2 not flat: %v vs %v", p1.Part2, p4.Part2)
+	}
+	if d := (p4.Part3 - p1.Part3); d > 1500*time.Millisecond || d < -1500*time.Millisecond {
+		t.Fatalf("part3 not flat: %v vs %v", p1.Part3, p4.Part3)
+	}
+	if p1.Total() < time.Second || p1.Total() > 15*time.Second {
+		t.Fatalf("1-disk switch total %v implausible", p1.Total())
+	}
+}
+
+func TestFailoverHeadline(t *testing.T) {
+	took, err := MeasureFailover(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 5.8s. Accept the 3-10s band: the shape claim is "seconds,
+	// not minutes, and no data rebuild".
+	if took < 2*time.Second || took > 10*time.Second {
+		t.Fatalf("recovery = %v, paper 5.8s", took)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, tab := range Ablations() {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("ablation %s produced no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			for _, cell := range row {
+				if strings.HasPrefix(cell, "err") {
+					t.Fatalf("ablation %s row errored: %v", tab.ID, row)
+				}
+			}
+		}
+	}
+}
+
+func TestSpinDownScenarioOrdering(t *testing.T) {
+	onWh, onUps, _ := runSpinDownScenario(0, false)
+	fixedWh, fixedUps, fixedLat := runSpinDownScenario(30*time.Second, false)
+	adaptWh, adaptUps, _ := runSpinDownScenario(30*time.Second, true)
+	if onUps != 1 {
+		t.Fatalf("always-on spin-ups = %d", onUps)
+	}
+	if fixedWh >= onWh {
+		t.Fatalf("fixed policy saved nothing: %.1f vs %.1f Wh", fixedWh, onWh)
+	}
+	if adaptUps >= fixedUps {
+		t.Fatalf("adaptive policy did not reduce spin-ups: %d vs %d", adaptUps, fixedUps)
+	}
+	if fixedLat < 100*time.Millisecond {
+		t.Fatalf("fixed policy should pay spin-up latency, got %v", fixedLat)
+	}
+	_ = adaptWh
+}

@@ -1,0 +1,182 @@
+package block
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file carries the UBLK protocol over a real net.Conn, demonstrating
+// that the wire codec is transport-independent (the simulated data center
+// and a loopback TCP connection speak identical bytes). Only synchronous
+// volumes (MemVolume) make sense here — there is no simulation scheduler.
+
+// ServeConn serves one connection until EOF or protocol error. volumes maps
+// export names to synchronous volumes.
+func ServeConn(conn net.Conn, volumes map[string]Volume) error {
+	defer conn.Close()
+	var buf []byte
+	tmp := make([]byte, 64*1024)
+	loggedIn := make(map[string]bool)
+	for {
+		n, err := conn.Read(tmp)
+		if n > 0 {
+			buf = append(buf, tmp[:n]...)
+			for {
+				m, consumed, derr := Decode(buf)
+				if derr == ErrTruncated {
+					break
+				}
+				if derr != nil {
+					return fmt.Errorf("decoding request: %w", derr)
+				}
+				buf = buf[consumed:]
+				resp := serveSync(m, volumes, loggedIn)
+				if resp == nil {
+					continue
+				}
+				if _, werr := conn.Write(resp.Encode()); werr != nil {
+					return fmt.Errorf("writing response: %w", werr)
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reading: %w", err)
+		}
+	}
+}
+
+func serveSync(m *Msg, volumes map[string]Volume, loggedIn map[string]bool) *Msg {
+	switch m.Type {
+	case MsgLogin:
+		vol, ok := volumes[m.Volume]
+		if !ok {
+			return &Msg{Type: MsgLoginResp, Tag: m.Tag, Status: StatusNoVolume}
+		}
+		loggedIn[m.Volume] = true
+		return &Msg{Type: MsgLoginResp, Tag: m.Tag, Size: uint64(vol.Size())}
+	case MsgLogout:
+		delete(loggedIn, m.Volume)
+		return nil
+	case MsgRead:
+		if !loggedIn[m.Volume] {
+			return &Msg{Type: MsgReadResp, Tag: m.Tag, Status: StatusNotLoggedIn}
+		}
+		vol := volumes[m.Volume]
+		if vol == nil {
+			return &Msg{Type: MsgReadResp, Tag: m.Tag, Status: StatusNoVolume}
+		}
+		var resp *Msg
+		vol.ReadAt(int64(m.Offset), int(m.Length), func(data []byte, err error) {
+			resp = &Msg{Type: MsgReadResp, Tag: m.Tag, Data: data}
+			if err != nil {
+				resp.Status = StatusIOError
+				resp.Data = nil
+			}
+		})
+		return resp
+	case MsgWrite:
+		if !loggedIn[m.Volume] {
+			return &Msg{Type: MsgWriteResp, Tag: m.Tag, Status: StatusNotLoggedIn}
+		}
+		vol := volumes[m.Volume]
+		if vol == nil {
+			return &Msg{Type: MsgWriteResp, Tag: m.Tag, Status: StatusNoVolume}
+		}
+		var resp *Msg
+		vol.WriteAt(int64(m.Offset), m.Data, func(err error) {
+			resp = &Msg{Type: MsgWriteResp, Tag: m.Tag}
+			if err != nil {
+				resp.Status = StatusIOError
+			}
+		})
+		return resp
+	default:
+		return nil
+	}
+}
+
+// Client is a synchronous UBLK client over a real net.Conn.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	buf     []byte
+	tmp     []byte
+	nextTag uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, tmp: make([]byte, 64*1024)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(m *Msg) (*Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTag++
+	m.Tag = c.nextTag
+	if _, err := c.conn.Write(m.Encode()); err != nil {
+		return nil, fmt.Errorf("writing %s: %w", m.Type, err)
+	}
+	for {
+		resp, consumed, err := Decode(c.buf)
+		if err == nil {
+			c.buf = c.buf[consumed:]
+			if resp.Tag != m.Tag {
+				continue // stale frame
+			}
+			return resp, nil
+		}
+		if err != ErrTruncated {
+			return nil, fmt.Errorf("decoding reply: %w", err)
+		}
+		n, rerr := c.conn.Read(c.tmp)
+		if n > 0 {
+			c.buf = append(c.buf, c.tmp[:n]...)
+			continue
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("reading reply: %w", rerr)
+		}
+	}
+}
+
+// Login opens a session and returns the volume size.
+func (c *Client) Login(volume string) (int64, error) {
+	resp, err := c.roundTrip(&Msg{Type: MsgLogin, Volume: volume})
+	if err != nil {
+		return 0, err
+	}
+	if e := resp.Status.Err(); e != nil {
+		return 0, e
+	}
+	return int64(resp.Size), nil
+}
+
+// Read reads length bytes at off.
+func (c *Client) Read(volume string, off int64, length int) ([]byte, error) {
+	resp, err := c.roundTrip(&Msg{Type: MsgRead, Volume: volume, Offset: uint64(off), Length: uint32(length)})
+	if err != nil {
+		return nil, err
+	}
+	if e := resp.Status.Err(); e != nil {
+		return nil, e
+	}
+	return resp.Data, nil
+}
+
+// Write writes data at off.
+func (c *Client) Write(volume string, off int64, data []byte) error {
+	resp, err := c.roundTrip(&Msg{Type: MsgWrite, Volume: volume, Offset: uint64(off), Data: data})
+	if err != nil {
+		return err
+	}
+	return resp.Status.Err()
+}

@@ -1,0 +1,88 @@
+package block
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Decode never panics and never over-consumes, no matter what
+// bytes arrive (a malicious or corrupt initiator must not crash a target).
+func TestPropertyDecodeRobustness(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		m, n, err := Decode(raw)
+		if err != nil {
+			return true // rejecting garbage is correct
+		}
+		return m != nil && n > 0 && n <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a valid PDU either still decodes
+// (to possibly different fields) or returns an error — never panics, and
+// never decodes past the original frame boundary.
+func TestPropertySingleByteCorruption(t *testing.T) {
+	base := (&Msg{Type: MsgWrite, Tag: 42, Volume: "unit0/disk03/sp1",
+		Offset: 123456, Data: []byte("some payload bytes")}).Encode()
+	f := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		buf := append([]byte(nil), base...)
+		buf[int(pos)%len(buf)] ^= val
+		m, n, err := Decode(buf)
+		if err != nil {
+			return true
+		}
+		_ = m
+		return n <= len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A crafted frame whose inner name length exceeds the body must error, not
+// slice out of range.
+func TestCraftedOverlongNameLength(t *testing.T) {
+	m := &Msg{Type: MsgLogin, Tag: 1, Volume: "abc"}
+	buf := m.Encode()
+	// Body starts at headerLen; first two bytes are the name length.
+	binary.BigEndian.PutUint16(buf[headerLen:], 60000)
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("overlong name length accepted")
+	}
+}
+
+// A frame claiming a huge body length but truncated must report
+// ErrTruncated (stream accumulates more bytes) rather than erroring hard.
+func TestClaimedBodyLongerThanBuffer(t *testing.T) {
+	m := &Msg{Type: MsgWrite, Tag: 1, Volume: "v", Data: make([]byte, 64)}
+	buf := m.Encode()
+	binary.BigEndian.PutUint32(buf[16:], 1<<20) // claim 1MB body
+	if _, _, err := Decode(buf); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated (waiting for more bytes)", err)
+	}
+}
+
+// Garbage after the magic with a zero body length must not be accepted as
+// a valid unknown-type message silently.
+func TestUnknownTypeRejected(t *testing.T) {
+	m := &Msg{Type: MsgLogout, Tag: 1, Volume: "v"}
+	buf := m.Encode()
+	buf[4] = 200 // unknown type
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("unknown PDU type accepted")
+	}
+}

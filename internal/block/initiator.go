@@ -1,0 +1,142 @@
+package block
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// ErrTimeout is returned when a block request gets no reply in time (host
+// crashed, disk switched away mid-flight).
+var ErrTimeout = errors.New("block: request timeout")
+
+// Initiator is the client side of the UBLK protocol over simnet — the
+// piece the ClientLib uses to mount and access allocated storage. One
+// Initiator serves one client node and may hold sessions to many targets.
+type Initiator struct {
+	node  *simnet.Node
+	sched *simtime.Scheduler
+
+	nextTag uint64
+	pending map[uint64]*call
+
+	// Timeout bounds each request (default 2s, enough for a spun-down
+	// disk's spin-up; failover remounts retry above this layer).
+	Timeout time.Duration
+}
+
+type call struct {
+	done    func(*Msg, error)
+	timeout *simtime.Event
+}
+
+// NewInitiator creates a client endpoint named clientNode.
+func NewInitiator(net *simnet.Network, clientNode string) *Initiator {
+	ini := &Initiator{
+		node:    net.Node(clientNode),
+		sched:   net.Scheduler(),
+		pending: make(map[uint64]*call),
+		Timeout: 2 * time.Second,
+	}
+	ini.node.Handle(ini.onMessage)
+	return ini
+}
+
+// NodeName returns the initiator's network name.
+func (ini *Initiator) NodeName() string { return ini.node.Name() }
+
+func (ini *Initiator) onMessage(msg simnet.Message) {
+	raw, ok := msg.Payload.([]byte)
+	if !ok {
+		return
+	}
+	m, _, err := Decode(raw)
+	if err != nil {
+		return
+	}
+	c, ok := ini.pending[m.Tag]
+	if !ok {
+		return // late reply after timeout
+	}
+	delete(ini.pending, m.Tag)
+	c.timeout.Cancel()
+	c.done(m, nil)
+}
+
+func (ini *Initiator) send(host string, m *Msg, done func(*Msg, error)) {
+	ini.nextTag++
+	m.Tag = ini.nextTag
+	c := &call{done: done}
+	timeout := ini.Timeout
+	// Large IOs get proportionally more time on a 1GbE link.
+	if n := len(m.Data); n > 0 {
+		timeout += time.Duration(float64(n) / 50e6 * float64(time.Second))
+	}
+	tag := m.Tag
+	c.timeout = ini.sched.After(timeout, func() {
+		if _, ok := ini.pending[tag]; !ok {
+			return
+		}
+		delete(ini.pending, tag)
+		done(nil, fmt.Errorf("%w: %s to %s", ErrTimeout, m.Type, host))
+	})
+	ini.pending[tag] = c
+	buf := m.Encode()
+	ini.node.Send(TargetNode(host), buf, len(buf))
+}
+
+// Login opens a session to volume on host's target. done receives the
+// volume size.
+func (ini *Initiator) Login(host, volume string, done func(size int64, err error)) {
+	ini.send(host, &Msg{Type: MsgLogin, Volume: volume}, func(m *Msg, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		if e := m.Status.Err(); e != nil {
+			done(0, e)
+			return
+		}
+		done(int64(m.Size), nil)
+	})
+}
+
+// Read reads length bytes at off from a logged-in volume.
+func (ini *Initiator) Read(host, volume string, off int64, length int, done func([]byte, error)) {
+	ini.send(host, &Msg{Type: MsgRead, Volume: volume, Offset: uint64(off), Length: uint32(length)},
+		func(m *Msg, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			if e := m.Status.Err(); e != nil {
+				done(nil, e)
+				return
+			}
+			done(m.Data, nil)
+		})
+}
+
+// Write writes data at off to a logged-in volume.
+func (ini *Initiator) Write(host, volume string, off int64, data []byte, done func(error)) {
+	ini.send(host, &Msg{Type: MsgWrite, Volume: volume, Offset: uint64(off), Data: data},
+		func(m *Msg, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			done(m.Status.Err())
+		})
+}
+
+// Logout closes the session to volume (fire and forget).
+func (ini *Initiator) Logout(host, volume string) {
+	m := &Msg{Type: MsgLogout, Volume: volume}
+	ini.nextTag++
+	m.Tag = ini.nextTag
+	buf := m.Encode()
+	ini.node.Send(TargetNode(host), buf, len(buf))
+}

@@ -1,0 +1,251 @@
+// Package block implements the network block protocol UStore EndPoints use
+// to expose disk storage to clients (§IV-B chooses iSCSI; we implement an
+// iSCSI-like protocol, "UBLK", with a real binary wire format).
+//
+// The protocol is a simple request/response PDU stream: a client logs in to
+// a named volume exported by a Target, then issues bounded reads and writes
+// by offset. PDUs carry a tag so multiple commands can be in flight. The
+// codec is transport-agnostic: the same bytes travel over the simulated
+// network (simnet) or a real net.Conn (see ServeConn/DialConn).
+package block
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic starts every PDU.
+const Magic uint32 = 0x55424C4B // "UBLK"
+
+// MsgType enumerates PDU types.
+type MsgType uint8
+
+// PDU types.
+const (
+	MsgLogin MsgType = iota + 1
+	MsgLoginResp
+	MsgRead
+	MsgReadResp
+	MsgWrite
+	MsgWriteResp
+	MsgLogout
+)
+
+// String names the PDU type.
+func (t MsgType) String() string {
+	names := []string{"", "login", "login-resp", "read", "read-resp", "write", "write-resp", "logout"}
+	if int(t) < len(names) && t > 0 {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Status codes carried in responses.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusNoVolume
+	StatusIOError
+	StatusOutOfRange
+	StatusNotLoggedIn
+)
+
+// String names the status.
+func (s Status) String() string {
+	names := []string{"ok", "no-volume", "io-error", "out-of-range", "not-logged-in"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status to an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("block: %s", s)
+}
+
+// Msg is the decoded form of a PDU.
+type Msg struct {
+	Type   MsgType
+	Tag    uint64
+	Status Status
+	// Volume names the export (login).
+	Volume string
+	// Offset/Length address the IO (read/write).
+	Offset uint64
+	Length uint32
+	// Size is the volume size (login-resp).
+	Size uint64
+	// Data carries write payloads and read results.
+	Data []byte
+}
+
+// header layout: magic(4) type(1) status(1) pad(2) tag(8) bodyLen(4) = 20B.
+const headerLen = 20
+
+// MaxBody bounds a PDU body (sanity check against corrupt streams).
+const MaxBody = 64 << 20
+
+// Errors returned by the codec.
+var (
+	// ErrBadMagic is returned when a frame does not start with Magic.
+	ErrBadMagic = errors.New("block: bad magic")
+	// ErrTruncated is returned for short frames.
+	ErrTruncated = errors.New("block: truncated PDU")
+	// ErrBodyTooLarge guards against absurd lengths.
+	ErrBodyTooLarge = errors.New("block: body too large")
+)
+
+// Encode serializes m to wire bytes.
+func (m *Msg) Encode() []byte {
+	body := m.encodeBody()
+	out := make([]byte, headerLen+len(body))
+	binary.BigEndian.PutUint32(out[0:], Magic)
+	out[4] = byte(m.Type)
+	out[5] = byte(m.Status)
+	binary.BigEndian.PutUint64(out[8:], m.Tag)
+	binary.BigEndian.PutUint32(out[16:], uint32(len(body)))
+	copy(out[headerLen:], body)
+	return out
+}
+
+func (m *Msg) encodeBody() []byte {
+	switch m.Type {
+	case MsgLogin:
+		b := make([]byte, 2+len(m.Volume))
+		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
+		copy(b[2:], m.Volume)
+		return b
+	case MsgLoginResp:
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, m.Size)
+		return b
+	case MsgRead:
+		b := make([]byte, 2+len(m.Volume)+12)
+		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
+		copy(b[2:], m.Volume)
+		p := 2 + len(m.Volume)
+		binary.BigEndian.PutUint64(b[p:], m.Offset)
+		binary.BigEndian.PutUint32(b[p+8:], m.Length)
+		return b
+	case MsgReadResp:
+		return m.Data
+	case MsgWrite:
+		b := make([]byte, 2+len(m.Volume)+8+len(m.Data))
+		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
+		copy(b[2:], m.Volume)
+		p := 2 + len(m.Volume)
+		binary.BigEndian.PutUint64(b[p:], m.Offset)
+		copy(b[p+8:], m.Data)
+		return b
+	case MsgWriteResp:
+		return nil
+	case MsgLogout:
+		b := make([]byte, 2+len(m.Volume))
+		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
+		copy(b[2:], m.Volume)
+		return b
+	default:
+		return nil
+	}
+}
+
+// Decode parses one PDU from buf, returning the message and bytes consumed.
+// It returns ErrTruncated if buf does not hold a complete PDU yet.
+func Decode(buf []byte) (*Msg, int, error) {
+	if len(buf) < headerLen {
+		return nil, 0, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(buf) != Magic {
+		return nil, 0, ErrBadMagic
+	}
+	bodyLen := binary.BigEndian.Uint32(buf[16:])
+	if bodyLen > MaxBody {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBodyTooLarge, bodyLen)
+	}
+	total := headerLen + int(bodyLen)
+	if len(buf) < total {
+		return nil, 0, ErrTruncated
+	}
+	m := &Msg{
+		Type:   MsgType(buf[4]),
+		Status: Status(buf[5]),
+		Tag:    binary.BigEndian.Uint64(buf[8:]),
+	}
+	body := buf[headerLen:total]
+	if err := m.decodeBody(body); err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+func (m *Msg) decodeBody(body []byte) error {
+	switch m.Type {
+	case MsgLogin:
+		if len(body) < 2 {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) < 2+n {
+			return ErrTruncated
+		}
+		m.Volume = string(body[2 : 2+n])
+	case MsgLoginResp:
+		if len(body) < 8 {
+			return ErrTruncated
+		}
+		m.Size = binary.BigEndian.Uint64(body)
+	case MsgRead:
+		name, rest, err := decodeName(body)
+		if err != nil {
+			return err
+		}
+		if len(rest) < 12 {
+			return ErrTruncated
+		}
+		m.Volume = name
+		m.Offset = binary.BigEndian.Uint64(rest)
+		m.Length = binary.BigEndian.Uint32(rest[8:])
+	case MsgReadResp:
+		m.Data = append([]byte(nil), body...)
+	case MsgWrite:
+		name, rest, err := decodeName(body)
+		if err != nil {
+			return err
+		}
+		if len(rest) < 8 {
+			return ErrTruncated
+		}
+		m.Volume = name
+		m.Offset = binary.BigEndian.Uint64(rest)
+		m.Data = append([]byte(nil), rest[8:]...)
+	case MsgLogout:
+		name, _, err := decodeName(body)
+		if err != nil {
+			return err
+		}
+		m.Volume = name
+	case MsgWriteResp:
+	default:
+		return fmt.Errorf("block: unknown PDU type %d", m.Type)
+	}
+	return nil
+}
+
+// decodeName parses a u16-length-prefixed string, returning the remainder.
+func decodeName(body []byte) (string, []byte, error) {
+	if len(body) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+n {
+		return "", nil, ErrTruncated
+	}
+	return string(body[2 : 2+n]), body[2+n:], nil
+}

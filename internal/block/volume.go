@@ -1,0 +1,122 @@
+package block
+
+import (
+	"errors"
+	"fmt"
+
+	"ustore/internal/disk"
+)
+
+// Volume is the storage a Target exports: a whole disk, a partition, or a
+// big file on a disk — the three allocation granularities §IV-B mentions.
+// IO is asynchronous; done runs on the simulation scheduler.
+type Volume interface {
+	// Size returns the volume size in bytes.
+	Size() int64
+	// ReadAt reads length bytes from off.
+	ReadAt(off int64, length int, done func(data []byte, err error))
+	// WriteAt writes data at off.
+	WriteAt(off int64, data []byte, done func(err error))
+}
+
+// ErrVolumeRange is returned for IO outside the volume bounds.
+var ErrVolumeRange = errors.New("block: io outside volume")
+
+// DiskVolume exposes a byte range of a simulated disk as a Volume. It
+// classifies each IO as sequential or random from the previous IO's end
+// offset, so the disk model charges realistic positioning time.
+type DiskVolume struct {
+	d       *disk.Disk
+	base    int64
+	size    int64
+	nextSeq int64 // expected next offset for a sequential classification
+}
+
+// NewDiskVolume exports d's range [base, base+size).
+func NewDiskVolume(d *disk.Disk, base, size int64) (*DiskVolume, error) {
+	if base < 0 || size <= 0 || base+size > d.Capacity() {
+		return nil, fmt.Errorf("block: volume [%d,+%d) outside disk %s capacity %d",
+			base, size, d.ID(), d.Capacity())
+	}
+	return &DiskVolume{d: d, base: base, size: size, nextSeq: -1}, nil
+}
+
+// Disk returns the backing disk.
+func (v *DiskVolume) Disk() *disk.Disk { return v.d }
+
+// Size implements Volume.
+func (v *DiskVolume) Size() int64 { return v.size }
+
+func (v *DiskVolume) classify(off int64, length int) disk.Pattern {
+	pat := disk.Random
+	if off == v.nextSeq {
+		pat = disk.Sequential
+	}
+	v.nextSeq = off + int64(length)
+	return pat
+}
+
+// ReadAt implements Volume.
+func (v *DiskVolume) ReadAt(off int64, length int, done func([]byte, error)) {
+	if off < 0 || length <= 0 || off+int64(length) > v.size {
+		done(nil, fmt.Errorf("%w: read [%d,+%d) size %d", ErrVolumeRange, off, length, v.size))
+		return
+	}
+	v.d.Submit(&disk.Request{
+		Op:     disk.Op{Read: true, Size: length, Pattern: v.classify(off, length)},
+		Offset: v.base + off,
+		Done:   done,
+	})
+}
+
+// WriteAt implements Volume.
+func (v *DiskVolume) WriteAt(off int64, data []byte, done func(error)) {
+	if off < 0 || len(data) == 0 || off+int64(len(data)) > v.size {
+		done(fmt.Errorf("%w: write [%d,+%d) size %d", ErrVolumeRange, off, len(data), v.size))
+		return
+	}
+	v.d.Submit(&disk.Request{
+		Op:     disk.Op{Read: false, Size: len(data), Pattern: v.classify(off, len(data))},
+		Offset: v.base + off,
+		Data:   data,
+		Done:   func(_ []byte, err error) { done(err) },
+	})
+}
+
+// MemVolume is a synchronous in-memory Volume for protocol tests and the
+// real-net.Conn transport (no scheduler involved).
+type MemVolume struct {
+	buf []byte
+}
+
+// NewMemVolume allocates a zeroed in-memory volume.
+func NewMemVolume(size int64) *MemVolume { return &MemVolume{buf: make([]byte, size)} }
+
+// Size implements Volume.
+func (v *MemVolume) Size() int64 { return int64(len(v.buf)) }
+
+// ReadAt implements Volume.
+func (v *MemVolume) ReadAt(off int64, length int, done func([]byte, error)) {
+	if off < 0 || length <= 0 || off+int64(length) > int64(len(v.buf)) {
+		done(nil, ErrVolumeRange)
+		return
+	}
+	out := make([]byte, length)
+	copy(out, v.buf[off:])
+	done(out, nil)
+}
+
+// WriteAt implements Volume.
+func (v *MemVolume) WriteAt(off int64, data []byte, done func(error)) {
+	if off < 0 || off+int64(len(data)) > int64(len(v.buf)) {
+		done(ErrVolumeRange)
+		return
+	}
+	copy(v.buf[off:], data)
+	done(nil)
+}
+
+var (
+	_ Volume = (*DiskVolume)(nil)
+	_ Volume = (*MemVolume)(nil)
+)

@@ -1,0 +1,515 @@
+// Package coord provides the ZooKeeper-like coordination service the UStore
+// prototype builds its Master on (§V-B): a hierarchical tree of znodes
+// replicated with Paxos, ephemeral nodes bound to expiring sessions, watches
+// on mutations, and a leader-election recipe.
+//
+// Each Store replica embeds a paxos.Node; mutations are proposed into the
+// replicated log and applied deterministically on every replica. Reads are
+// served from local applied state. Session liveness is tracked by the
+// current Paxos leader, which proposes explicit ExpireSession commands —
+// so ephemeral cleanup is itself replicated and deterministic.
+//
+// Divergence from real ZooKeeper, for simplicity: watches are persistent
+// (they keep firing) rather than one-shot.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ustore/internal/paxos"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrExists is returned by Create on an existing path.
+	ErrExists = errors.New("coord: node exists")
+	// ErrNotFound is returned for operations on a missing path.
+	ErrNotFound = errors.New("coord: no such node")
+	// ErrNoParent is returned by Create when the parent path is missing.
+	ErrNoParent = errors.New("coord: parent missing")
+	// ErrHasChildren is returned by Delete on a non-empty node.
+	ErrHasChildren = errors.New("coord: node has children")
+	// ErrNoSession is returned when an ephemeral create names an unknown
+	// or expired session.
+	ErrNoSession = errors.New("coord: no such session")
+	// ErrBadPath is returned for malformed paths.
+	ErrBadPath = errors.New("coord: bad path")
+)
+
+// EventType classifies watch events.
+type EventType int
+
+const (
+	// EventCreated fires when a node is created.
+	EventCreated EventType = iota
+	// EventDeleted fires when a node is deleted (including ephemeral
+	// cleanup on session expiry).
+	EventDeleted
+	// EventDataChanged fires when a node's data is set.
+	EventDataChanged
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "changed"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is delivered to watchers.
+type Event struct {
+	Type EventType
+	Path string
+	Data []byte
+}
+
+type znode struct {
+	data     []byte
+	children map[string]*znode
+	// session is non-empty for ephemeral nodes.
+	session string
+	version int
+}
+
+// replicated command payloads
+type (
+	opCreate struct {
+		Path    string
+		Data    []byte
+		Session string // "" = persistent
+	}
+	opSet struct {
+		Path string
+		Data []byte
+	}
+	opDelete struct {
+		Path string
+	}
+	opNewSession struct {
+		ID  string
+		TTL time.Duration
+		Now time.Duration // leader-stamped time, replicated for determinism
+	}
+	opExpireSession struct {
+		ID  string
+		Gen uint64 // expire only if session generation still matches
+	}
+	opTouchSession struct {
+		ID string
+	}
+	pingMsg struct {
+		Session string
+	}
+)
+
+type sessionState struct {
+	ttl time.Duration
+	gen uint64 // bumped on replicated touch; guards stale expiry
+}
+
+// Store is one replica of the coordination service.
+type Store struct {
+	name  string
+	sched *simtime.Scheduler
+	net   *simnet.Network
+	node  *simnet.Node
+	px    *paxos.Node
+
+	root     *znode
+	sessions map[string]*sessionState
+
+	// Leader-local liveness tracking.
+	lastSeen map[string]simtime.Time
+
+	watches map[string][]func(Event)
+	// childWatches fire on create/delete of direct children of a path.
+	childWatches map[string][]func(Event)
+
+	// pending completion callbacks keyed by command ID.
+	pending map[string]func(error)
+	nextCmd uint64
+
+	// applyErrs records per-command outcomes so the proposing replica can
+	// complete its callback with the real result.
+	stopped bool
+}
+
+// coordName is the simnet node name for a replica's session-ping endpoint.
+func coordName(name string) string { return "coord:" + name }
+
+// NewStore creates a replica named name with the given paxos peer set.
+// Names must match the paxos peers passed to every other replica.
+func NewStore(net *simnet.Network, name string, peers []string, cfg paxos.Config) *Store {
+	s := &Store{
+		name:         name,
+		sched:        net.Scheduler(),
+		net:          net,
+		node:         net.Node(coordName(name)),
+		root:         &znode{children: map[string]*znode{}},
+		sessions:     map[string]*sessionState{},
+		lastSeen:     map[string]simtime.Time{},
+		watches:      map[string][]func(Event){},
+		childWatches: map[string][]func(Event){},
+		pending:      map[string]func(error){},
+	}
+	s.px = paxos.New(net, name, peers, cfg, s.apply)
+	s.node.Handle(s.onMessage)
+	s.sweepLoop()
+	return s
+}
+
+// Name returns the replica name.
+func (s *Store) Name() string { return s.name }
+
+// IsLeader reports whether this replica's paxos node leads.
+func (s *Store) IsLeader() bool { return s.px.IsLeader() }
+
+// Paxos exposes the underlying consensus node (tests, failover drills).
+func (s *Store) Paxos() *paxos.Node { return s.px }
+
+// Stop crashes the replica; Resume restarts it.
+func (s *Store) Stop() {
+	s.stopped = true
+	s.px.Stop()
+	s.node.SetDown(true)
+}
+
+// Resume restarts a stopped replica.
+func (s *Store) Resume() {
+	s.stopped = false
+	s.px.Resume()
+	s.node.SetDown(false)
+}
+
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' || (len(path) > 1 && strings.HasSuffix(path, "/")) {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+func (s *Store) lookup(path string) (*znode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := s.root
+	for _, p := range parts {
+		c, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// --- Local reads ---
+
+// Get returns a node's data.
+func (s *Store) Get(path string) ([]byte, error) {
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Exists reports whether a node exists.
+func (s *Store) Exists(path string) bool {
+	_, err := s.lookup(path)
+	return err == nil
+}
+
+// Children returns a node's child names, sorted.
+func (s *Store) Children(path string) ([]string, error) {
+	n, err := s.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- Watches (local to this replica) ---
+
+// Watch registers fn for events on path (created/deleted/changed).
+func (s *Store) Watch(path string, fn func(Event)) {
+	s.watches[path] = append(s.watches[path], fn)
+}
+
+// WatchChildren registers fn for create/delete events of path's direct
+// children.
+func (s *Store) WatchChildren(path string, fn func(Event)) {
+	s.childWatches[path] = append(s.childWatches[path], fn)
+}
+
+func (s *Store) fire(ev Event) {
+	for _, fn := range s.watches[ev.Path] {
+		fn(ev)
+	}
+	if ev.Type == EventCreated || ev.Type == EventDeleted {
+		parent := parentOf(ev.Path)
+		for _, fn := range s.childWatches[parent] {
+			fn(ev)
+		}
+	}
+}
+
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// --- Mutations (proposed through paxos) ---
+
+func (s *Store) propose(data any, done func(error)) {
+	s.nextCmd++
+	id := fmt.Sprintf("%s/%d", s.name, s.nextCmd)
+	if done != nil {
+		s.pending[id] = done
+	}
+	s.px.Propose(paxos.Command{ID: id, Data: data}, nil)
+}
+
+// Create proposes creation of path. For ephemeral nodes pass the owning
+// session ID; "" creates a persistent node.
+func (s *Store) Create(path string, data []byte, session string, done func(error)) {
+	s.propose(opCreate{Path: path, Data: data, Session: session}, done)
+}
+
+// Set proposes replacing path's data.
+func (s *Store) Set(path string, data []byte, done func(error)) {
+	s.propose(opSet{Path: path, Data: data}, done)
+}
+
+// Delete proposes removing path (must have no children).
+func (s *Store) Delete(path string, done func(error)) {
+	s.propose(opDelete{Path: path}, done)
+}
+
+// CreateSession proposes a new session with the given TTL. The session must
+// then be kept alive with Ping at least once per TTL.
+func (s *Store) CreateSession(id string, ttl time.Duration, done func(error)) {
+	s.propose(opNewSession{ID: id, TTL: ttl, Now: s.sched.Now()}, done)
+}
+
+// Ping renews a session. It is routed to the current paxos leader, which
+// tracks liveness locally and proposes expiry only when pings stop.
+func (s *Store) Ping(session string) {
+	if s.stopped {
+		return
+	}
+	leader := s.px.Leader()
+	if leader == "" {
+		return
+	}
+	s.node.Send(coordName(leader), pingMsg{Session: session}, 16)
+}
+
+func (s *Store) onMessage(msg simnet.Message) {
+	if s.stopped {
+		return
+	}
+	if p, ok := msg.Payload.(pingMsg); ok {
+		s.lastSeen[p.Session] = s.sched.Now()
+	}
+}
+
+// sweepLoop is the leader's session-expiry scan.
+func (s *Store) sweepLoop() {
+	const sweepEvery = 250 * time.Millisecond
+	s.sched.After(sweepEvery, func() {
+		if !s.stopped && s.px.IsLeader() {
+			now := s.sched.Now()
+			for id, sess := range s.sessions {
+				seen, ok := s.lastSeen[id]
+				if !ok {
+					// First sweep since this replica became leader (or the
+					// session was created elsewhere): grant a grace period.
+					s.lastSeen[id] = now
+					continue
+				}
+				if now-seen > sess.ttl {
+					s.propose(opExpireSession{ID: id, Gen: sess.gen}, nil)
+					delete(s.lastSeen, id) // avoid re-proposing every sweep
+				}
+			}
+		}
+		if !s.stopped {
+			s.sweepLoop()
+			return
+		}
+		// Stopped replicas re-arm on Resume via a fresh loop.
+		s.sched.After(sweepEvery, func() { s.sweepLoop() })
+	})
+}
+
+// --- Replicated state machine ---
+
+func (s *Store) apply(slot int, cmd paxos.Command) {
+	var err error
+	switch op := cmd.Data.(type) {
+	case opCreate:
+		err = s.applyCreate(op)
+	case opSet:
+		err = s.applySet(op)
+	case opDelete:
+		err = s.applyDelete(op)
+	case opNewSession:
+		s.sessions[op.ID] = &sessionState{ttl: op.TTL}
+		if s.px.IsLeader() {
+			s.lastSeen[op.ID] = s.sched.Now()
+		}
+	case opTouchSession:
+		if sess, ok := s.sessions[op.ID]; ok {
+			sess.gen++
+		}
+	case opExpireSession:
+		s.applyExpire(op)
+	default:
+		err = fmt.Errorf("coord: unknown op %T", cmd.Data)
+	}
+	if done, ok := s.pending[cmd.ID]; ok {
+		delete(s.pending, cmd.ID)
+		done(err)
+	}
+}
+
+func (s *Store) applyCreate(op opCreate) error {
+	parts, err := splitPath(op.Path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot create root", ErrExists)
+	}
+	if op.Session != "" {
+		if _, ok := s.sessions[op.Session]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoSession, op.Session)
+		}
+	}
+	n := s.root
+	for _, p := range parts[:len(parts)-1] {
+		c, ok := n.children[p]
+		if !ok {
+			return fmt.Errorf("%w: creating %s", ErrNoParent, op.Path)
+		}
+		n = c
+	}
+	leaf := parts[len(parts)-1]
+	if _, dup := n.children[leaf]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, op.Path)
+	}
+	n.children[leaf] = &znode{
+		data:     append([]byte(nil), op.Data...),
+		children: map[string]*znode{},
+		session:  op.Session,
+	}
+	s.fire(Event{Type: EventCreated, Path: op.Path, Data: op.Data})
+	return nil
+}
+
+func (s *Store) applySet(op opSet) error {
+	n, err := s.lookup(op.Path)
+	if err != nil {
+		return err
+	}
+	n.data = append([]byte(nil), op.Data...)
+	n.version++
+	s.fire(Event{Type: EventDataChanged, Path: op.Path, Data: op.Data})
+	return nil
+}
+
+func (s *Store) applyDelete(op opDelete) error {
+	parts, err := splitPath(op.Path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("coord: cannot delete root")
+	}
+	n := s.root
+	for _, p := range parts[:len(parts)-1] {
+		c, ok := n.children[p]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotFound, op.Path)
+		}
+		n = c
+	}
+	leaf := parts[len(parts)-1]
+	child, ok := n.children[leaf]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, op.Path)
+	}
+	if len(child.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrHasChildren, op.Path)
+	}
+	delete(n.children, leaf)
+	s.fire(Event{Type: EventDeleted, Path: op.Path})
+	return nil
+}
+
+func (s *Store) applyExpire(op opExpireSession) {
+	sess, ok := s.sessions[op.ID]
+	if !ok || sess.gen != op.Gen {
+		return // stale expiry (session touched or already gone)
+	}
+	delete(s.sessions, op.ID)
+	delete(s.lastSeen, op.ID)
+	// Remove all ephemerals owned by the session, deepest-first so
+	// non-empty checks cannot trip.
+	var owned []string
+	var walk func(prefix string, n *znode)
+	walk = func(prefix string, n *znode) {
+		for name, c := range n.children {
+			p := prefix + "/" + name
+			if c.session == op.ID {
+				owned = append(owned, p)
+			}
+			walk(p, c)
+		}
+	}
+	walk("", s.root)
+	sort.Slice(owned, func(i, j int) bool { return len(owned[i]) > len(owned[j]) })
+	for _, p := range owned {
+		_ = s.applyDelete(opDelete{Path: p})
+	}
+}
+
+// SessionAlive reports whether the session exists in replicated state.
+func (s *Store) SessionAlive(id string) bool {
+	_, ok := s.sessions[id]
+	return ok
+}

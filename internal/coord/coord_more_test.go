@@ -1,0 +1,120 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTwoSessionsIndependentEphemerals(t *testing.T) {
+	tc := newTestCluster(t, 3, 31)
+	st := tc.stores[0]
+	tkA := tc.sched.Every(500*time.Millisecond, func() { st.Ping("sA") })
+	defer tkA.Stop()
+	// Session B is pinged only during setup, then abandoned.
+	tkB := tc.sched.Every(500*time.Millisecond, func() { st.Ping("sB") })
+	mustDo(t, tc, func(done func(error)) { st.CreateSession("sA", 2*time.Second, done) })
+	mustDo(t, tc, func(done func(error)) { st.CreateSession("sB", 2*time.Second, done) })
+	mustDo(t, tc, func(done func(error)) { st.Create("/a", nil, "sA", done) })
+	mustDo(t, tc, func(done func(error)) { st.Create("/b", nil, "sB", done) })
+	tkB.Stop()
+	tc.sched.RunFor(10 * time.Second)
+	if !st.Exists("/a") {
+		t.Fatal("pinged session's ephemeral expired")
+	}
+	if st.Exists("/b") {
+		t.Fatal("unpinged session's ephemeral survived")
+	}
+}
+
+func TestEphemeralSubtreeCleanup(t *testing.T) {
+	tc := newTestCluster(t, 3, 32)
+	st := tc.stores[0]
+	// Keep the session alive through the serialized setup, then abandon it.
+	tk := tc.sched.Every(500*time.Millisecond, func() { st.Ping("s") })
+	mustDo(t, tc, func(done func(error)) { st.CreateSession("s", 2*time.Second, done) })
+	// Ephemeral parent with ephemeral children (same session): expiry must
+	// delete children before parents or the non-empty check would wedge.
+	mustDo(t, tc, func(done func(error)) { st.Create("/p", nil, "s", done) })
+	mustDo(t, tc, func(done func(error)) { st.Create("/p/c1", nil, "s", done) })
+	mustDo(t, tc, func(done func(error)) { st.Create("/p/c2", nil, "s", done) })
+	tk.Stop()
+	tc.sched.RunFor(10 * time.Second)
+	for _, path := range []string{"/p/c1", "/p/c2", "/p"} {
+		if st.Exists(path) {
+			t.Fatalf("%s survived session expiry", path)
+		}
+	}
+}
+
+func TestDeepTreeOperations(t *testing.T) {
+	tc := newTestCluster(t, 3, 33)
+	st := tc.stores[0]
+	path := ""
+	for i := 0; i < 6; i++ {
+		path += fmt.Sprintf("/lvl%d", i)
+		p := path
+		mustDo(t, tc, func(done func(error)) { st.Create(p, []byte(p), "", done) })
+	}
+	data, err := tc.stores[2].Get(path)
+	if err != nil || string(data) != path {
+		t.Fatalf("deep get: %q %v", data, err)
+	}
+	kids, err := tc.stores[1].Children("/lvl0/lvl1")
+	if err != nil || len(kids) != 1 || kids[0] != "lvl2" {
+		t.Fatalf("children = %v %v", kids, err)
+	}
+}
+
+func TestProposalsFromAllReplicasSerialize(t *testing.T) {
+	tc := newTestCluster(t, 3, 34)
+	// Every replica proposes creation of the same path: exactly one wins,
+	// the rest observe ErrExists — the linearization the election relies
+	// on.
+	var oks, dups int
+	for _, st := range tc.stores {
+		st.Create("/race", nil, "", func(err error) {
+			switch {
+			case err == nil:
+				oks++
+			case errors.Is(err, ErrExists):
+				dups++
+			default:
+				t.Errorf("unexpected: %v", err)
+			}
+		})
+	}
+	tc.sched.RunFor(3 * time.Second)
+	if oks != 1 || dups != 2 {
+		t.Fatalf("oks=%d dups=%d, want 1/2", oks, dups)
+	}
+}
+
+func TestWatchSurvivesLeaderFailover(t *testing.T) {
+	tc := newTestCluster(t, 3, 35)
+	leader := tc.leaderStore(t)
+	var observer *Store
+	for _, st := range tc.stores {
+		if st != leader {
+			observer = st
+			break
+		}
+	}
+	events := 0
+	observer.Watch("/w", func(ev Event) { events++ })
+	mustDo(t, tc, func(done func(error)) { observer.Create("/w", nil, "", done) })
+	leader.Stop()
+	tc.sched.RunFor(5 * time.Second)
+	// Propose through the observer; the new paxos leader commits it and
+	// the local watch still fires.
+	var err error = errors.New("pending")
+	observer.Set("/w", []byte("v2"), func(e error) { err = e })
+	tc.sched.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("set after failover: %v", err)
+	}
+	if events != 2 {
+		t.Fatalf("events = %d, want create + change", events)
+	}
+}

@@ -1,0 +1,120 @@
+package coord
+
+import (
+	"strings"
+	"time"
+)
+
+// Election implements the active/standby master election the prototype runs
+// on ZooKeeper (§V-B): each candidate holds a session and races to create
+// an ephemeral leader znode; losers watch it and retry when it vanishes.
+type Election struct {
+	store     *Store
+	path      string
+	candidate string
+	session   string
+	ttl       time.Duration
+
+	// OnElected fires when this candidate wins.
+	OnElected func()
+	// OnDeposed fires when a previously-won leadership is lost (session
+	// expired and someone else may take over).
+	OnDeposed func()
+
+	leading bool
+	stopped bool
+	ticker  interface{ Stop() }
+}
+
+// NewElection creates a candidate for leadership of path on the given
+// replica. candidate is written as the leader znode's data so observers can
+// see who leads.
+func NewElection(store *Store, path, candidate string, ttl time.Duration) *Election {
+	return &Election{
+		store:     store,
+		path:      path,
+		candidate: candidate,
+		session:   "election:" + path + ":" + candidate,
+		ttl:       ttl,
+	}
+}
+
+// Leading reports whether this candidate currently holds leadership.
+func (e *Election) Leading() bool { return e.leading }
+
+// Leader returns the current leader's candidate name per this replica's
+// applied state ("" if none).
+func (e *Election) Leader() string {
+	data, err := e.store.Get(e.path)
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// Run starts campaigning. It keeps the session alive and re-campaigns
+// whenever the leader znode disappears.
+func (e *Election) Run() {
+	e.store.Watch(e.path, func(ev Event) {
+		if e.stopped {
+			return
+		}
+		switch ev.Type {
+		case EventDeleted:
+			if e.leading {
+				e.leading = false
+				if e.OnDeposed != nil {
+					e.OnDeposed()
+				}
+			}
+			e.tryAcquire()
+		}
+	})
+	// Ensure the leader znode's ancestors exist (ErrExists is fine).
+	parts := strings.Split(e.path, "/")
+	prefix := ""
+	for _, p := range parts[1 : len(parts)-1] {
+		prefix += "/" + p
+		e.store.Create(prefix, nil, "", nil)
+	}
+	e.store.CreateSession(e.session, e.ttl, func(err error) {
+		if err != nil || e.stopped {
+			return
+		}
+		e.keepAlive()
+		e.tryAcquire()
+	})
+}
+
+// Stop abandons the campaign (the session lapses and any held leadership
+// expires naturally).
+func (e *Election) Stop() {
+	e.stopped = true
+}
+
+func (e *Election) keepAlive() {
+	if e.stopped {
+		return
+	}
+	e.store.Ping(e.session)
+	e.store.sched.After(e.ttl/3, e.keepAlive)
+}
+
+func (e *Election) tryAcquire() {
+	if e.stopped || e.leading {
+		return
+	}
+	e.store.Create(e.path, []byte(e.candidate), e.session, func(err error) {
+		if e.stopped {
+			return
+		}
+		if err == nil {
+			e.leading = true
+			if e.OnElected != nil {
+				e.OnElected()
+			}
+			return
+		}
+		// Lost the race: the watch on e.path retries when it frees up.
+	})
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ustore/internal/coord"
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+	"ustore/internal/paxos"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// Cluster assembles a complete UStore deployment on one simulation
+// scheduler: the deploy unit (fabric + disks + control plane + USB
+// binding), the replicated Master (with its co-located coord quorum), two
+// Controllers, one EndPoint per host, and factories for ClientLibs. It is
+// the entry point tests, benches, and examples build on.
+type Cluster struct {
+	Cfg   Config
+	Sched *simtime.Scheduler
+	Net   *simnet.Network
+	// UnitRigs holds every deploy unit; the Fabric/Binding/Plane/Ctrls
+	// fields alias unit 0 for the common single-unit case.
+	UnitRigs []*UnitRig
+	Fabric   *fabric.Fabric
+	Binding  *fabric.Binding
+	Plane    *fabric.ControlPlane
+	Ctrls    []*Controller
+	// Disks and EndPoints span all units (names are unit-prefixed).
+	Disks     map[string]*disk.Disk
+	Stores    []*coord.Store
+	Masters   []*Master
+	EndPoints map[string]*EndPoint
+
+	clients map[string]*ClientLib
+}
+
+// NewCluster builds and boots a cluster per cfg. Run the scheduler (e.g.
+// Settle) to complete initial enumeration, elections, and exports.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.MasterReplicas < 1 {
+		return nil, fmt.Errorf("core: need at least one master replica")
+	}
+	sched := simtime.NewScheduler(cfg.Seed)
+	net := simnet.New(sched)
+	c := &Cluster{
+		Cfg:       cfg,
+		Sched:     sched,
+		Net:       net,
+		Disks:     make(map[string]*disk.Disk),
+		EndPoints: make(map[string]*EndPoint),
+		clients:   make(map[string]*ClientLib),
+	}
+
+	// Master replica names, needed before units wire their EndPoints.
+	var peerNames []string
+	for i := 0; i < cfg.MasterReplicas; i++ {
+		peerNames = append(peerNames, fmt.Sprintf("m%d", i))
+	}
+	var masterNodes []string
+	for _, name := range peerNames {
+		masterNodes = append(masterNodes, masterNode(name))
+	}
+
+	// Deploy units (one by default).
+	units := cfg.Units
+	if units < 1 {
+		units = 1
+	}
+	for j := 0; j < units; j++ {
+		unitID, fcfg := unitFabricConfig(cfg, j)
+		rig, err := buildUnit(c, unitID, fcfg, masterNodes)
+		if err != nil {
+			return nil, err
+		}
+		c.UnitRigs = append(c.UnitRigs, rig)
+		c.Ctrls = append(c.Ctrls, rig.Ctrls...)
+	}
+	// Legacy single-unit accessors alias unit 0.
+	c.Fabric = c.UnitRigs[0].Fabric
+	c.Binding = c.UnitRigs[0].Binding
+	c.Plane = c.UnitRigs[0].Plane
+
+	// Master replicas with co-located coord stores, taught the full unit
+	// inventory (SysConf).
+	infos := unitInfos(c.UnitRigs)
+	groups := allGroups(c.UnitRigs)
+	primaryCtrls := infos[0].Controllers
+	for _, name := range peerNames {
+		st := coord.NewStore(net, name, peerNames, paxos.DefaultConfig())
+		c.Stores = append(c.Stores, st)
+		m := NewMaster(net, name, st, cfg, primaryCtrls)
+		m.SetUnits(infos)
+		m.SetDiskGroups(groups)
+		c.Masters = append(c.Masters, m)
+		net.Colocate(name, "mach-"+name)             // paxos node
+		net.Colocate("coord:"+name, "mach-"+name)    // coord store
+		net.Colocate(masterNode(name), "mach-"+name) // master process
+	}
+	// Initial enumeration events are still pending on the scheduler (they
+	// fire after the USB detect + per-device delays), so installing the
+	// hot-plug callbacks inside buildUnit loses nothing: the first Settle
+	// delivers them all.
+	return c, nil
+}
+
+// Settle runs the simulation for d.
+func (c *Cluster) Settle(d time.Duration) { c.Sched.RunFor(d) }
+
+// ActiveMaster returns the current active master replica (nil if the
+// election has not converged).
+func (c *Cluster) ActiveMaster() *Master {
+	for _, m := range c.Masters {
+		if m.Active() {
+			return m
+		}
+	}
+	return nil
+}
+
+// MasterNodeNames lists the master RPC node names.
+func (c *Cluster) MasterNodeNames() []string {
+	var out []string
+	for _, m := range c.Masters {
+		out = append(out, masterNode(m.Name()))
+	}
+	return out
+}
+
+// Client returns (creating on first use) a ClientLib named name for the
+// given service.
+func (c *Cluster) Client(name, service string) *ClientLib {
+	key := name + "/" + service
+	if cl, ok := c.clients[key]; ok {
+		return cl
+	}
+	cl := NewClientLib(c.Net, name, service, c.Cfg, c.MasterNodeNames())
+	// A client named after a host (e.g. co-located agents, HDFS
+	// datanodes) runs on that machine: its traffic to the local target is
+	// loopback.
+	if host := cl.locality(); host != "" {
+		c.Net.Colocate(name, host)
+		c.Net.Colocate("cl:"+name, host)
+	}
+	c.clients[key] = cl
+	return cl
+}
+
+// CrashHost simulates a host's software/hardware failure: its EndPoint,
+// block target, and (if it runs one) Controller stop responding. Its USB
+// devices remain powered — they are in the deploy unit, not the host — so
+// the fabric can re-home them.
+func (c *Cluster) CrashHost(host string) {
+	if ep := c.EndPoints[host]; ep != nil {
+		ep.Down(true)
+	}
+	for _, ctl := range c.Ctrls {
+		if ctl.Host() == host {
+			ctl.Down(true)
+		}
+	}
+}
+
+// RestoreHost brings a crashed host back.
+func (c *Cluster) RestoreHost(host string) {
+	if ep := c.EndPoints[host]; ep != nil {
+		ep.Down(false)
+	}
+	for _, ctl := range c.Ctrls {
+		if ctl.Host() == host {
+			ctl.Down(false)
+		}
+	}
+}
+
+// DiskCountOn returns how many disks SysStat places on host (via the
+// active master; 0 if none active).
+func (c *Cluster) DiskCountOn(host string) int {
+	m := c.ActiveMaster()
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, rig := range c.UnitRigs {
+		for _, d := range rig.Fabric.Disks() {
+			if m.DiskHost(string(d)) == host {
+				n++
+			}
+		}
+	}
+	return n
+}

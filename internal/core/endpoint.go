@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ustore/internal/block"
+	"ustore/internal/disk"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+	"ustore/internal/usb"
+)
+
+// EndPoint runs on each host connected to a deploy unit (§IV-B). It
+// heartbeats host and disk status to the Master, reports the local USB tree
+// to the Controllers, and exposes allocated spaces as block targets.
+type EndPoint struct {
+	host  string
+	cfg   Config
+	sched *simtime.Scheduler
+	rpc   *simnet.RPCNode
+	tgt   *block.Target
+	hc    *usb.HostController
+
+	// disks maps disk ID -> device handle for disks physically in the
+	// unit; attached tracks which are currently enumerated on this host.
+	disks    map[string]*disk.Disk
+	attached map[string]bool
+
+	// exports tracks live exports: space -> disk.
+	exports map[SpaceID]ExportArgs
+
+	masters     []string
+	controllers []string
+	hbSeq       uint64
+	usbSeq      uint64
+	activeHint  string
+	down        bool
+
+	pm *PowerManager
+}
+
+// endpointNode returns an EndPoint's RPC node name.
+func endpointNode(host string) string { return "ep:" + host }
+
+// NewEndPoint creates host's EndPoint. masters and controllers are the RPC
+// node names to report to.
+func NewEndPoint(net *simnet.Network, host string, cfg Config, hc *usb.HostController,
+	disks map[string]*disk.Disk, masters, controllers []string) *EndPoint {
+	ep := &EndPoint{
+		host:        host,
+		cfg:         cfg,
+		sched:       net.Scheduler(),
+		rpc:         simnet.NewRPCNode(net, endpointNode(host)),
+		tgt:         block.NewTarget(net, host),
+		hc:          hc,
+		disks:       disks,
+		attached:    make(map[string]bool),
+		exports:     make(map[SpaceID]ExportArgs),
+		masters:     masters,
+		controllers: controllers,
+	}
+	ep.rpc.RegisterAsync("Export", ep.handleExport)
+	ep.rpc.Register("Unexport", ep.handleUnexport)
+	ep.rpc.Register("DiskPower", ep.handleDiskPower)
+	if cfg.SpinDownIdle > 0 {
+		ep.pm = NewPowerManager(ep, cfg.SpinDownIdle)
+	}
+	ep.heartbeatLoop()
+	return ep
+}
+
+// Host returns the host name.
+func (ep *EndPoint) Host() string { return ep.host }
+
+// Target exposes the block target (tests).
+func (ep *EndPoint) Target() *block.Target { return ep.tgt }
+
+// PowerManager returns the endpoint's power manager (nil if disabled).
+func (ep *EndPoint) PowerManager() *PowerManager { return ep.pm }
+
+// AttachedDisks returns the enumerated disk IDs, sorted.
+func (ep *EndPoint) AttachedDisks() []string {
+	out := make([]string, 0, len(ep.attached))
+	for id := range ep.attached {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Down crashes or restores the host (EndPoint and its block target stop
+// responding; heartbeats cease).
+func (ep *EndPoint) Down(down bool) {
+	ep.down = down
+	ep.rpc.Node().SetDown(down)
+	ep.tgt.Down(down)
+}
+
+// IsDown reports the crash state.
+func (ep *EndPoint) IsDown() bool { return ep.down }
+
+// DiskEnumerated is called (by the cluster wiring) when the fabric binding
+// enumerates a storage device on this host.
+func (ep *EndPoint) DiskEnumerated(diskID string) {
+	if ep.attached[diskID] {
+		return
+	}
+	ep.attached[diskID] = true
+	d := ep.disks[diskID]
+	if d != nil {
+		d.SetInterconnect(disk.AttachFabric)
+	}
+	ep.sendUSBReport()
+	ep.sendHeartbeat() // prompt the Master so exports happen quickly
+}
+
+// DiskDetached is called when a storage device disappears from this host.
+func (ep *EndPoint) DiskDetached(diskID string) {
+	if !ep.attached[diskID] {
+		return
+	}
+	delete(ep.attached, diskID)
+	// Revoke exports living on the vanished disk.
+	for space, ex := range ep.exports {
+		if ex.DiskID == diskID {
+			ep.tgt.Revoke(string(space))
+			delete(ep.exports, space)
+		}
+	}
+	ep.sendUSBReport()
+	ep.sendHeartbeat()
+}
+
+// diskState reports a disk's SysStat state.
+func (ep *EndPoint) diskState(diskID string) DiskState {
+	d := ep.disks[diskID]
+	if d == nil {
+		return DiskMissing
+	}
+	switch d.State() {
+	case disk.StatePoweredOff:
+		return DiskPoweredOff
+	case disk.StateSpunDown:
+		return DiskSpunDown
+	default:
+		return DiskOnline
+	}
+}
+
+// --- Heartbeats (§IV-B) ---
+
+func (ep *EndPoint) heartbeatLoop() {
+	ep.sched.After(ep.cfg.HeartbeatInterval, func() {
+		if !ep.down {
+			ep.sendHeartbeat()
+		}
+		ep.heartbeatLoop()
+	})
+}
+
+func (ep *EndPoint) sendHeartbeat() {
+	if ep.down {
+		return
+	}
+	ep.hbSeq++
+	var infos []DiskInfo
+	for _, id := range ep.AttachedDisks() {
+		infos = append(infos, DiskInfo{ID: id, State: ep.diskState(id)})
+	}
+	hb := HeartbeatArgs{Host: ep.host, Seq: ep.hbSeq, Disks: infos}
+	// Send to the believed active master first, falling back to all.
+	targets := ep.masters
+	if ep.activeHint != "" {
+		targets = append([]string{masterNode(ep.activeHint)}, ep.masters...)
+	}
+	sent := make(map[string]bool)
+	for _, t := range targets {
+		if sent[t] {
+			continue
+		}
+		sent[t] = true
+		ep.rpc.Call(t, "Heartbeat", hb, 128, ep.cfg.RPCTimeoutOrDefault(), func(res any, err error) {
+			if err != nil {
+				return
+			}
+			if rep, ok := res.(HeartbeatReply); ok && !rep.Active && rep.ActiveHint != "" {
+				ep.activeHint = rep.ActiveHint
+			}
+		})
+	}
+}
+
+// --- USB Monitor (§IV-B) ---
+
+func (ep *EndPoint) sendUSBReport() {
+	if ep.down {
+		return
+	}
+	ep.usbSeq++
+	var storage, hubs []string
+	for _, e := range ep.hc.Tree() {
+		switch e.Class {
+		case usb.ClassStorage:
+			storage = append(storage, e.ID)
+		case usb.ClassHub:
+			hubs = append(hubs, e.ID)
+		}
+	}
+	rep := USBReportArgs{Host: ep.host, Storage: storage, Hubs: hubs, Seq: ep.usbSeq}
+	for _, ctl := range ep.controllers {
+		ep.rpc.Call(ctl, "USBReport", rep, 256, ep.cfg.RPCTimeoutOrDefault(), func(any, error) {})
+	}
+}
+
+// --- Export management (§IV-B: iSCSI target) ---
+
+// ExportSetupDelay models iSCSI target/LUN creation time on the host (the
+// middle component of the paper's Figure 6 decomposition, ~flat per batch).
+const ExportSetupDelay = 600 * time.Millisecond
+
+func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) {
+	ex := args.(ExportArgs)
+	if !ep.attached[ex.DiskID] {
+		reply(nil, fmt.Errorf("core: disk %s not attached to %s", ex.DiskID, ep.host))
+		return
+	}
+	d := ep.disks[ex.DiskID]
+	vol, err := block.NewDiskVolume(d, ex.Offset, ex.Size)
+	if err != nil {
+		reply(nil, fmt.Errorf("exporting %s: %w", ex.Space, err))
+		return
+	}
+	ep.sched.After(ExportSetupDelay, func() {
+		if ep.down || !ep.attached[ex.DiskID] {
+			reply(nil, fmt.Errorf("core: %s lost %s during export setup", ep.host, ex.DiskID))
+			return
+		}
+		ep.tgt.Export(string(ex.Space), vol)
+		ep.exports[ex.Space] = ex
+		reply(struct{}{}, nil)
+	})
+}
+
+func (ep *EndPoint) handleUnexport(from string, args any) (any, error) {
+	u := args.(UnexportArgs)
+	ep.tgt.Revoke(string(u.Space))
+	delete(ep.exports, u.Space)
+	return struct{}{}, nil
+}
+
+// handleDiskPower executes a service's spin command forwarded by the
+// Master (§IV-F).
+func (ep *EndPoint) handleDiskPower(from string, args any) (any, error) {
+	p := args.(DiskPowerArgs)
+	d := ep.disks[p.DiskID]
+	if d == nil || !ep.attached[p.DiskID] {
+		return nil, fmt.Errorf("core: disk %s not attached to %s", p.DiskID, ep.host)
+	}
+	if p.Up {
+		d.SpinUp()
+	} else {
+		d.SpinDown()
+	}
+	return struct{}{}, nil
+}
+
+// Exports returns the number of live exports.
+func (ep *EndPoint) Exports() int { return len(ep.exports) }
+
+// HasExport reports whether a space is currently exported here.
+func (ep *EndPoint) HasExport(space SpaceID) bool {
+	_, ok := ep.exports[space]
+	return ok
+}

@@ -1,0 +1,682 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ustore/internal/coord"
+	"ustore/internal/fabric"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// Errors returned by the Master API.
+var (
+	// ErrNotActive is returned by a standby master replica.
+	ErrNotActive = errors.New("core: not the active master")
+	// ErrNoSpace is returned when no disk can satisfy an allocation.
+	ErrNoSpace = errors.New("core: no space available")
+	// ErrUnknownSpace is returned for lookups of unallocated spaces.
+	ErrUnknownSpace = errors.New("core: unknown space")
+	// ErrNotOwner is returned when a service manipulates another
+	// service's disk.
+	ErrNotOwner = errors.New("core: disk not owned by service")
+)
+
+// allocRecord is the persistent StorAlloc entry, JSON-encoded into coord.
+type allocRecord struct {
+	Space   SpaceID `json:"space"`
+	Service string  `json:"service"`
+	DiskID  string  `json:"disk"`
+	Offset  int64   `json:"offset"`
+	Size    int64   `json:"size"`
+}
+
+// hostStat is SysStat's per-host record (in-memory only, §IV-A).
+type hostStat struct {
+	lastSeen  simtime.Time
+	lastSeq   uint64
+	online    bool
+	diskState map[string]DiskState
+}
+
+// Master is one replica of the UStore Master. It is co-deployed with a
+// coord.Store replica (§V-B); the replica winning the coord election is the
+// active master, the rest are standbys that redirect.
+type Master struct {
+	name  string
+	cfg   Config
+	sched *simtime.Scheduler
+	rpc   *simnet.RPCNode
+	store *coord.Store
+	elect *coord.Election
+
+	// SysStat (in-memory; rebuilt from heartbeats after failover).
+	hosts map[string]*hostStat
+	// diskHost is the current disk->host attachment per heartbeats.
+	diskHost map[string]string
+
+	// StorAlloc cache (authoritative copy lives in coord znodes).
+	allocs map[SpaceID]*allocRecord
+	// diskAllocs indexes allocations and owning service per disk.
+	diskAllocs map[string][]*allocRecord
+	diskOwner  map[string]string
+	nextSpace  uint64
+
+	// Failover bookkeeping.
+	failingOver map[string]bool // hosts currently being failed over
+	// units is SysConf's deploy-unit inventory: each unit has its own
+	// controller pair and host set; disks never move across units.
+	units    []UnitInfo
+	hostUnit map[string]int // host -> index into units
+	// diskGroup maps a disk to its co-moving group (SysConf topology
+	// knowledge; disks in one group must target the same host).
+	diskGroup map[string]int
+
+	// exported tracks which spaces each host was told to export.
+	exported map[SpaceID]string
+
+	// OnHostDead fires when failure detection declares a host dead.
+	OnHostDead func(host string)
+	// OnFailoverDone fires when a dead host's disks are re-homed and
+	// re-exported.
+	OnFailoverDone func(host string, took time.Duration)
+}
+
+// masterNode returns the RPC node name of a master replica.
+func masterNode(name string) string { return "master:" + name }
+
+// UnitInfo is SysConf's record of one deploy unit: its hosts and the two
+// controllers that can reconfigure its fabric (§IV-A: "the mappings from
+// hosts to deploy units and from disks to deploy units").
+type UnitInfo struct {
+	ID          string
+	Hosts       []string
+	Controllers []string // RPC node names, primary first
+}
+
+// NewMaster creates replica name, co-located with store.
+func NewMaster(net *simnet.Network, name string, store *coord.Store, cfg Config, controllers []string) *Master {
+	m := &Master{
+		name:        name,
+		cfg:         cfg,
+		sched:       net.Scheduler(),
+		rpc:         simnet.NewRPCNode(net, masterNode(name)),
+		store:       store,
+		hosts:       make(map[string]*hostStat),
+		diskHost:    make(map[string]string),
+		allocs:      make(map[SpaceID]*allocRecord),
+		diskAllocs:  make(map[string][]*allocRecord),
+		diskOwner:   make(map[string]string),
+		failingOver: make(map[string]bool),
+		diskGroup:   make(map[string]int),
+		exported:    make(map[SpaceID]string),
+	}
+	m.SetUnits([]UnitInfo{{
+		ID:          cfg.UnitID,
+		Hosts:       cfg.Fabric.Hosts,
+		Controllers: controllers,
+	}})
+	m.elect = coord.NewElection(store, "/master/active", name, 2*time.Second)
+	m.elect.OnElected = m.onElected
+	m.rpc.Register("Heartbeat", m.handleHeartbeat)
+	m.rpc.Register("Allocate", m.handleAllocate)
+	m.rpc.Register("Release", m.handleRelease)
+	m.rpc.Register("Lookup", m.handleLookup)
+	m.rpc.Register("DiskPower", m.handleDiskPower)
+	m.elect.Run()
+	m.detectLoop()
+	return m
+}
+
+// Name returns the replica name.
+func (m *Master) Name() string { return m.name }
+
+// Active reports whether this replica is the active master.
+func (m *Master) Active() bool { return m.elect.Leading() }
+
+// Stop crashes the replica (and its coord store).
+func (m *Master) Stop() {
+	m.elect.Stop()
+	m.rpc.Node().SetDown(true)
+	m.store.Stop()
+}
+
+// onElected rebuilds StorAlloc from coord when this replica becomes active
+// (SysStat rebuilds itself from incoming heartbeats).
+func (m *Master) onElected() {
+	m.allocs = make(map[SpaceID]*allocRecord)
+	m.diskAllocs = make(map[string][]*allocRecord)
+	m.diskOwner = make(map[string]string)
+	m.exported = make(map[SpaceID]string)
+	disks, err := m.store.Children("/alloc")
+	if err != nil {
+		return // nothing allocated yet
+	}
+	for _, d := range disks {
+		spaces, err := m.store.Children("/alloc/" + d)
+		if err != nil {
+			continue
+		}
+		for _, sp := range spaces {
+			data, err := m.store.Get("/alloc/" + d + "/" + sp)
+			if err != nil {
+				continue
+			}
+			var rec allocRecord
+			if json.Unmarshal(data, &rec) != nil {
+				continue
+			}
+			m.indexAlloc(&rec)
+		}
+	}
+	// Ask every online host to (re-)export what it should be serving.
+	m.sched.After(0, m.reconcileExports)
+}
+
+func (m *Master) indexAlloc(rec *allocRecord) {
+	m.allocs[rec.Space] = rec
+	m.diskAllocs[rec.DiskID] = append(m.diskAllocs[rec.DiskID], rec)
+	m.diskOwner[rec.DiskID] = rec.Service
+}
+
+// --- Heartbeats & failure detection (§IV-E) ---
+
+func (m *Master) handleHeartbeat(from string, args any) (any, error) {
+	hb := args.(HeartbeatArgs)
+	if !m.Active() {
+		return HeartbeatReply{Active: false, ActiveHint: m.elect.Leader()}, nil
+	}
+	hs := m.hosts[hb.Host]
+	if hs == nil {
+		hs = &hostStat{diskState: make(map[string]DiskState)}
+		m.hosts[hb.Host] = hs
+	}
+	if hb.Seq < hs.lastSeq {
+		return HeartbeatReply{Active: true}, nil // stale duplicate
+	}
+	hs.lastSeq = hb.Seq
+	hs.lastSeen = m.sched.Now()
+	wasOffline := !hs.online
+	hs.online = true
+	delete(m.failingOver, hb.Host)
+
+	// Update disk->host mapping; detect disks that appeared here.
+	var appeared []string
+	seen := make(map[string]bool, len(hb.Disks))
+	for _, di := range hb.Disks {
+		seen[di.ID] = true
+		hs.diskState[di.ID] = di.State
+		if m.diskHost[di.ID] != hb.Host {
+			m.diskHost[di.ID] = hb.Host
+			appeared = append(appeared, di.ID)
+		}
+	}
+	for id := range hs.diskState {
+		if !seen[id] {
+			delete(hs.diskState, id)
+			if m.diskHost[id] == hb.Host {
+				delete(m.diskHost, id)
+			}
+		}
+	}
+	if wasOffline || len(appeared) > 0 {
+		m.exportDisksOn(hb.Host, appeared)
+	}
+	return HeartbeatReply{Active: true}, nil
+}
+
+// exportDisksOn sends export commands for the allocations living on the
+// given disks (now visible on host).
+func (m *Master) exportDisksOn(host string, diskIDs []string) {
+	for _, id := range diskIDs {
+		for _, rec := range m.diskAllocs[id] {
+			rec := rec
+			if m.exported[rec.Space] == host {
+				continue
+			}
+			m.exported[rec.Space] = host
+			m.rpc.Call(endpointNode(host), "Export",
+				ExportArgs{Space: rec.Space, DiskID: rec.DiskID, Offset: rec.Offset, Size: rec.Size},
+				128, m.cfg.RPCTimeoutOrDefault(), func(any, error) {})
+		}
+	}
+}
+
+// reconcileExports re-issues exports for every known attachment (used after
+// master failover, when the exported map is cold).
+func (m *Master) reconcileExports() {
+	if !m.Active() {
+		return
+	}
+	byHost := make(map[string][]string)
+	for diskID, host := range m.diskHost {
+		byHost[host] = append(byHost[host], diskID)
+	}
+	for host, disks := range byHost {
+		sort.Strings(disks)
+		m.exportDisksOn(host, disks)
+	}
+}
+
+// detectLoop scans for hosts whose heartbeats stopped.
+func (m *Master) detectLoop() {
+	m.sched.After(m.cfg.HeartbeatInterval, func() {
+		if m.Active() {
+			deadline := time.Duration(m.cfg.HostDeadAfter) * m.cfg.HeartbeatInterval
+			for host, hs := range m.hosts {
+				if hs.online && m.sched.Now()-hs.lastSeen > deadline {
+					hs.online = false
+					m.hostDead(host)
+				}
+			}
+		}
+		m.detectLoop()
+	})
+}
+
+// hostDead re-homes every disk of a dead host onto the surviving hosts
+// ("move the disks on this host to a non-faulty one", §IV-E).
+func (m *Master) hostDead(host string) {
+	if m.failingOver[host] {
+		return
+	}
+	m.failingOver[host] = true
+	started := m.sched.Now()
+	if m.OnHostDead != nil {
+		m.OnHostDead(host)
+	}
+	var moving []string
+	for diskID, h := range m.diskHost {
+		if h == host {
+			moving = append(moving, diskID)
+		}
+	}
+	sort.Strings(moving)
+	if len(moving) == 0 {
+		return
+	}
+	// Spread the disks over the same unit's online hosts, least-loaded
+	// first, keeping co-moving fabric groups together (a forced command
+	// spreading one leaf-hub group across hosts would contradict itself;
+	// disks are physically wired to one unit and cannot cross units).
+	unit := m.unitOf(host)
+	targets := m.onlineHostsByLoad(unit, host)
+	if len(targets) == 0 {
+		return // nothing alive to move to; retry on next detection pass
+	}
+	groupTarget := make(map[int]string)
+	nextTarget := 0
+	pairs := make([]fabric.DiskHost, len(moving))
+	for i, diskID := range moving {
+		gid, grouped := m.diskGroup[diskID]
+		var tgt string
+		if grouped {
+			if t, ok := groupTarget[gid]; ok {
+				tgt = t
+			} else {
+				tgt = targets[nextTarget%len(targets)]
+				nextTarget++
+				groupTarget[gid] = tgt
+			}
+		} else {
+			tgt = targets[nextTarget%len(targets)]
+			nextTarget++
+		}
+		pairs[i] = fabric.DiskHost{Disk: fabric.NodeID(diskID), Host: tgt}
+	}
+	// Mark the moved spaces unexported so the receiving host's heartbeat
+	// triggers fresh exports.
+	for _, diskID := range moving {
+		for _, rec := range m.diskAllocs[diskID] {
+			delete(m.exported, rec.Space)
+		}
+	}
+	host0 := host
+	// Prefer a controller whose host SysStat believes alive: when the dead
+	// host also ran the primary Controller, go straight to the backup
+	// instead of burning an RPC timeout (§IV-C primary/backup).
+	first := m.pickController(unit)
+	m.executeOnController(unit, first, ExecuteArgs{Pairs: pairs, Force: true}, func(err error) {
+		if err != nil {
+			// Retry once through the other controller.
+			m.executeOnController(unit, 1-first, ExecuteArgs{Pairs: pairs, Force: true}, func(err2 error) {
+				if err2 == nil {
+					m.watchFailoverDone(host0, moving, started)
+				}
+			})
+			return
+		}
+		m.watchFailoverDone(host0, moving, started)
+	})
+}
+
+// pickController returns the index of the first of unit's controllers
+// whose host is online per SysStat (0 when both or neither are).
+func (m *Master) pickController(unit int) int {
+	for i, ctl := range m.units[unit].Controllers {
+		host := ctl[len("ctl:"):]
+		if hs := m.hosts[host]; hs != nil && hs.online {
+			return i
+		}
+	}
+	return 0
+}
+
+// watchFailoverDone polls SysStat until every moved disk reports on a live
+// host and its spaces are exported, then fires OnFailoverDone.
+func (m *Master) watchFailoverDone(host string, moving []string, started simtime.Time) {
+	var poll func()
+	poll = func() {
+		done := true
+		for _, diskID := range moving {
+			h, ok := m.diskHost[diskID]
+			if !ok || h == host {
+				done = false
+				break
+			}
+			for _, rec := range m.diskAllocs[diskID] {
+				if m.exported[rec.Space] == "" {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			if m.OnFailoverDone != nil {
+				m.OnFailoverDone(host, m.sched.Now()-started)
+			}
+			return
+		}
+		m.sched.After(100*time.Millisecond, poll)
+	}
+	poll()
+}
+
+// onlineHostsByLoad returns unit's live hosts (excluding skip), least
+// disks first.
+func (m *Master) onlineHostsByLoad(unit int, skip string) []string {
+	load := make(map[string]int)
+	for _, host := range m.units[unit].Hosts {
+		if host == skip {
+			continue
+		}
+		if hs := m.hosts[host]; hs != nil && hs.online {
+			load[host] = 0
+		}
+	}
+	for _, h := range m.diskHost {
+		if _, ok := load[h]; ok {
+			load[h]++
+		}
+	}
+	out := make([]string, 0, len(load))
+	for h := range load {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if load[out[i]] != load[out[j]] {
+			return load[out[i]] < load[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// executeOnController sends a topology command to unit's idx-th controller.
+func (m *Master) executeOnController(unit, idx int, args ExecuteArgs, done func(error)) {
+	if unit >= len(m.units) || idx >= len(m.units[unit].Controllers) {
+		done(fmt.Errorf("core: no controller %d in unit %d", idx, unit))
+		return
+	}
+	m.rpc.Call(m.units[unit].Controllers[idx], "Execute", args, 256, m.cfg.VerifyTimeout+time.Second,
+		func(_ any, err error) { done(err) })
+}
+
+// --- Allocation (§IV-A) ---
+
+func (m *Master) handleAllocate(from string, args any) (any, error) {
+	if !m.Active() {
+		return nil, ErrNotActive
+	}
+	a := args.(AllocateArgs)
+	if a.Size <= 0 {
+		return nil, fmt.Errorf("core: allocation size %d", a.Size)
+	}
+	diskID := m.pickDisk(a)
+	if diskID == "" {
+		return nil, ErrNoSpace
+	}
+	offset := int64(0)
+	for _, rec := range m.diskAllocs[diskID] {
+		if end := rec.Offset + rec.Size; end > offset {
+			offset = end
+		}
+	}
+	m.nextSpace++
+	space := SpaceID(fmt.Sprintf("%s/%s/sp%d", m.cfg.UnitID, diskID, m.nextSpace))
+	rec := &allocRecord{Space: space, Service: a.Service, DiskID: diskID, Offset: offset, Size: a.Size}
+	m.indexAlloc(rec)
+	// Persist synchronously to coord ("stored persistently in the Master
+	// synchronously"); export after commit.
+	data, _ := json.Marshal(rec)
+	m.ensurePath("/alloc/" + diskID)
+	m.store.Create("/alloc/"+diskID+"/"+spaceLeaf(space), data, "", func(err error) {
+		if err != nil {
+			return
+		}
+		if host, ok := m.diskHost[diskID]; ok {
+			m.exported[space] = host
+			m.rpc.Call(endpointNode(host), "Export",
+				ExportArgs{Space: space, DiskID: diskID, Offset: offset, Size: a.Size},
+				128, m.cfg.RPCTimeoutOrDefault(), func(any, error) {})
+		}
+	})
+	host := m.diskHost[diskID]
+	return AllocateReply{Space: space, DiskID: diskID, Host: host, Offset: offset, Size: a.Size}, nil
+}
+
+// pickDisk applies the two §IV-A allocation rules: (1) prefer a disk
+// already owned by the same service; (2) otherwise prefer an unowned disk
+// on the client's nearest host; fall back to the emptiest owned-by-nobody
+// disk anywhere.
+func (m *Master) pickDisk(a AllocateArgs) string {
+	free := func(diskID string) int64 {
+		used := int64(0)
+		for _, rec := range m.diskAllocs[diskID] {
+			if end := rec.Offset + rec.Size; end > used {
+				used = end
+			}
+		}
+		return m.cfg.DiskParams.CapacityBytes - used
+	}
+	var candidates []string
+	for diskID, host := range m.diskHost {
+		hs := m.hosts[host]
+		if hs == nil || !hs.online {
+			continue
+		}
+		if hs.diskState[diskID] == DiskPoweredOff {
+			continue
+		}
+		if free(diskID) < a.Size {
+			continue
+		}
+		candidates = append(candidates, diskID)
+	}
+	sort.Strings(candidates)
+	// Rule 1: same-service affinity.
+	for _, d := range candidates {
+		if m.diskOwner[d] == a.Service {
+			return d
+		}
+	}
+	// Rule 2: locality — an unowned disk on the client's host.
+	for _, d := range candidates {
+		if m.diskOwner[d] == "" && m.diskHost[d] == a.ClientHost {
+			return d
+		}
+	}
+	// Fall back: any unowned disk, then any disk with room.
+	for _, d := range candidates {
+		if m.diskOwner[d] == "" {
+			return d
+		}
+	}
+	if len(candidates) > 0 {
+		return candidates[0]
+	}
+	return ""
+}
+
+func (m *Master) ensurePath(path string) {
+	// Fire-and-forget creates; ErrExists replies are fine.
+	m.store.Create("/alloc", nil, "", nil)
+	m.store.Create(path, nil, "", nil)
+}
+
+func spaceLeaf(space SpaceID) string {
+	s := string(space)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+func (m *Master) handleRelease(from string, args any) (any, error) {
+	if !m.Active() {
+		return nil, ErrNotActive
+	}
+	r := args.(ReleaseArgs)
+	rec, ok := m.allocs[r.Space]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSpace, r.Space)
+	}
+	delete(m.allocs, r.Space)
+	recs := m.diskAllocs[rec.DiskID][:0]
+	for _, other := range m.diskAllocs[rec.DiskID] {
+		if other.Space != r.Space {
+			recs = append(recs, other)
+		}
+	}
+	m.diskAllocs[rec.DiskID] = recs
+	if len(recs) == 0 {
+		delete(m.diskOwner, rec.DiskID)
+	}
+	if host, ok := m.exported[r.Space]; ok {
+		delete(m.exported, r.Space)
+		m.rpc.Call(endpointNode(host), "Unexport", UnexportArgs{Space: r.Space},
+			64, m.cfg.RPCTimeoutOrDefault(), func(any, error) {})
+	}
+	m.store.Delete("/alloc/"+rec.DiskID+"/"+spaceLeaf(r.Space), nil)
+	return struct{}{}, nil
+}
+
+func (m *Master) handleLookup(from string, args any) (any, error) {
+	if !m.Active() {
+		return nil, ErrNotActive
+	}
+	l := args.(LookupArgs)
+	rec, ok := m.allocs[l.Space]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSpace, l.Space)
+	}
+	host, attached := m.diskHost[rec.DiskID]
+	state := DiskMissing
+	if attached {
+		if hs := m.hosts[host]; hs != nil {
+			state = hs.diskState[rec.DiskID]
+		}
+	}
+	return LookupReply{Host: host, DiskID: rec.DiskID, Offset: rec.Offset, Size: rec.Size, State: state}, nil
+}
+
+// handleDiskPower lets the owning service spin its disks up or down
+// (§IV-F's disk management interface).
+func (m *Master) handleDiskPower(from string, args any) (any, error) {
+	if !m.Active() {
+		return nil, ErrNotActive
+	}
+	p := args.(DiskPowerArgs)
+	if owner := m.diskOwner[p.DiskID]; owner != p.Service {
+		return nil, fmt.Errorf("%w: %s owned by %q", ErrNotOwner, p.DiskID, owner)
+	}
+	host, ok := m.diskHost[p.DiskID]
+	if !ok {
+		return nil, fmt.Errorf("core: disk %s not attached", p.DiskID)
+	}
+	m.rpc.Call(endpointNode(host), "DiskPower", p, 64, m.cfg.RPCTimeoutOrDefault(), func(any, error) {})
+	return struct{}{}, nil
+}
+
+// ExecuteTopology sends an explicit topology scheduling command to the
+// owning unit's Controller (§IV-C: "connect disk A to host H1 and disk C
+// to host H2"), e.g. for deliberate re-balancing or rebuild offload. The
+// unit is derived from the command's target hosts; the command goes to the
+// controller whose host is alive, falling back to the other.
+func (m *Master) ExecuteTopology(cmd ExecuteArgs, done func(error)) {
+	if len(cmd.Pairs) == 0 {
+		done(nil)
+		return
+	}
+	unit := m.unitOf(cmd.Pairs[0].Host)
+	first := m.pickController(unit)
+	m.executeOnController(unit, first, cmd, func(err error) {
+		if err == nil {
+			done(nil)
+			return
+		}
+		m.executeOnController(unit, 1-first, cmd, done)
+	})
+}
+
+// SetUnits installs SysConf's deploy-unit inventory. The default (set by
+// NewMaster) is a single unit covering cfg.Fabric.Hosts; multi-unit
+// clusters replace it.
+func (m *Master) SetUnits(units []UnitInfo) {
+	m.units = units
+	m.hostUnit = make(map[string]int)
+	for i, u := range units {
+		for _, h := range u.Hosts {
+			m.hostUnit[h] = i
+		}
+	}
+}
+
+// unitOf returns the unit index of a host (0 if unknown, the safe default
+// for single-unit deployments).
+func (m *Master) unitOf(host string) int {
+	if i, ok := m.hostUnit[host]; ok {
+		return i
+	}
+	return 0
+}
+
+// SetDiskGroups installs the fabric's co-moving disk groups (SysConf).
+func (m *Master) SetDiskGroups(groups [][]string) {
+	m.diskGroup = make(map[string]int)
+	for gid, group := range groups {
+		for _, d := range group {
+			m.diskGroup[d] = gid
+		}
+	}
+}
+
+// RPCTimeoutOrDefault returns the configured RPC timeout.
+func (c Config) RPCTimeoutOrDefault() time.Duration {
+	return DefaultRPCTimeout
+}
+
+// HostOnline exposes SysStat for tests and the bench harness.
+func (m *Master) HostOnline(host string) bool {
+	hs := m.hosts[host]
+	return hs != nil && hs.online
+}
+
+// DiskHost exposes the current disk->host mapping.
+func (m *Master) DiskHost(diskID string) string { return m.diskHost[diskID] }

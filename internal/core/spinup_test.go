@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ustore/internal/disk"
+	"ustore/internal/power"
+	"ustore/internal/simtime"
+)
+
+// spinUpRig builds 16 bare disks with a power meter.
+func spinUpRig(t *testing.T) (*simtime.Scheduler, map[string]*disk.Disk, *power.Meter) {
+	t.Helper()
+	s := simtime.NewScheduler(1)
+	meter := power.NewMeter(func() time.Duration { return s.Now() })
+	disks := make(map[string]*disk.Disk)
+	for i := 0; i < 16; i++ {
+		id := string(rune('a' + i))
+		d := disk.New(s, id, disk.DT01ACA300(), disk.AttachFabric)
+		disks[id] = d
+		meter.TrackDisk(id, d)
+	}
+	return s, disks, meter
+}
+
+// peakDuring runs the scheduler to completion, sampling the meter at every
+// event boundary, and returns the peak draw plus the completion time.
+func peakDuring(s *simtime.Scheduler, meter *power.Meter) (peak float64, end simtime.Time) {
+	for {
+		if w := meter.Watts(); w > peak {
+			peak = w
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return peak, s.Now()
+}
+
+func TestSimultaneousSpinUpSurges(t *testing.T) {
+	s, disks, meter := spinUpRig(t)
+	done := false
+	RollingSpinUp(s, disks, 0, func() { done = true })
+	peak, end := peakDuring(s, meter)
+	if !done {
+		t.Fatal("completion callback never fired")
+	}
+	// 16 disks x 24W surge (plus bridges) all at once.
+	if peak < 16*24 {
+		t.Fatalf("peak = %.1fW, want >= %.1fW for simultaneous surge", peak, 16*24.0)
+	}
+	if end != disks["a"].Params().SpinUpTime {
+		t.Fatalf("all-at-once boot took %v, want one spin-up time", end)
+	}
+}
+
+func TestRollingSpinUpCapsSurge(t *testing.T) {
+	s, disks, meter := spinUpRig(t)
+	done := false
+	RollingSpinUp(s, disks, 4, func() { done = true })
+	peak, end := peakDuring(s, meter)
+	if !done {
+		t.Fatal("completion callback never fired")
+	}
+	// At most 4 disks surging (24W motor + 0.9W bridge) plus 12 disks
+	// idle (5.76W each with bridge).
+	cap := 4*24.9 + 12*(5.76) + 1
+	if peak > cap {
+		t.Fatalf("peak = %.1fW, want <= %.1fW with rolling spin-up", peak, cap)
+	}
+	// 16 disks in waves of 4 -> 4 spin-up times.
+	want := 4 * disks["a"].Params().SpinUpTime
+	if end != want {
+		t.Fatalf("rolling boot took %v, want %v", end, want)
+	}
+	for _, d := range disks {
+		if d.State() != disk.StateIdle {
+			t.Fatalf("disk %s state %v after boot", d.ID(), d.State())
+		}
+	}
+}
+
+func TestRollingSpinUpEmpty(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	done := false
+	RollingSpinUp(s, nil, 4, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("empty spin-up never completed")
+	}
+}
+
+func TestClusterBootWithRollingSpinUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BootSpinUpConcurrency = 4
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 waves x 7s > default boot settle; give it enough.
+	c.Settle(35 * time.Second)
+	if c.ActiveMaster() == nil {
+		t.Fatal("no active master")
+	}
+	for id, d := range c.Disks {
+		if d.State() != disk.StateIdle {
+			t.Fatalf("disk %s = %v after rolling boot", id, d.State())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package core implements UStore's software architecture (§IV): the
+// replicated Master (SysConf/SysStat/StorAlloc, failure detection, failover
+// scheduling), the per-unit Controller pair (Algorithm 1 execution over the
+// control plane, verification, rollback), the per-host EndPoint (heartbeats,
+// USB monitoring, block-target export), the ClientLib (allocation, mounting,
+// transparent remount after failover), and the power manager (adaptive
+// spin-down, cascading fabric power-off).
+package core
+
+import (
+	"time"
+
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+)
+
+// SpaceID uniquely identifies allocated storage in the global namespace
+// </DeployUnitID/DiskID/SpaceID> (§IV-A).
+type SpaceID string
+
+// DiskState mirrors SysStat's view of a disk.
+type DiskState string
+
+// SysStat disk states (§IV-A: online, spun down, or powered off).
+const (
+	DiskOnline     DiskState = "online"
+	DiskSpunDown   DiskState = "spun-down"
+	DiskPoweredOff DiskState = "powered-off"
+	DiskMissing    DiskState = "missing" // not visible on any host
+)
+
+// Timing defaults for the control loop; Config overrides them.
+const (
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	DefaultHostDeadAfter     = 3 // missed heartbeats before a host is dead
+	DefaultVerifyTimeout     = 10 * time.Second
+	DefaultRPCTimeout        = 1 * time.Second
+)
+
+// Config parameterizes a cluster build.
+type Config struct {
+	// UnitID names the deploy unit (the prototype has one).
+	UnitID string
+	// Fabric is the unit's topology config.
+	Fabric fabric.Config
+	// FullTrees selects the Figure 2 (left) per-disk-switch topology
+	// instead of the default switch-high design.
+	FullTrees bool
+	// MasterReplicas is the size of the Master/coord quorum (paper: ~5;
+	// tests use 3).
+	MasterReplicas int
+	// DiskParams calibrates the unit's disks.
+	DiskParams disk.Params
+	// HeartbeatInterval is the EndPoint heartbeat period.
+	HeartbeatInterval time.Duration
+	// HostDeadAfter is how many missed heartbeats declare a host dead.
+	HostDeadAfter int
+	// VerifyTimeout bounds the Controller's post-turn verification before
+	// rollback (the paper uses 30s; the simulation default is 10s).
+	VerifyTimeout time.Duration
+	// SpinDownIdle is the power manager's initial idle threshold
+	// (0 disables automatic spin-down).
+	SpinDownIdle time.Duration
+	// BootSpinUpConcurrency caps how many disks spin up simultaneously at
+	// power-on (§III-B rolling spin-up). 0 spins everything at once.
+	BootSpinUpConcurrency int
+	// Units is the number of deploy units (default 1). With N > 1, unit j
+	// gets its own fabric, control plane, Controllers, and hosts named
+	// "u<j>."+<host> (unit 0 keeps the plain names); one Master quorum
+	// manages all of them (§IV: "one Master and a number of deploy
+	// units").
+	Units int
+	// HostDeviceLimit caps how many USB devices (hubs included) each
+	// host's controller enumerates; 0 means the full 127-device USB
+	// limit. Set to usb.IntelRootHubDeviceLimit (14) to reproduce the
+	// prototype's §V-B driver quirk.
+	HostDeviceLimit int
+	// Seed drives the deterministic simulation.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's prototype shape: one unit, 16 disks,
+// 4 hosts, 4-port hubs, 3 master replicas.
+func DefaultConfig() Config {
+	return Config{
+		UnitID: "unit0",
+		Fabric: fabric.Config{
+			Hosts: []string{"h1", "h2", "h3", "h4"},
+			Disks: 16,
+			FanIn: 4,
+		},
+		MasterReplicas:    3,
+		DiskParams:        disk.DT01ACA300(),
+		HeartbeatInterval: DefaultHeartbeatInterval,
+		HostDeadAfter:     DefaultHostDeadAfter,
+		VerifyTimeout:     DefaultVerifyTimeout,
+		Seed:              1,
+	}
+}
+
+// --- Wire types (simnet RPC payloads) ---
+
+// DiskInfo is one disk's row in a heartbeat.
+type DiskInfo struct {
+	ID    string
+	State DiskState
+}
+
+// HeartbeatArgs is the EndPoint's periodic report to the Master (§IV-B:
+// "healthiness and workload information of both the hosts and the disks").
+type HeartbeatArgs struct {
+	Host  string
+	Seq   uint64
+	Disks []DiskInfo
+}
+
+// HeartbeatReply tells the EndPoint whether it reached the active master.
+type HeartbeatReply struct {
+	Active bool
+	// ActiveHint names the believed active master when Active is false.
+	ActiveHint string
+}
+
+// AllocateArgs asks the Master for storage space (§IV-A allocation rules:
+// same-service disk affinity, then client locality).
+type AllocateArgs struct {
+	Service string
+	Size    int64
+	// ClientHost hints locality (the host nearest the client).
+	ClientHost string
+}
+
+// AllocateReply returns the allocated space and where to mount it.
+type AllocateReply struct {
+	Space  SpaceID
+	DiskID string
+	Host   string
+	Offset int64
+	Size   int64
+}
+
+// ReleaseArgs frees an allocation.
+type ReleaseArgs struct {
+	Space SpaceID
+}
+
+// LookupArgs resolves a space to its current host (the ClientLib's
+// directory service, §IV-D).
+type LookupArgs struct {
+	Space SpaceID
+}
+
+// LookupReply carries the space's current location and disk state.
+type LookupReply struct {
+	Host   string
+	DiskID string
+	Offset int64
+	Size   int64
+	State  DiskState
+}
+
+// DiskPowerArgs lets a service spin its own disks up or down (§IV-F).
+type DiskPowerArgs struct {
+	Service string
+	DiskID  string
+	// Up spins up when true, down when false.
+	Up bool
+}
+
+// ExportArgs tells an EndPoint to expose a space as a block target.
+type ExportArgs struct {
+	Space  SpaceID
+	DiskID string
+	Offset int64
+	Size   int64
+}
+
+// UnexportArgs revokes an export.
+type UnexportArgs struct {
+	Space SpaceID
+}
+
+// ExecuteArgs is the Master->Controller topology command ("connect disk A
+// to host H1 and disk C to host H2", §IV-C).
+type ExecuteArgs struct {
+	Pairs []fabric.DiskHost
+	// Force applies the command even if it disturbs unlisted disks (the
+	// Master chose to "ignore the conflicts").
+	Force bool
+}
+
+// ExecuteReply reports the outcome.
+type ExecuteReply struct {
+	// Turned lists the switches that were flipped.
+	Turned int
+	// Disturbed lists disks outside the command that moved (Force only).
+	Disturbed []string
+}
+
+// USBReportArgs is the EndPoint USB Monitor's tree snapshot for the
+// Controller (§IV-B: "lsusb -t").
+type USBReportArgs struct {
+	Host string
+	// Storage lists enumerated storage device IDs.
+	Storage []string
+	// Hubs lists enumerated hub IDs.
+	Hubs []string
+	Seq  uint64
+}
+
+// NodePowerArgs is the Master->Controller relay command for a disk or hub
+// supply (cascading fabric power-off, §IV-F).
+type NodePowerArgs struct {
+	Node string
+	On   bool
+}

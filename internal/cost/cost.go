@@ -1,0 +1,216 @@
+// Package cost reproduces the paper's CapEx comparison (§VI, Table I):
+// the cost of 10 PB of raw storage under five solutions — Dell PowerVault
+// MD3260i (near-line SAS), Sun StorageTek SL150 (LTO6 tape), Pergamum
+// (ARM-per-disk tomes), BACKBLAZE storage pods, and UStore.
+//
+// Each solution is a bill-of-materials model: a unit that holds a fixed
+// number of media, a per-unit attach cost ("AttEx" — everything except the
+// media), and a per-medium price. UStore's attach cost is itself computed
+// from the fabric's component counts (hubs, switches, bridges at <$1 BOM,
+// doubled for retail markup) plus a Backblaze-derived enclosure.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"ustore/internal/fabric"
+)
+
+// TargetCapacityBytes is Table I's 10 PB (decimal petabytes).
+const TargetCapacityBytes = 10e15
+
+// Money is US dollars.
+type Money float64
+
+// String renders dollars with thousands precision like the paper
+// ("$456k").
+func (m Money) String() string {
+	return fmt.Sprintf("$%.0fk", float64(m)/1000)
+}
+
+// LineItem is one row of a solution's per-unit bill of materials.
+type LineItem struct {
+	Name     string
+	Qty      int
+	UnitCost Money
+}
+
+// Cost returns the line's extended cost.
+func (li LineItem) Cost() Money { return Money(float64(li.Qty) * float64(li.UnitCost)) }
+
+// Solution models one storage system for the comparison.
+type Solution struct {
+	Name string
+	// Media describes the storage medium.
+	MediaName    string
+	MediaBytes   float64
+	MediaCost    Money
+	MediaPerUnit int
+	// PerUnit is the unit's attach bill of materials (everything but
+	// media).
+	PerUnit []LineItem
+}
+
+// UnitAttEx sums the per-unit attach cost.
+func (s Solution) UnitAttEx() Money {
+	var total Money
+	for _, li := range s.PerUnit {
+		total += li.Cost()
+	}
+	return total
+}
+
+// Units returns how many units cover the target capacity.
+func (s Solution) Units(targetBytes float64) int {
+	perUnit := float64(s.MediaPerUnit) * s.MediaBytes
+	return int(math.Ceil(targetBytes / perUnit))
+}
+
+// Report is one Table I row.
+type Report struct {
+	Solution string
+	Media    string
+	Units    int
+	MediaQty int
+	// CapEx is the full capital expense; AttEx excludes media.
+	CapEx Money
+	AttEx Money
+}
+
+// Evaluate computes a solution's Table I row for the target capacity.
+func (s Solution) Evaluate(targetBytes float64) Report {
+	units := s.Units(targetBytes)
+	mediaQty := units * s.MediaPerUnit
+	attEx := Money(float64(units) * float64(s.UnitAttEx()))
+	capEx := attEx + Money(float64(mediaQty)*float64(s.MediaCost))
+	return Report{
+		Solution: s.Name,
+		Media:    s.MediaName,
+		Units:    units,
+		MediaQty: mediaQty,
+		CapEx:    capEx,
+		AttEx:    attEx,
+	}
+}
+
+// Component prices used across models (from §VI and its citations).
+const (
+	sataDisk3TB      Money = 100  // commodity 3TB SATA
+	nearlineSAS3TB   Money = 540  // enterprise near-line SAS premium
+	lto6Cartridge    Money = 40   // 2.5TB LTO6
+	usbICUnitCost    Money = 1.0  // hubs/switches/bridges: "<$1 each"
+	bomMarkup              = 2.0  // BOM x2 retail markup [29]
+	backblazeChassis Money = 3473 // pod 4.0 without drives (derived from Table I)
+	pergamumChassis  Money = 2428 // pod minus motherboard (tomes keep the full backplane)
+	ustoreChassis    Money = 1750 // pod minus all compute; §VI notes the freed
+	// motherboard volume is what lets UStore pack 64 disks in the same 4U
+	cubieboard3       Money = 65     // Pergamum tome ARM board
+	gigEPortCost      Money = 4      // per 1GbE port (footnote 2)
+	ustorePCBCabling  Money = 124    // PCB, cabling, 2x Arduino control plane
+	md3260iEnclosure  Money = 27232  // MD3260i 60-bay shelf w/ controllers, support
+	sl150Library      Money = 113430 // SL150 base library + drives per ~300 slots
+	sl150SlotsPerUnit       = 300
+)
+
+// UStore builds the UStore solution from an actual production deploy-unit
+// fabric: component counts come from fabric.BOM(), priced at the <$1 IC
+// cost with the retail markup, plus the shared chassis.
+func UStore() Solution {
+	f, err := fabric.ProductionUnit()
+	if err != nil {
+		panic("cost: building production unit: " + err.Error())
+	}
+	b := f.BOM()
+	return Solution{
+		Name:         "UStore",
+		MediaName:    "SATA HD",
+		MediaBytes:   3e12,
+		MediaCost:    sataDisk3TB,
+		MediaPerUnit: b.Disks,
+		PerUnit: []LineItem{
+			{Name: "4U enclosure/PSU/fans (pod minus compute)", Qty: 1, UnitCost: ustoreChassis},
+			{Name: "USB hubs", Qty: b.Hubs, UnitCost: usbICUnitCost * bomMarkup},
+			{Name: "USB 2:1 switches", Qty: b.Switches, UnitCost: usbICUnitCost * bomMarkup},
+			{Name: "SATA-USB bridges", Qty: b.Bridges, UnitCost: usbICUnitCost * bomMarkup},
+			{Name: "PCB, cabling, control plane", Qty: 1, UnitCost: ustorePCBCabling},
+		},
+	}
+}
+
+// Backblaze is the storage-pod baseline (45 disks behind one low-end
+// motherboard and a single GbE port).
+func Backblaze() Solution {
+	return Solution{
+		Name:         "BACKBLAZE",
+		MediaName:    "SATA HD",
+		MediaBytes:   3e12,
+		MediaCost:    sataDisk3TB,
+		MediaPerUnit: 45,
+		PerUnit: []LineItem{
+			{Name: "Storage Pod 4.0 without drives", Qty: 1, UnitCost: backblazeChassis},
+		},
+	}
+}
+
+// Pergamum is the ARM-per-disk baseline, NVRAM removed, packed 45 tomes to
+// the same 4U enclosure (§VI's normalization).
+func Pergamum() Solution {
+	return Solution{
+		Name:         "Pergamum",
+		MediaName:    "SATA HD",
+		MediaBytes:   3e12,
+		MediaCost:    sataDisk3TB,
+		MediaPerUnit: 45,
+		PerUnit: []LineItem{
+			{Name: "4U enclosure/PSU/fans (pod minus motherboard)", Qty: 1, UnitCost: pergamumChassis},
+			{Name: "Cubieboard3 ARM per tome", Qty: 45, UnitCost: cubieboard3},
+			{Name: "1GbE port per tome", Qty: 45, UnitCost: gigEPortCost},
+		},
+	}
+}
+
+// MD3260i is the enterprise near-line-SAS product baseline.
+func MD3260i() Solution {
+	return Solution{
+		Name:         "DELL PowerVault MD3260i",
+		MediaName:    "Near-line SAS",
+		MediaBytes:   3e12,
+		MediaCost:    nearlineSAS3TB,
+		MediaPerUnit: 60,
+		PerUnit: []LineItem{
+			{Name: "MD3260i 60-bay iSCSI enclosure", Qty: 1, UnitCost: md3260iEnclosure},
+		},
+	}
+}
+
+// SL150 is the tape library baseline. Tape pricing folds drives and
+// robotics into the library line; Table I leaves its AttEx blank, so the
+// whole library is treated as media infrastructure.
+func SL150() Solution {
+	return Solution{
+		Name:         "Sun StorageTek SL150",
+		MediaName:    "LTO6 Tape",
+		MediaBytes:   2.5e12,
+		MediaCost:    lto6Cartridge,
+		MediaPerUnit: sl150SlotsPerUnit,
+		PerUnit: []LineItem{
+			{Name: "SL150 library, drives, robotics", Qty: 1, UnitCost: sl150Library},
+		},
+	}
+}
+
+// TableI evaluates all five solutions at 10 PB in the paper's row order.
+func TableI() []Report {
+	solutions := []Solution{MD3260i(), SL150(), Pergamum(), Backblaze(), UStore()}
+	out := make([]Report, len(solutions))
+	for i, s := range solutions {
+		out[i] = s.Evaluate(TargetCapacityBytes)
+	}
+	return out
+}
+
+// Savings returns how much cheaper a is than b, as a fraction of b.
+func Savings(a, b Money) float64 {
+	return 1 - float64(a)/float64(b)
+}

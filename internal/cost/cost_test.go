@@ -1,0 +1,118 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func withinPct(got, want Money, pct float64) bool {
+	return math.Abs(float64(got)-float64(want)) <= pct/100*float64(want)
+}
+
+// TestTableIReproduction checks every Table I cell within 3% (the paper's
+// own numbers carry rounding).
+func TestTableIReproduction(t *testing.T) {
+	want := map[string]struct{ capEx, attEx Money }{
+		"DELL PowerVault MD3260i": {3_340_000, 1_525_000},
+		"Sun StorageTek SL150":    {1_748_000, 0},
+		"Pergamum":                {756_000, 415_000},
+		"BACKBLAZE":               {598_000, 257_000},
+		"UStore":                  {456_000, 115_000},
+	}
+	for _, rep := range TableI() {
+		w, ok := want[rep.Solution]
+		if !ok {
+			t.Fatalf("unexpected solution %q", rep.Solution)
+		}
+		if !withinPct(rep.CapEx, w.capEx, 3) {
+			t.Errorf("%s CapEx = %v, paper %v", rep.Solution, rep.CapEx, w.capEx)
+		}
+		if w.attEx > 0 && !withinPct(rep.AttEx, w.attEx, 3) {
+			t.Errorf("%s AttEx = %v, paper %v", rep.Solution, rep.AttEx, w.attEx)
+		}
+	}
+}
+
+func TestHeadlineSavings(t *testing.T) {
+	var ustore, backblaze Report
+	for _, rep := range TableI() {
+		switch rep.Solution {
+		case "UStore":
+			ustore = rep
+		case "BACKBLAZE":
+			backblaze = rep
+		}
+	}
+	// "UStore costs 24% lower than BACKBLAZE ... Excluding the disk cost,
+	// UStore is 55% cheaper."
+	capSave := Savings(ustore.CapEx, backblaze.CapEx)
+	if capSave < 0.20 || capSave > 0.28 {
+		t.Errorf("CapEx saving vs Backblaze = %.0f%%, paper 24%%", capSave*100)
+	}
+	attSave := Savings(ustore.AttEx, backblaze.AttEx)
+	if attSave < 0.50 || attSave > 0.60 {
+		t.Errorf("AttEx saving vs Backblaze = %.0f%%, paper 55%%", attSave*100)
+	}
+}
+
+func TestOrderingMatchesPaper(t *testing.T) {
+	reports := TableI()
+	// CapEx order: MD3260i > SL150 > Pergamum > Backblaze > UStore.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].CapEx >= reports[i-1].CapEx {
+			t.Fatalf("CapEx not strictly decreasing at %s (%v) vs %s (%v)",
+				reports[i].Solution, reports[i].CapEx, reports[i-1].Solution, reports[i-1].CapEx)
+		}
+	}
+}
+
+func TestUStoreFabricCostIsTiny(t *testing.T) {
+	u := UStore()
+	var fabricCost Money
+	for _, li := range u.PerUnit {
+		if li.Name == "USB hubs" || li.Name == "USB 2:1 switches" || li.Name == "SATA-USB bridges" {
+			fabricCost += li.Cost()
+		}
+	}
+	// The whole point: the interconnect's silicon is a rounding error —
+	// under $5 of attach cost per disk.
+	perDisk := float64(fabricCost) / float64(u.MediaPerUnit)
+	if perDisk > 5 {
+		t.Fatalf("fabric silicon = $%.2f per disk, want < $5", perDisk)
+	}
+}
+
+func TestUnitsRoundUp(t *testing.T) {
+	u := UStore()
+	if got := u.Units(TargetCapacityBytes); got != 53 {
+		t.Fatalf("UStore units = %d, want 53 (ceil(3334/64))", got)
+	}
+	b := Backblaze()
+	if got := b.Units(TargetCapacityBytes); got != 75 {
+		t.Fatalf("Backblaze units = %d, want 75", got)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	if got := Money(456_000).String(); got != "$456k" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAmortizedCostPerDisk(t *testing.T) {
+	// Footnote 3: with equal disks, AttEx also ranks amortized per-disk
+	// attach cost. UStore ~ $34/disk, Backblaze ~ $77, Pergamum ~ $123.
+	reports := TableI()
+	perDisk := map[string]float64{}
+	for _, rep := range reports {
+		if rep.Media == "SATA HD" {
+			perDisk[rep.Solution] = float64(rep.AttEx) / float64(rep.MediaQty)
+		}
+	}
+	if !(perDisk["UStore"] < perDisk["BACKBLAZE"] && perDisk["BACKBLAZE"] < perDisk["Pergamum"]) {
+		t.Fatalf("per-disk attach order wrong: %v", perDisk)
+	}
+	if perDisk["UStore"] > 40 {
+		t.Fatalf("UStore per-disk attach = $%.0f, want ~$34", perDisk["UStore"])
+	}
+}

@@ -1,0 +1,288 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+// State is the power/availability state of a disk.
+type State int
+
+const (
+	// StatePoweredOff means the 12V rail is cut (fabric power relay open).
+	StatePoweredOff State = iota
+	// StateSpunDown means powered but platters stopped.
+	StateSpunDown
+	// StateSpinningUp means the motor is starting; IO waits.
+	StateSpinningUp
+	// StateIdle means ready with no IO in progress.
+	StateIdle
+	// StateActive means an IO is being serviced.
+	StateActive
+)
+
+// String returns a short state label.
+func (s State) String() string {
+	switch s {
+	case StatePoweredOff:
+		return "off"
+	case StateSpunDown:
+		return "spun-down"
+	case StateSpinningUp:
+		return "spinning-up"
+	case StateIdle:
+		return "idle"
+	case StateActive:
+		return "active"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Errors returned by Disk operations.
+var (
+	// ErrPoweredOff is returned for IO submitted to a disk with no power.
+	ErrPoweredOff = errors.New("disk: powered off")
+	// ErrOutOfRange is returned for IO beyond the disk capacity.
+	ErrOutOfRange = errors.New("disk: offset+size out of range")
+)
+
+// Request is a queued IO with its completion callback.
+type Request struct {
+	Op     Op
+	Offset int64
+	// Data is written for writes; for reads the completion receives the
+	// bytes read.
+	Data []byte
+	// Done is invoked on completion with the data read (nil for writes)
+	// and an error.
+	Done func(data []byte, err error)
+}
+
+// Disk is an event-driven simulated hard disk. All methods must be called
+// from the scheduler goroutine. A Disk services one request at a time in
+// FIFO order; NCQ effects are folded into the calibrated service times.
+type Disk struct {
+	id     string
+	params Params
+	ic     Interconnect
+	sched  *simtime.Scheduler
+	store  *Store
+
+	state      State
+	queue      []*Request
+	lastRead   bool // direction of the previous op, for turnaround modelling
+	hadOp      bool
+	lastActive simtime.Time
+	spinUps    int
+
+	// stats
+	completed  uint64
+	bytesRead  uint64
+	bytesWrote uint64
+	busy       time.Duration
+
+	// stateObservers are notified of every state transition (power meter,
+	// rolling spin-up sequencer, ...).
+	stateObservers []func(old, new State)
+}
+
+// New creates a disk in the spun-down state (as after rack power-on, before
+// rolling spin-up).
+func New(sched *simtime.Scheduler, id string, params Params, ic Interconnect) *Disk {
+	return &Disk{
+		id:     id,
+		params: params,
+		ic:     ic,
+		sched:  sched,
+		store:  NewStore(),
+		state:  StateSpunDown,
+	}
+}
+
+// ID returns the disk's identifier.
+func (d *Disk) ID() string { return d.id }
+
+// Params returns the disk's calibrated parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// State returns the current state.
+func (d *Disk) State() State { return d.state }
+
+// Capacity returns the raw capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.params.CapacityBytes }
+
+// Store exposes the disk's backing byte store (for direct inspection in
+// tests; normal IO goes through Submit).
+func (d *Disk) Store() *Store { return d.store }
+
+// SetInterconnect changes the attachment path (used when a disk is switched
+// between hosts or between SATA/USB in calibration benches).
+func (d *Disk) SetInterconnect(ic Interconnect) { d.ic = ic }
+
+// Interconnect returns the current attachment path type.
+func (d *Disk) Interconnect() Interconnect { return d.ic }
+
+// OnStateChange adds a state transition observer. Observers fire in
+// registration order.
+func (d *Disk) OnStateChange(fn func(old, new State)) {
+	d.stateObservers = append(d.stateObservers, fn)
+}
+
+// IdleSince returns the time of the last IO completion, and whether the disk
+// has been idle with an empty queue since then.
+func (d *Disk) IdleSince() (simtime.Time, bool) {
+	return d.lastActive, d.state == StateIdle && len(d.queue) == 0
+}
+
+// SpinUpCount returns how many times the disk has spun up (PARAID-style
+// wear accounting used by the adaptive power manager).
+func (d *Disk) SpinUpCount() int { return d.spinUps }
+
+// QueueDepth returns the number of requests waiting or in service.
+func (d *Disk) QueueDepth() int { return len(d.queue) }
+
+// Completed returns the number of IOs finished.
+func (d *Disk) Completed() uint64 { return d.completed }
+
+// BytesRead and BytesWritten return data-plane counters.
+func (d *Disk) BytesRead() uint64    { return d.bytesRead }
+func (d *Disk) BytesWritten() uint64 { return d.bytesWrote }
+
+// BusyTime returns cumulative time spent servicing IO.
+func (d *Disk) BusyTime() time.Duration { return d.busy }
+
+func (d *Disk) setState(s State) {
+	if s == d.state {
+		return
+	}
+	old := d.state
+	d.state = s
+	for _, fn := range d.stateObservers {
+		fn(old, s)
+	}
+}
+
+// PowerOn restores power. The disk lands in the spun-down state.
+func (d *Disk) PowerOn() {
+	if d.state == StatePoweredOff {
+		d.setState(StateSpunDown)
+	}
+}
+
+// PowerOff cuts power immediately. Queued requests fail with ErrPoweredOff.
+func (d *Disk) PowerOff() {
+	d.failQueue(ErrPoweredOff)
+	d.setState(StatePoweredOff)
+}
+
+// SpinDown stops the platters once the queue drains. If IO is in flight the
+// spin-down happens after it completes (and any queued IO will spin the disk
+// back up). Calling it on an off/spun-down disk is a no-op.
+func (d *Disk) SpinDown() {
+	if d.state == StateIdle && len(d.queue) == 0 {
+		d.setState(StateSpunDown)
+	}
+}
+
+// SpinUp starts the platters if spun down. Ready after Params.SpinUpTime.
+func (d *Disk) SpinUp() {
+	if d.state != StateSpunDown {
+		return
+	}
+	d.setState(StateSpinningUp)
+	d.spinUps++
+	d.sched.After(d.params.SpinUpTime, func() {
+		if d.state != StateSpinningUp {
+			return // powered off mid-spin-up
+		}
+		d.setState(StateIdle)
+		d.lastActive = d.sched.Now()
+		d.pump()
+	})
+}
+
+func (d *Disk) failQueue(err error) {
+	q := d.queue
+	d.queue = nil
+	for _, r := range q {
+		r := r
+		d.sched.After(0, func() {
+			if r.Done != nil {
+				r.Done(nil, err)
+			}
+		})
+	}
+}
+
+// Submit enqueues an IO. The Done callback fires on the scheduler goroutine
+// when the IO completes or fails. A spun-down disk spins up automatically
+// (cold-data access pattern: the access itself is the spin-up trigger).
+func (d *Disk) Submit(req *Request) {
+	if d.state == StatePoweredOff {
+		d.sched.After(0, func() {
+			if req.Done != nil {
+				req.Done(nil, ErrPoweredOff)
+			}
+		})
+		return
+	}
+	if req.Offset < 0 || req.Offset+int64(req.Op.Size) > d.params.CapacityBytes {
+		d.sched.After(0, func() {
+			if req.Done != nil {
+				req.Done(nil, fmt.Errorf("%w: offset %d size %d capacity %d",
+					ErrOutOfRange, req.Offset, req.Op.Size, d.params.CapacityBytes))
+			}
+		})
+		return
+	}
+	d.queue = append(d.queue, req)
+	switch d.state {
+	case StateSpunDown:
+		d.SpinUp()
+	case StateIdle:
+		d.pump()
+	}
+}
+
+// pump starts servicing the head of the queue if the disk is ready.
+func (d *Disk) pump() {
+	if d.state != StateIdle || len(d.queue) == 0 {
+		return
+	}
+	req := d.queue[0]
+	op := req.Op
+	if d.hadOp && d.lastRead != op.Read {
+		op.DirectionSwitch = true
+	}
+	d.hadOp = true
+	d.lastRead = op.Read
+	d.setState(StateActive)
+	svc := d.params.ServiceTime(d.ic, op)
+	d.sched.After(svc, func() {
+		if d.state != StateActive {
+			return // powered off mid-IO; queue already failed
+		}
+		d.queue = d.queue[1:]
+		d.busy += svc
+		d.completed++
+		d.lastActive = d.sched.Now()
+
+		var data []byte
+		if op.Read {
+			data = d.store.ReadAt(req.Offset, op.Size)
+			d.bytesRead += uint64(op.Size)
+		} else {
+			d.store.WriteAt(req.Offset, req.Data)
+			d.bytesWrote += uint64(op.Size)
+		}
+		d.setState(StateIdle)
+		if req.Done != nil {
+			req.Done(data, nil)
+		}
+		d.pump()
+	})
+}

@@ -1,0 +1,151 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func TestPowerOffDuringSpinUp(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	var errs []error
+	d.Submit(&Request{ // triggers auto spin-up
+		Op:   Op{Read: true, Size: 4096, Pattern: Sequential},
+		Done: func(_ []byte, err error) { errs = append(errs, err) },
+	})
+	if d.State() != StateSpinningUp {
+		t.Fatalf("state = %v, want spinning-up", d.State())
+	}
+	s.RunFor(2 * time.Second) // mid-spin-up
+	d.PowerOff()
+	s.Run()
+	if d.State() != StatePoweredOff {
+		t.Fatalf("state = %v", d.State())
+	}
+	if len(errs) != 1 || !errors.Is(errs[0], ErrPoweredOff) {
+		t.Fatalf("queued IO errs = %v, want ErrPoweredOff", errs)
+	}
+	// Power back on and access again: fresh spin-up required.
+	d.PowerOn()
+	var ok bool
+	d.Submit(&Request{
+		Op:   Op{Read: true, Size: 4096, Pattern: Sequential},
+		Done: func(_ []byte, err error) { ok = err == nil },
+	})
+	s.Run()
+	if !ok {
+		t.Fatal("IO after power cycle failed")
+	}
+	if d.SpinUpCount() != 2 {
+		t.Fatalf("spin-ups = %d, want 2", d.SpinUpCount())
+	}
+}
+
+func TestPowerOffMidIOFailsQueueNotData(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	d.SpinUp()
+	s.Run()
+	// Write some data fully, then power-cycle: data survives (platters
+	// are nonvolatile).
+	payload := []byte("survives power cycles")
+	d.Submit(&Request{Op: Op{Read: false, Size: len(payload), Pattern: Sequential}, Offset: 0, Data: payload})
+	s.Run()
+	d.PowerOff()
+	d.PowerOn()
+	d.SpinUp()
+	s.Run()
+	var got []byte
+	d.Submit(&Request{
+		Op: Op{Read: true, Size: len(payload), Pattern: Sequential}, Offset: 0,
+		Done: func(b []byte, err error) { got = b },
+	})
+	s.Run()
+	if string(got) != string(payload) {
+		t.Fatalf("data lost across power cycle: %q", got)
+	}
+}
+
+func TestSubmitWhileSpinningUpQueues(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	done := 0
+	for i := 0; i < 3; i++ {
+		d.Submit(&Request{
+			Op:   Op{Read: true, Size: 4096, Pattern: Sequential},
+			Done: func([]byte, error) { done++ },
+		})
+	}
+	if d.QueueDepth() != 3 {
+		t.Fatalf("queue depth = %d", d.QueueDepth())
+	}
+	if d.SpinUpCount() != 1 {
+		t.Fatalf("spin-ups = %d, want a single spin-up for the burst", d.SpinUpCount())
+	}
+	s.Run()
+	if done != 3 {
+		t.Fatalf("completed %d of 3", done)
+	}
+}
+
+func TestSpinDownSpinUpCycleCounts(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	for i := 0; i < 5; i++ {
+		d.SpinUp()
+		s.Run()
+		d.SpinDown()
+	}
+	if d.SpinUpCount() != 5 {
+		t.Fatalf("spin-ups = %d", d.SpinUpCount())
+	}
+	if d.State() != StateSpunDown {
+		t.Fatalf("state = %v", d.State())
+	}
+	// SpinUp while already idle is a no-op.
+	d.SpinUp()
+	s.Run()
+	d.SpinUp()
+	if d.SpinUpCount() != 6 {
+		t.Fatalf("idle SpinUp incremented count: %d", d.SpinUpCount())
+	}
+}
+
+func TestInterconnectSwitchMidStream(t *testing.T) {
+	// A disk switched from fabric to SATA mid-stream services subsequent
+	// IO at SATA cost (the calibration bench relies on this).
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	d.SpinUp()
+	s.Run()
+	op := Op{Read: true, Size: 4096, Pattern: Sequential}
+	d.Submit(&Request{Op: op})
+	s.Run()
+	fabricBusy := d.BusyTime()
+	d.SetInterconnect(AttachSATA)
+	d.Submit(&Request{Op: op})
+	s.Run()
+	sataCost := d.BusyTime() - fabricBusy
+	if sataCost >= fabricBusy {
+		t.Fatalf("SATA op (%v) not cheaper than fabric op (%v)", sataCost, fabricBusy)
+	}
+	if d.Interconnect() != AttachSATA {
+		t.Fatalf("interconnect = %v", d.Interconnect())
+	}
+}
+
+func TestMultipleStateObservers(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	d := New(s, "d0", DT01ACA300(), AttachFabric)
+	a, b := 0, 0
+	d.OnStateChange(func(_, _ State) { a++ })
+	d.OnStateChange(func(_, _ State) { b++ })
+	d.SpinUp()
+	s.Run()
+	if a == 0 || a != b {
+		t.Fatalf("observers fired %d/%d, want equal and nonzero", a, b)
+	}
+}

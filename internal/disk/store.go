@@ -1,0 +1,58 @@
+package disk
+
+// Store is a sparse in-memory byte store backing a simulated disk's data
+// plane. Unwritten regions read as zero, like a fresh drive. Chunks are
+// allocated lazily so simulating a 3TB disk costs memory proportional only
+// to the bytes actually written.
+type Store struct {
+	chunks map[int64][]byte
+}
+
+// chunkSize is the allocation granularity of the sparse store.
+const chunkSize = 64 * 1024
+
+// NewStore returns an empty sparse store.
+func NewStore() *Store {
+	return &Store{chunks: make(map[int64][]byte)}
+}
+
+// WriteAt copies data into the store at off.
+func (s *Store) WriteAt(off int64, data []byte) {
+	for len(data) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		c, ok := s.chunks[ci]
+		if !ok {
+			c = make([]byte, chunkSize)
+			s.chunks[ci] = c
+		}
+		n := copy(c[co:], data)
+		data = data[n:]
+		off += int64(n)
+	}
+}
+
+// ReadAt returns size bytes starting at off. Holes read as zeros.
+func (s *Store) ReadAt(off int64, size int) []byte {
+	out := make([]byte, size)
+	p := out
+	for len(p) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := chunkSize - int(co)
+		if n > len(p) {
+			n = len(p)
+		}
+		if c, ok := s.chunks[ci]; ok {
+			copy(p[:n], c[co:])
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return out
+}
+
+// BytesAllocated returns the memory footprint of written chunks.
+func (s *Store) BytesAllocated() int64 {
+	return int64(len(s.chunks)) * chunkSize
+}

@@ -1,0 +1,240 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the codec.
+var (
+	// ErrShardSize is returned when shards have mismatched lengths.
+	ErrShardSize = errors.New("ec: shard size mismatch")
+	// ErrTooFewShards is returned when fewer than k shards survive.
+	ErrTooFewShards = errors.New("ec: too few shards to reconstruct")
+	// ErrBadParams is returned for invalid k/m.
+	ErrBadParams = errors.New("ec: invalid parameters")
+)
+
+// Code is a systematic RS(k, m) codec: Split data into k shards, Encode m
+// parity shards, Reconstruct from any k survivors.
+type Code struct {
+	k, m int
+	// encode is the m x k parity-generation matrix: a Cauchy matrix, so
+	// the full generator [I; encode] is MDS (every k x k submatrix of
+	// surviving rows is invertible — any k of k+m shards reconstruct).
+	encode [][]byte
+}
+
+// New creates an RS(k, m) codec. k+m must be at most 256 (the GF(256)
+// field provides that many distinct Cauchy evaluation points).
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrBadParams, k, m)
+	}
+	// Cauchy construction: encode[r][c] = 1 / (x_r ^ y_c) with the x and
+	// y evaluation points drawn from disjoint element sets. Every square
+	// submatrix of a Cauchy matrix is nonsingular, which gives the MDS
+	// property for the systematic generator.
+	encode := make([][]byte, m)
+	for r := 0; r < m; r++ {
+		encode[r] = make([]byte, k)
+		xr := byte(k + r)
+		for c := 0; c < k; c++ {
+			encode[r][c] = gfInv(xr ^ byte(c))
+		}
+	}
+	return &Code{k: k, m: m, encode: encode}, nil
+}
+
+// K and M return the codec's shape.
+func (c *Code) K() int { return c.k }
+func (c *Code) M() int { return c.m }
+
+// Split pads data and cuts it into k equal shards. The original length
+// must be carried out of band (Join takes it back).
+func (c *Code) Split(data []byte) [][]byte {
+	shardLen := (len(data) + c.k - 1) / c.k
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.k)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Join reassembles Split's output back into data of the original length.
+func (c *Code) Join(shards [][]byte, length int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTooFewShards, len(shards), c.k)
+	}
+	out := make([]byte, 0, length)
+	for i := 0; i < c.k && len(out) < length; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing (reconstruct first)", ErrTooFewShards, i)
+		}
+		take := length - len(out)
+		if take > len(shards[i]) {
+			take = len(shards[i])
+		}
+		out = append(out, shards[i][:take]...)
+	}
+	return out, nil
+}
+
+// Encode computes the m parity shards for k data shards.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: %d data shards, want %d", ErrBadParams, len(data), c.k)
+	}
+	size := len(data[0])
+	for _, s := range data {
+		if len(s) != size {
+			return nil, ErrShardSize
+		}
+	}
+	parity := make([][]byte, c.m)
+	for r := 0; r < c.m; r++ {
+		parity[r] = make([]byte, size)
+		for col, shard := range data {
+			mulAddSlice(parity[r], shard, c.encode[r][col])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in missing shards (nil entries) from the survivors.
+// shards must have length k+m, ordered data shards first then parity. At
+// least k entries must be non-nil.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: %d shards, want %d", ErrBadParams, len(shards), c.k+c.m)
+	}
+	present := 0
+	size := -1
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if size < 0 {
+				size = len(s)
+			} else if len(s) != size {
+				return ErrShardSize
+			}
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: %d of %d", ErrTooFewShards, present, c.k)
+	}
+	missingData := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missingData = true
+		}
+	}
+	if missingData {
+		if err := c.solveData(shards, size); err != nil {
+			return err
+		}
+	}
+	// Regenerate any missing parity from the (now complete) data shards.
+	for r := 0; r < c.m; r++ {
+		if shards[c.k+r] != nil {
+			continue
+		}
+		p := make([]byte, size)
+		for col := 0; col < c.k; col++ {
+			mulAddSlice(p, shards[col], c.encode[r][col])
+		}
+		shards[c.k+r] = p
+	}
+	return nil
+}
+
+// solveData recovers the missing data shards by inverting the sub-matrix
+// of surviving rows.
+func (c *Code) solveData(shards [][]byte, size int) error {
+	// Select k surviving rows: identity rows for present data shards,
+	// encode rows for surviving parity shards.
+	matrix := make([][]byte, 0, c.k)
+	inputs := make([][]byte, 0, c.k)
+	for i := 0; i < c.k && len(matrix) < c.k; i++ {
+		if shards[i] != nil {
+			row := make([]byte, c.k)
+			row[i] = 1
+			matrix = append(matrix, row)
+			inputs = append(inputs, shards[i])
+		}
+	}
+	for r := 0; r < c.m && len(matrix) < c.k; r++ {
+		if shards[c.k+r] != nil {
+			row := append([]byte(nil), c.encode[r]...)
+			matrix = append(matrix, row)
+			inputs = append(inputs, shards[c.k+r])
+		}
+	}
+	inv, err := invertMatrix(matrix)
+	if err != nil {
+		return err
+	}
+	// data[i] = sum_j inv[i][j] * inputs[j]; compute only missing rows.
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(out, inputs[j], inv[i][j])
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// invertMatrix returns the inverse of a square GF(256) matrix via
+// Gauss-Jordan elimination.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Work on an augmented copy [M | I].
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("%w: singular decode matrix", ErrTooFewShards)
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] = gfMul(aug[col][c], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] ^= gfMul(f, aug[col][c])
+			}
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = aug[i][n:]
+	}
+	return out, nil
+}

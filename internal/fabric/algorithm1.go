@@ -1,0 +1,223 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiskHost is one "connect disk to host" pair of a topology command.
+type DiskHost struct {
+	Disk NodeID
+	Host string
+}
+
+// ConflictError carries Algorithm 1's detailed error report: which switch
+// cannot be turned and which unrelated disks its turn would disturb (the
+// paper's example: "connecting A to H1 will force disk E to be disconnected
+// from host H3").
+type ConflictError struct {
+	Switch NodeID
+	// Need is the selection the command requires; Have is the current
+	// selection pinned by other disks.
+	Need, Have int
+	// Disturbed lists disks outside the command whose current attachment
+	// pins the switch.
+	Disturbed []NodeID
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("%v: switch %s needs %d but is pinned at %d by %v",
+		ErrConflict, e.Switch, e.Need, e.Have, e.Disturbed)
+}
+
+// Unwrap lets errors.Is(err, ErrConflict) work.
+func (e *ConflictError) Unwrap() error { return ErrConflict }
+
+// SwitchesToTurn implements Algorithm 1: given the command's disk/host
+// pairs, compute the minimal set of switch turns that realizes it, or a
+// ConflictError if a required turn would disturb a disk not named in the
+// command. Turns are returned in deterministic order (sorted by switch ID).
+//
+// Following the paper: first collect the switches occupied by the current
+// paths of every disk NOT in the command; then for each commanded pair walk
+// its required route, adding unoccupied switches whose state must change,
+// and failing if an occupied switch is pinned at a different state.
+func (f *Fabric) SwitchesToTurn(pairs []DiskHost) ([]SwitchSetting, error) {
+	inCmd := make(map[NodeID]string, len(pairs))
+	for _, p := range pairs {
+		if prev, dup := inCmd[p.Disk]; dup && prev != p.Host {
+			return nil, fmt.Errorf("fabric: command names %s twice (%s and %s)", p.Disk, prev, p.Host)
+		}
+		inCmd[p.Disk] = p.Host
+	}
+
+	// occupied: switch -> selection pinned by other disks' current paths,
+	// with the pinning disks recorded for error reporting.
+	type pin struct {
+		sel   int
+		disks []NodeID
+	}
+	occupied := make(map[NodeID]*pin)
+	for _, d := range f.Disks() {
+		if _, named := inCmd[d]; named {
+			continue
+		}
+		path, err := f.PathToRoot(d)
+		if err != nil {
+			continue // a disconnected disk occupies nothing
+		}
+		for _, id := range path {
+			n := f.nodes[id]
+			if n.Kind != KindSwitch {
+				continue
+			}
+			if p, ok := occupied[id]; ok {
+				p.disks = append(p.disks, d)
+			} else {
+				occupied[id] = &pin{sel: n.Sel, disks: []NodeID{d}}
+			}
+		}
+	}
+
+	var turns []SwitchSetting
+	planned := make(map[NodeID]int)
+	for _, p := range pairs {
+		settings, err := f.RouteTo(p.Disk, p.Host)
+		if err != nil {
+			return nil, fmt.Errorf("routing %s to %s: %w", p.Disk, p.Host, err)
+		}
+		for _, st := range settings {
+			cur := f.nodes[st.Switch].Sel
+			if pinned, ok := occupied[st.Switch]; ok {
+				// Another disk's live path crosses this switch: it may
+				// not move.
+				if st.Sel != pinned.sel {
+					disturbed := append([]NodeID(nil), pinned.disks...)
+					sort.Slice(disturbed, func(i, j int) bool { return disturbed[i] < disturbed[j] })
+					return nil, &ConflictError{Switch: st.Switch, Need: st.Sel, Have: pinned.sel, Disturbed: disturbed}
+				}
+				continue
+			}
+			if prev, ok := planned[st.Switch]; ok {
+				if prev != st.Sel {
+					return nil, &ConflictError{Switch: st.Switch, Need: st.Sel, Have: prev,
+						Disturbed: nil} // two commanded pairs contradict
+				}
+				continue
+			}
+			planned[st.Switch] = st.Sel
+			if cur != st.Sel {
+				turns = append(turns, SwitchSetting{Switch: st.Switch, Sel: st.Sel})
+			}
+		}
+	}
+	sort.Slice(turns, func(i, j int) bool { return turns[i].Switch < turns[j].Switch })
+	return turns, nil
+}
+
+// DisturbedBy returns the disks (outside pairs) whose current attachment
+// would change if the given turns were applied anyway — what the Master
+// weighs when deciding to "ignore the conflicts" (§IV-C). It simulates the
+// turns, diffs attachments, and rolls back.
+func (f *Fabric) DisturbedBy(turns []SwitchSetting, pairs []DiskHost) []NodeID {
+	inCmd := make(map[NodeID]bool, len(pairs))
+	for _, p := range pairs {
+		inCmd[p.Disk] = true
+	}
+	before := make(map[NodeID]string)
+	for _, d := range f.Disks() {
+		if inCmd[d] {
+			continue
+		}
+		if h, err := f.AttachedHost(d); err == nil {
+			before[d] = h
+		} else {
+			before[d] = ""
+		}
+	}
+	saved := make([]SwitchSetting, 0, len(turns))
+	obs := f.onSwitchTurn
+	f.onSwitchTurn = nil // silent what-if
+	for _, t := range turns {
+		saved = append(saved, SwitchSetting{Switch: t.Switch, Sel: f.nodes[t.Switch].Sel})
+		_ = f.SetSwitch(t.Switch, t.Sel)
+	}
+	var disturbed []NodeID
+	for d, h0 := range before {
+		h1, err := f.AttachedHost(d)
+		if err != nil {
+			h1 = ""
+		}
+		if h1 != h0 {
+			disturbed = append(disturbed, d)
+		}
+	}
+	for i := len(saved) - 1; i >= 0; i-- {
+		_ = f.SetSwitch(saved[i].Switch, saved[i].Sel)
+	}
+	f.onSwitchTurn = obs
+	sort.Slice(disturbed, func(i, j int) bool { return disturbed[i] < disturbed[j] })
+	return disturbed
+}
+
+// CoMovingGroups partitions the disks into groups that necessarily move
+// together: disks whose routes to every host pass through the same switch
+// set (a whole leaf hub in the switch-high design; singletons in the
+// full-trees design). The Master plans failover targets per group so a
+// forced command never contradicts itself.
+func (f *Fabric) CoMovingGroups() [][]NodeID {
+	byKey := make(map[string][]NodeID)
+	var keys []string
+	for _, d := range f.Disks() {
+		key := ""
+		for _, h := range f.hosts {
+			settings, err := f.RouteTo(d, h)
+			if err != nil {
+				key += "!;"
+				continue
+			}
+			for _, st := range settings {
+				key += string(st.Switch) + ","
+			}
+			key += ";"
+		}
+		if _, seen := byKey[key]; !seen {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], d)
+	}
+	out := make([][]NodeID, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// ForcedTurns computes the turns for pairs ignoring occupancy conflicts —
+// the Master chose to disturb other disks. Contradictions *within* the
+// command still error.
+func (f *Fabric) ForcedTurns(pairs []DiskHost) ([]SwitchSetting, error) {
+	planned := make(map[NodeID]int)
+	var turns []SwitchSetting
+	for _, p := range pairs {
+		settings, err := f.RouteTo(p.Disk, p.Host)
+		if err != nil {
+			return nil, fmt.Errorf("routing %s to %s: %w", p.Disk, p.Host, err)
+		}
+		for _, st := range settings {
+			if prev, ok := planned[st.Switch]; ok {
+				if prev != st.Sel {
+					return nil, &ConflictError{Switch: st.Switch, Need: st.Sel, Have: prev}
+				}
+				continue
+			}
+			planned[st.Switch] = st.Sel
+			if f.nodes[st.Switch].Sel != st.Sel {
+				turns = append(turns, SwitchSetting{Switch: st.Switch, Sel: st.Sel})
+			}
+		}
+	}
+	sort.Slice(turns, func(i, j int) bool { return turns[i].Switch < turns[j].Switch })
+	return turns, nil
+}

@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file models the fabric's control plane (§III-B): two redundant
+// microcontrollers whose output signals are XOR-ed together to form the
+// switch control lines, plus the power relays on disk and hub supplies.
+// During normal operation only one microcontroller is powered; when control
+// of it is lost (its host dies, or the board itself fails) the other one is
+// powered on and takes over — because of the XOR it can reach any desired
+// switch state regardless of the frozen outputs of its dead twin.
+
+// Control-plane actuation latencies.
+const (
+	// SwitchTurnDelay is the per-switch actuation time (signal settle +
+	// mux re-train).
+	SwitchTurnDelay = 20 * time.Millisecond
+	// RelayDelay is the power-relay actuation time.
+	RelayDelay = 50 * time.Millisecond
+	// MCUCommandDelay is the USB round trip to the microcontroller.
+	MCUCommandDelay = 5 * time.Millisecond
+)
+
+// Errors returned by the control plane.
+var (
+	// ErrMCUUnreachable is returned for a command to a powered-off or
+	// failed microcontroller, or one whose USB host is down.
+	ErrMCUUnreachable = errors.New("fabric: microcontroller unreachable")
+)
+
+// Microcontroller is one Arduino-class board driving switch and relay
+// signal lines. Its outputs hold their last value while powered and read as
+// zero when unpowered.
+type Microcontroller struct {
+	ID string
+	// Host is the machine this MCU is USB-attached to; it is reachable
+	// only through that host.
+	Host string
+
+	powered   bool
+	failed    bool
+	switchOut map[NodeID]int  // 0/1 signal per switch line
+	relayOut  map[NodeID]bool // relay line per disk/hub
+}
+
+// NewMicrocontroller creates an unpowered MCU attached to host.
+func NewMicrocontroller(id, host string) *Microcontroller {
+	return &Microcontroller{
+		ID:        id,
+		Host:      host,
+		switchOut: make(map[NodeID]int),
+		relayOut:  make(map[NodeID]bool),
+	}
+}
+
+// Powered reports whether the MCU has power.
+func (m *Microcontroller) Powered() bool { return m.powered }
+
+// Failed reports a dead board.
+func (m *Microcontroller) Failed() bool { return m.failed }
+
+// Fail kills the board (fault injection).
+func (m *Microcontroller) Fail() { m.failed = true }
+
+// switchSignal is the MCU's contribution to a switch line (0 when off).
+func (m *Microcontroller) switchSignal(sw NodeID) int {
+	if !m.powered || m.failed {
+		return 0
+	}
+	return m.switchOut[sw]
+}
+
+func (m *Microcontroller) relaySignal(id NodeID) bool {
+	if !m.powered || m.failed {
+		return false
+	}
+	return m.relayOut[id]
+}
+
+// ControlPlane ties the two MCUs to the fabric and a scheduler.
+type ControlPlane struct {
+	fabric   *Fabric
+	mcus     [2]*Microcontroller
+	schedule func(time.Duration, func())
+	// hostUp tells the plane whether an MCU's USB host is alive; nil means
+	// always up (standalone fabric tests).
+	hostUp func(host string) bool
+	// relayDefaultOn: relays are normally-closed, so everything has power
+	// until a relay line is asserted. Relay line asserted == power cut.
+	// (This matches "only one MCU powered in normal operation" — an
+	// unpowered control plane must not cut disk power.)
+}
+
+// NewControlPlane wires two MCUs to the fabric. Initially mcus[0] (the
+// primary) is powered on.
+func NewControlPlane(f *Fabric, a, b *Microcontroller, schedule func(time.Duration, func())) *ControlPlane {
+	a.powered = true
+	cp := &ControlPlane{fabric: f, mcus: [2]*Microcontroller{a, b}, schedule: schedule}
+	// Align the powered MCU's outputs with the fabric's current switch
+	// state so enabling it does not glitch the topology.
+	for _, sw := range f.Switches() {
+		a.switchOut[sw] = f.Node(sw).Sel
+	}
+	return cp
+}
+
+// SetHostUp installs the host-liveness oracle.
+func (cp *ControlPlane) SetHostUp(fn func(host string) bool) { cp.hostUp = fn }
+
+// MCU returns the i-th microcontroller (0 = primary).
+func (cp *ControlPlane) MCU(i int) *Microcontroller { return cp.mcus[i] }
+
+// PowerOnMCU powers MCU i, first synchronizing its outputs so the XOR-ed
+// lines keep their current values at the instant it joins (no glitch).
+func (cp *ControlPlane) PowerOnMCU(i int) {
+	m := cp.mcus[i]
+	if m.powered {
+		return
+	}
+	other := cp.mcus[1-i]
+	for _, sw := range cp.fabric.Switches() {
+		// After power-on: m.out XOR other.signal == current fabric state.
+		m.switchOut[sw] = cp.fabric.Node(sw).Sel ^ other.switchSignal(sw)
+	}
+	for id, v := range other.relayOut {
+		_ = v
+		m.relayOut[id] = false // keep relay lines as-is via other MCU
+	}
+	m.powered = true
+}
+
+// PowerOffMCU cuts MCU i's power. Its outputs drop to zero, which flips
+// every XOR-ed line it was asserting — the reason the Controller must
+// synchronize the twin before a deliberate power-off (Failover does).
+func (cp *ControlPlane) PowerOffMCU(i int) {
+	m := cp.mcus[i]
+	if !m.powered {
+		return
+	}
+	m.powered = false
+	cp.applyLines()
+}
+
+// Failover synchronizes the standby MCU to current line state, powers it
+// on, then powers off the old primary. Used for planned handover; for a
+// crashed primary host, call PowerOnMCU(standby) then drive through it.
+func (cp *ControlPlane) Failover(toStandby int) {
+	cp.PowerOnMCU(toStandby)
+	old := cp.mcus[1-toStandby]
+	if old.powered {
+		// Fold the old MCU's contribution into the standby before cutting
+		// power, so the XOR stays constant.
+		for _, sw := range cp.fabric.Switches() {
+			cp.mcus[toStandby].switchOut[sw] ^= old.switchSignal(sw)
+		}
+		old.powered = false
+	}
+	cp.applyLines()
+}
+
+// reachable reports whether MCU i can execute commands.
+func (cp *ControlPlane) reachable(i int) bool {
+	m := cp.mcus[i]
+	if !m.powered || m.failed {
+		return false
+	}
+	if cp.hostUp != nil && !cp.hostUp(m.Host) {
+		return false
+	}
+	return true
+}
+
+// Reachable exposes reachability for the Controller's health checks.
+func (cp *ControlPlane) Reachable(i int) bool { return cp.reachable(i) }
+
+// TurnSwitches asks MCU i to realize the given settings. Switches turn one
+// by one (MCU command + actuation per switch); done fires with the first
+// error or nil after all turns. The per-turn fabric effect (USB subtree
+// detach/attach) happens through the fabric's turn observer.
+func (cp *ControlPlane) TurnSwitches(i int, settings []SwitchSetting, done func(error)) {
+	if !cp.reachable(i) {
+		cp.schedule(MCUCommandDelay, func() { done(fmt.Errorf("%w: %s", ErrMCUUnreachable, cp.mcus[i].ID)) })
+		return
+	}
+	m := cp.mcus[i]
+	var step func(idx int)
+	step = func(idx int) {
+		if idx >= len(settings) {
+			done(nil)
+			return
+		}
+		if !cp.reachable(i) {
+			done(fmt.Errorf("%w: %s mid-command", ErrMCUUnreachable, m.ID))
+			return
+		}
+		st := settings[idx]
+		other := cp.mcus[1-i]
+		// Drive this MCU's line so the XOR equals the desired state.
+		m.switchOut[st.Switch] = st.Sel ^ other.switchSignal(st.Switch)
+		cp.schedule(MCUCommandDelay+SwitchTurnDelay, func() {
+			if err := cp.fabric.SetSwitch(st.Switch, st.Sel); err != nil {
+				done(err)
+				return
+			}
+			step(idx + 1)
+		})
+	}
+	step(0)
+}
+
+// SetPower asks MCU i to open/close the supply relay of a disk or hub.
+func (cp *ControlPlane) SetPower(i int, id NodeID, on bool, done func(error)) {
+	if !cp.reachable(i) {
+		cp.schedule(MCUCommandDelay, func() { done(fmt.Errorf("%w: %s", ErrMCUUnreachable, cp.mcus[i].ID)) })
+		return
+	}
+	m := cp.mcus[i]
+	m.relayOut[id] = !on // asserted line cuts power (normally-closed relay)
+	cp.schedule(MCUCommandDelay+RelayDelay, func() {
+		if err := cp.fabric.SetPower(id, !cp.relayLine(id)); err != nil {
+			done(err)
+			return
+		}
+		done(nil)
+	})
+}
+
+// relayLine is the XOR-free combined relay line (either MCU can cut power).
+func (cp *ControlPlane) relayLine(id NodeID) bool {
+	return cp.mcus[0].relaySignal(id) || cp.mcus[1].relaySignal(id)
+}
+
+// applyLines re-evaluates every XOR-ed switch line against the fabric,
+// used after an MCU power transition (whose line contributions changed).
+func (cp *ControlPlane) applyLines() {
+	for _, sw := range cp.fabric.Switches() {
+		want := cp.mcus[0].switchSignal(sw) ^ cp.mcus[1].switchSignal(sw)
+		_ = cp.fabric.SetSwitch(sw, want)
+	}
+	for id := range cp.allRelayIDs() {
+		_ = cp.fabric.SetPower(id, !cp.relayLine(id))
+	}
+}
+
+func (cp *ControlPlane) allRelayIDs() map[NodeID]struct{} {
+	out := make(map[NodeID]struct{})
+	for _, m := range cp.mcus {
+		for id := range m.relayOut {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}

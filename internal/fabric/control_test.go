@@ -1,0 +1,191 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func protoWithControl(t *testing.T) (*simtime.Scheduler, *Fabric, *ControlPlane) {
+	t.Helper()
+	s := simtime.NewScheduler(1)
+	f := proto(t)
+	a := NewMicrocontroller("mcuA", "h1")
+	b := NewMicrocontroller("mcuB", "h2")
+	cp := NewControlPlane(f, a, b, func(d time.Duration, fn func()) { s.After(d, fn) })
+	return s, f, cp
+}
+
+func moveGroupPairs(f *Fabric, group int, target string) []DiskHost {
+	pairs := make([]DiskHost, 4)
+	for i := range pairs {
+		pairs[i] = DiskHost{Disk: DiskID(group*4 + i), Host: target}
+	}
+	return pairs
+}
+
+func otherHost(f *Fabric, not string) string {
+	for _, h := range f.Hosts() {
+		if h != not {
+			return h
+		}
+	}
+	return ""
+}
+
+func TestTurnSwitchesThroughPrimary(t *testing.T) {
+	s, f, cp := protoWithControl(t)
+	h0, _ := f.AttachedHost(DiskID(0))
+	target := otherHost(f, h0)
+	turns, err := f.SwitchesToTurn(moveGroupPairs(f, 0, target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done error = errors.New("pending")
+	start := s.Now()
+	cp.TurnSwitches(0, turns, func(err error) { done = err })
+	s.Run()
+	if done != nil {
+		t.Fatalf("turn failed: %v", done)
+	}
+	if got, _ := f.AttachedHost(DiskID(0)); got != target {
+		t.Fatalf("disk on %s, want %s", got, target)
+	}
+	// Each turn costs command + actuation, serially.
+	wantMin := time.Duration(len(turns)) * (MCUCommandDelay + SwitchTurnDelay)
+	if s.Now()-start < wantMin {
+		t.Fatalf("turns completed in %v, want >= %v", s.Now()-start, wantMin)
+	}
+}
+
+func TestUnpoweredMCUUnreachable(t *testing.T) {
+	s, f, cp := protoWithControl(t)
+	h0, _ := f.AttachedHost(DiskID(0))
+	turns, _ := f.ForcedTurns(moveGroupPairs(f, 0, otherHost(f, h0)))
+	var done error
+	cp.TurnSwitches(1, turns, func(err error) { done = err }) // MCU B is off
+	s.Run()
+	if !errors.Is(done, ErrMCUUnreachable) {
+		t.Fatalf("err = %v, want ErrMCUUnreachable", done)
+	}
+}
+
+func TestFailoverKeepsSwitchState(t *testing.T) {
+	s, f, cp := protoWithControl(t)
+	// Move group 0 via primary to make some switch lines nonzero.
+	h0, _ := f.AttachedHost(DiskID(0))
+	target := otherHost(f, h0)
+	turns, _ := f.ForcedTurns(moveGroupPairs(f, 0, target))
+	cp.TurnSwitches(0, turns, func(error) {})
+	s.Run()
+	before := make(map[NodeID]int)
+	for _, sw := range f.Switches() {
+		before[sw] = f.Node(sw).Sel
+	}
+	// Planned failover to the standby: XOR sync must leave all lines as-is.
+	cp.Failover(1)
+	for sw, sel := range before {
+		if f.Node(sw).Sel != sel {
+			t.Fatalf("switch %s glitched on failover: %d -> %d", sw, sel, f.Node(sw).Sel)
+		}
+	}
+	if cp.MCU(0).Powered() || !cp.MCU(1).Powered() {
+		t.Fatal("power state wrong after failover")
+	}
+	// The standby can now drive further turns.
+	h, _ := f.AttachedHost(DiskID(0))
+	turns2, _ := f.ForcedTurns(moveGroupPairs(f, 0, otherHost(f, h)))
+	var done error = errors.New("pending")
+	cp.TurnSwitches(1, turns2, func(err error) { done = err })
+	s.Run()
+	if done != nil {
+		t.Fatalf("standby turn failed: %v", done)
+	}
+}
+
+func TestCrashedPrimaryHostStandbyTakesOver(t *testing.T) {
+	s, f, cp := protoWithControl(t)
+	hostUp := map[string]bool{"h1": true, "h2": true, "h3": true, "h4": true}
+	cp.SetHostUp(func(h string) bool { return hostUp[h] })
+	// Set some lines via primary.
+	h0, _ := f.AttachedHost(DiskID(0))
+	target := otherHost(f, h0)
+	turns, _ := f.ForcedTurns(moveGroupPairs(f, 0, target))
+	cp.TurnSwitches(0, turns, func(error) {})
+	s.Run()
+
+	// Primary's host crashes: primary unreachable (its outputs persist —
+	// the board still has power).
+	hostUp["h1"] = false
+	if cp.Reachable(0) {
+		t.Fatal("primary still reachable after host crash")
+	}
+	var done error
+	cp.TurnSwitches(0, nil, func(err error) { done = err })
+	s.Run()
+	if !errors.Is(done, ErrMCUUnreachable) {
+		t.Fatalf("err = %v", done)
+	}
+
+	// Power on the standby (no glitch) and drive through it.
+	before := make(map[NodeID]int)
+	for _, sw := range f.Switches() {
+		before[sw] = f.Node(sw).Sel
+	}
+	cp.PowerOnMCU(1)
+	for sw, sel := range before {
+		if f.Node(sw).Sel != sel {
+			t.Fatalf("switch %s glitched on standby power-on", sw)
+		}
+	}
+	h, _ := f.AttachedHost(DiskID(4))
+	turns2, _ := f.ForcedTurns(moveGroupPairs(f, 1, otherHost(f, h)))
+	done = errors.New("pending")
+	cp.TurnSwitches(1, turns2, func(err error) { done = err })
+	s.Run()
+	if done != nil {
+		t.Fatalf("standby failed: %v", done)
+	}
+	if got, _ := f.AttachedHost(DiskID(4)); got == h {
+		t.Fatal("standby turn had no effect")
+	}
+}
+
+func TestFailedMCUBoard(t *testing.T) {
+	s, _, cp := protoWithControl(t)
+	cp.MCU(0).Fail()
+	var done error
+	cp.TurnSwitches(0, nil, func(err error) { done = err })
+	s.Run()
+	if !errors.Is(done, ErrMCUUnreachable) {
+		t.Fatalf("err = %v", done)
+	}
+}
+
+func TestPowerRelay(t *testing.T) {
+	s, f, cp := protoWithControl(t)
+	var done error = errors.New("pending")
+	cp.SetPower(0, DiskID(3), false, func(err error) { done = err })
+	s.Run()
+	if done != nil {
+		t.Fatal(done)
+	}
+	if f.Node(DiskID(3)).Powered {
+		t.Fatal("disk still powered after relay open")
+	}
+	done = errors.New("pending")
+	cp.SetPower(0, DiskID(3), true, func(err error) { done = err })
+	s.Run()
+	if done != nil || !f.Node(DiskID(3)).Powered {
+		t.Fatalf("power restore failed: %v", done)
+	}
+	// Relays exist only for disks and hubs.
+	done = nil
+	cp.SetPower(0, NodeID("root:h1"), false, func(err error) { done = err })
+	s.Run()
+	if done == nil {
+		t.Fatal("root port relay accepted")
+	}
+}

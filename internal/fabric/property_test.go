@@ -1,0 +1,196 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property (§III-A): "any switch configuration is a valid partition of the
+// fabric into multiple non-overlapping trees, which connect each leaf node
+// to one of the root ports". Under any random switch assignment, every
+// disk either reaches exactly one root port, or is electrically
+// disconnected (its cascade points elsewhere) — and no two disks' paths
+// ever disagree about a shared switch (trivially true because paths follow
+// the same selections, but the partition property also requires that every
+// connected disk's path is loop-free and lands on a root).
+func TestPropertyAnySwitchConfigIsValidPartition(t *testing.T) {
+	f := proto(t)
+	switches := f.Switches()
+	check := func(bits []bool) bool {
+		for i, sw := range switches {
+			sel := 0
+			if i < len(bits) && bits[i] {
+				sel = 1
+			}
+			if err := f.SetSwitch(sw, sel); err != nil {
+				return false
+			}
+		}
+		hostSeen := make(map[NodeID]string)
+		for _, d := range f.Disks() {
+			path, err := f.PathToRoot(d)
+			if err != nil {
+				return false // healthy fabric: every path must terminate
+			}
+			last := f.Node(path[len(path)-1])
+			if last.Kind != KindRootPort {
+				return false
+			}
+			// Loop-free: no node repeats.
+			seen := make(map[NodeID]bool, len(path))
+			for _, id := range path {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			// Non-overlapping trees: every fabric node on the path must
+			// belong to exactly one host's tree in this configuration.
+			for _, id := range path {
+				if f.Node(id).Kind == KindHub || f.Node(id).Kind == KindRootPort {
+					if prev, ok := hostSeen[id]; ok && prev != last.Host {
+						return false
+					}
+					hostSeen[id] = last.Host
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in the switch-high fabric, disks behind the same leaf hub are
+// always attached to the same host, for any switch configuration.
+func TestPropertyGroupsNeverSplit(t *testing.T) {
+	f := proto(t)
+	switches := f.Switches()
+	groups := f.CoMovingGroups()
+	check := func(bits []bool) bool {
+		for i, sw := range switches {
+			sel := 0
+			if i < len(bits) && bits[i] {
+				sel = 1
+			}
+			_ = f.SetSwitch(sw, sel)
+		}
+		for _, g := range groups {
+			var host string
+			for i, d := range g {
+				h, err := f.AttachedHost(d)
+				if err != nil {
+					return false
+				}
+				if i == 0 {
+					host = h
+				} else if h != host {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RouteTo then applying the returned settings always attaches
+// the disk to the requested host, from any starting configuration, in both
+// topology designs.
+func TestPropertyRouteToAlwaysLands(t *testing.T) {
+	for _, build := range []func(Config) (*Fabric, error){BuildSwitchHigh, BuildFullTrees} {
+		f, err := build(Config{Hosts: []string{"h1", "h2", "h3", "h4"}, Disks: 16, FanIn: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switches := f.Switches()
+		hosts := f.Hosts()
+		disks := f.Disks()
+		check := func(bits []bool, diskSel, hostSel uint8) bool {
+			for i, sw := range switches {
+				sel := 0
+				if i < len(bits) && bits[i] {
+					sel = 1
+				}
+				_ = f.SetSwitch(sw, sel)
+			}
+			d := disks[int(diskSel)%len(disks)]
+			h := hosts[int(hostSel)%len(hosts)]
+			settings, err := f.RouteTo(d, h)
+			if err != nil {
+				return false
+			}
+			for _, st := range settings {
+				if err := f.SetSwitch(st.Switch, st.Sel); err != nil {
+					return false
+				}
+			}
+			got, err := f.AttachedHost(d)
+			return err == nil && got == h
+		}
+		cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(17))}
+		if err := quick.Check(check, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: SwitchesToTurn never proposes turning a switch that another
+// (unlisted) disk's current path occupies with a different setting — and
+// applying an accepted plan never changes any unlisted disk's attachment.
+func TestPropertyAlgorithm1NeverDisturbs(t *testing.T) {
+	f, err := BuildFullTrees(Config{Hosts: []string{"h1", "h2"}, Disks: 8, FanIn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := f.Hosts()
+	disks := f.Disks()
+	check := func(diskSel, hostSel uint8, scramble []bool) bool {
+		switches := f.Switches()
+		for i, sw := range switches {
+			sel := 0
+			if i < len(scramble) && scramble[i] {
+				sel = 1
+			}
+			_ = f.SetSwitch(sw, sel)
+		}
+		before := make(map[NodeID]string)
+		for _, d := range disks {
+			h, err := f.AttachedHost(d)
+			if err != nil {
+				return true // disconnected start; Algorithm 1 cares about attached disks
+			}
+			before[d] = h
+		}
+		d := disks[int(diskSel)%len(disks)]
+		h := hosts[int(hostSel)%len(hosts)]
+		turns, err := f.SwitchesToTurn([]DiskHost{{Disk: d, Host: h}})
+		if err != nil {
+			return true // conflicts are legitimate refusals
+		}
+		for _, st := range turns {
+			_ = f.SetSwitch(st.Switch, st.Sel)
+		}
+		for _, other := range disks {
+			if other == d {
+				continue
+			}
+			got, err := f.AttachedHost(other)
+			if err != nil || got != before[other] {
+				return false
+			}
+		}
+		got, err := f.AttachedHost(d)
+		return err == nil && got == h
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

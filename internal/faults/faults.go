@@ -1,0 +1,225 @@
+// Package faults injects failures into a UStore simulation on the
+// schedules the paper cites (§IV-E): hosts fail with an MTTF of about 3.4
+// months (software and network issues dominate), disks with an MTTF of
+// 10-50 years, and physical interconnect components at disk-like rates.
+//
+// Two modes are provided: an MTTF-driven injector that draws exponential
+// inter-failure times from the deterministic simulation RNG, and a
+// scripted schedule for reproducible scenario tests.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+// MTTF constants from the paper's citations (Ford et al. OSDI'10; Jiang et
+// al. FAST'08).
+const (
+	// HostMTTF is ~3.4 months.
+	HostMTTF = 3.4 * 30 * 24 * time.Hour
+	// DiskMTTFLow and DiskMTTFHigh bound the 10-50 year disk MTTF range.
+	DiskMTTFLow  = 10 * 365 * 24 * time.Hour
+	DiskMTTFHigh = 50 * 365 * 24 * time.Hour
+	// InterconnectMTTF: "physical interconnects have similar failure rate
+	// as disks".
+	InterconnectMTTF = DiskMTTFLow
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	KindHostCrash Kind = iota
+	KindHostRecover
+	KindDiskFail
+	KindHubFail
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHostCrash:
+		return "host-crash"
+	case KindHostRecover:
+		return "host-recover"
+	case KindDiskFail:
+		return "disk-fail"
+	case KindHubFail:
+		return "hub-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one injected fault.
+type Event struct {
+	At     simtime.Time
+	Kind   Kind
+	Target string
+}
+
+// Actions connects the injector to the system under test.
+type Actions struct {
+	CrashHost   func(host string)
+	RestoreHost func(host string)
+	FailDisk    func(disk string)
+	FailHub     func(hub string)
+}
+
+// Injector drives MTTF-based failure injection.
+type Injector struct {
+	sched *simtime.Scheduler
+	act   Actions
+
+	// HostRepair is how long a crashed host stays down before restart
+	// (operator reboot / auto-recovery). Default 10 minutes.
+	HostRepair time.Duration
+	// HostMTTFOverride, when nonzero, replaces the paper's 3.4-month host
+	// MTTF — accelerated-aging experiments compress a year of failures
+	// into a simulable window.
+	HostMTTFOverride time.Duration
+
+	hosts []string
+	disks []string
+	hubs  []string
+
+	log     []Event
+	stopped bool
+}
+
+// NewInjector creates an injector over the given component populations.
+func NewInjector(sched *simtime.Scheduler, act Actions, hosts, disks, hubs []string) *Injector {
+	return &Injector{
+		sched:      sched,
+		act:        act,
+		HostRepair: 10 * time.Minute,
+		hosts:      append([]string(nil), hosts...),
+		disks:      append([]string(nil), disks...),
+		hubs:       append([]string(nil), hubs...),
+	}
+}
+
+// Log returns the injected events so far.
+func (in *Injector) Log() []Event { return append([]Event(nil), in.log...) }
+
+// Stop halts future injection.
+func (in *Injector) Stop() { in.stopped = true }
+
+// exp draws an exponential variate with the given mean from the scheduler's
+// deterministic RNG.
+func (in *Injector) exp(mean time.Duration) time.Duration {
+	u := in.sched.Rand().Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}
+
+// Start arms the per-component failure clocks. Each host gets an
+// exponential crash clock (MTTF/#nothing — per host MTTF directly); each
+// disk and hub a failure clock with a mean drawn from the disk MTTF range.
+func (in *Injector) Start() {
+	for _, h := range in.hosts {
+		in.armHost(h)
+	}
+	for _, d := range in.disks {
+		mean := DiskMTTFLow + time.Duration(in.sched.Rand().Float64()*float64(DiskMTTFHigh-DiskMTTFLow))
+		in.armDisk(d, mean)
+	}
+	for _, hub := range in.hubs {
+		in.armHub(hub)
+	}
+}
+
+func (in *Injector) armHost(h string) {
+	mttf := HostMTTF
+	if in.HostMTTFOverride > 0 {
+		mttf = in.HostMTTFOverride
+	}
+	in.sched.After(in.exp(mttf), func() {
+		if in.stopped {
+			return
+		}
+		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHostCrash, Target: h})
+		if in.act.CrashHost != nil {
+			in.act.CrashHost(h)
+		}
+		in.sched.After(in.HostRepair, func() {
+			if in.stopped {
+				return
+			}
+			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHostRecover, Target: h})
+			if in.act.RestoreHost != nil {
+				in.act.RestoreHost(h)
+			}
+			in.armHost(h)
+		})
+	})
+}
+
+func (in *Injector) armDisk(d string, mean time.Duration) {
+	in.sched.After(in.exp(mean), func() {
+		if in.stopped {
+			return
+		}
+		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindDiskFail, Target: d})
+		if in.act.FailDisk != nil {
+			in.act.FailDisk(d)
+		}
+		// Failed disks are replaced by the operator eventually; this
+		// injector leaves them failed (data recovery is the upper layer's
+		// job, §IV-E).
+	})
+}
+
+func (in *Injector) armHub(h string) {
+	in.sched.After(in.exp(InterconnectMTTF), func() {
+		if in.stopped {
+			return
+		}
+		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHubFail, Target: h})
+		if in.act.FailHub != nil {
+			in.act.FailHub(h)
+		}
+	})
+}
+
+// Schedule replays a fixed list of events (scenario tests).
+type Schedule struct {
+	sched *simtime.Scheduler
+	act   Actions
+}
+
+// NewSchedule creates a scripted injector.
+func NewSchedule(sched *simtime.Scheduler, act Actions) *Schedule {
+	return &Schedule{sched: sched, act: act}
+}
+
+// Add arms one scripted event.
+func (s *Schedule) Add(ev Event) {
+	s.sched.At(ev.At, func() {
+		switch ev.Kind {
+		case KindHostCrash:
+			if s.act.CrashHost != nil {
+				s.act.CrashHost(ev.Target)
+			}
+		case KindHostRecover:
+			if s.act.RestoreHost != nil {
+				s.act.RestoreHost(ev.Target)
+			}
+		case KindDiskFail:
+			if s.act.FailDisk != nil {
+				s.act.FailDisk(ev.Target)
+			}
+		case KindHubFail:
+			if s.act.FailHub != nil {
+				s.act.FailHub(ev.Target)
+			}
+		}
+	})
+}

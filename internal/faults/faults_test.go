@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func TestScheduledEventsFire(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	var got []string
+	sch := NewSchedule(s, Actions{
+		CrashHost:   func(h string) { got = append(got, "crash:"+h) },
+		RestoreHost: func(h string) { got = append(got, "restore:"+h) },
+		FailDisk:    func(d string) { got = append(got, "disk:"+d) },
+		FailHub:     func(h string) { got = append(got, "hub:"+h) },
+	})
+	sch.Add(Event{At: 1 * time.Second, Kind: KindHostCrash, Target: "h1"})
+	sch.Add(Event{At: 2 * time.Second, Kind: KindDiskFail, Target: "disk00"})
+	sch.Add(Event{At: 3 * time.Second, Kind: KindHostRecover, Target: "h1"})
+	sch.Add(Event{At: 4 * time.Second, Kind: KindHubFail, Target: "leafhub00"})
+	s.Run()
+	want := []string{"crash:h1", "disk:disk00", "restore:h1", "hub:leafhub00"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInjectorHostCrashAndRecover(t *testing.T) {
+	s := simtime.NewScheduler(7)
+	crashes, restores := 0, 0
+	in := NewInjector(s, Actions{
+		CrashHost:   func(string) { crashes++ },
+		RestoreHost: func(string) { restores++ },
+	}, []string{"h1", "h2", "h3", "h4"}, nil, nil)
+	in.Start()
+	// A simulated year of 4 hosts at 3.4-month MTTF: expect roughly
+	// 4*12/3.4 ≈ 14 crashes; accept a wide band.
+	s.RunUntil(365 * 24 * time.Hour)
+	in.Stop()
+	if crashes < 5 || crashes > 40 {
+		t.Fatalf("crashes in a year = %d, expected ~14", crashes)
+	}
+	if restores < crashes-1 || restores > crashes {
+		t.Fatalf("restores = %d for %d crashes", restores, crashes)
+	}
+	if len(in.Log()) != crashes+restores {
+		t.Fatalf("log length %d", len(in.Log()))
+	}
+}
+
+func TestInjectorDiskFailuresAreRare(t *testing.T) {
+	s := simtime.NewScheduler(11)
+	diskFails := 0
+	var disks []string
+	for i := 0; i < 64; i++ {
+		disks = append(disks, string(rune('a'+i%26)))
+	}
+	in := NewInjector(s, Actions{
+		FailDisk: func(string) { diskFails++ },
+	}, nil, disks, nil)
+	in.Start()
+	// One year, 64 disks at 10-50yr MTTF: expect ~1-6 failures.
+	s.RunUntil(365 * 24 * time.Hour)
+	in.Stop()
+	if diskFails > 15 {
+		t.Fatalf("disk failures in a year = %d, MTTF model too aggressive", diskFails)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []Event {
+		s := simtime.NewScheduler(42)
+		in := NewInjector(s, Actions{}, []string{"h1", "h2"}, []string{"d1"}, []string{"hub1"})
+		in.Start()
+		s.RunUntil(90 * 24 * time.Hour)
+		in.Stop()
+		return in.Log()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,605 @@
+// Package paxos implements the multi-decree Paxos replicated log the UStore
+// Master runs on (§IV-A: "the Master ... is implemented as a replicated
+// state machine using the Paxos consensus protocol").
+//
+// Every node is acceptor, learner, and potential proposer. A stable leader
+// is elected with Phase 1 over all unchosen slots at once (Multi-Paxos);
+// commands then need only Phase 2. Heartbeats maintain leadership and carry
+// the chosen prefix so followers can request catch-up. Randomized election
+// timeouts restore liveness after leader failure.
+//
+// The implementation is single-threaded on the simulation scheduler: all
+// handlers run as scheduler events, so the protocol state needs no locks
+// and every run is deterministic. Safety holds under message loss,
+// duplication, reordering (simnet delivers with per-link latency), and
+// partitions; tests assert the canonical invariants (one value chosen per
+// slot, identical applied prefixes).
+package paxos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// Command is a value proposed into the log. ID must be unique per logical
+// command; the state machine above deduplicates replays by it (a command
+// may be re-proposed after leader change and can be chosen twice in
+// different slots).
+type Command struct {
+	ID   string
+	Data any
+}
+
+// noopID marks gap-filling commands issued during leader recovery.
+const noopID = "__paxos_noop__"
+
+// IsNoop reports whether cmd is a recovery no-op the state machine should
+// skip.
+func (c Command) IsNoop() bool { return c.ID == noopID }
+
+// Applier receives chosen commands in slot order, exactly once per slot.
+type Applier func(slot int, cmd Command)
+
+// Config tunes protocol timing.
+type Config struct {
+	// HeartbeatInterval is the leader's heartbeat period.
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutBase is the minimum silence before campaigning; each
+	// node adds a random fraction of it again to avoid duels.
+	ElectionTimeoutBase time.Duration
+	// PhaseTimeout bounds each Prepare/Accept round before retry.
+	PhaseTimeout time.Duration
+}
+
+// DefaultConfig returns timing suitable for a datacenter-local quorum.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval:   100 * time.Millisecond,
+		ElectionTimeoutBase: 400 * time.Millisecond,
+		PhaseTimeout:        300 * time.Millisecond,
+	}
+}
+
+// Ballot is a proposal number: round<<16 | proposerIndex.
+type Ballot uint64
+
+// NewBallot builds a ballot from a round counter and proposer index.
+func NewBallot(round uint64, proposer int) Ballot {
+	return Ballot(round<<16 | uint64(proposer&0xffff))
+}
+
+// Round returns the round component.
+func (b Ballot) Round() uint64 { return uint64(b) >> 16 }
+
+// Proposer returns the proposer index component.
+func (b Ballot) Proposer() int { return int(uint64(b) & 0xffff) }
+
+// slotState is one log position's acceptor + learner state.
+type slotState struct {
+	acceptedBallot Ballot
+	acceptedValue  Command
+	hasAccepted    bool
+	chosen         bool
+	chosenValue    Command
+	acks           map[string]bool // leader-side Phase 2 acks
+}
+
+// Wire messages (delivered as simnet payloads).
+type (
+	prepareMsg struct {
+		Ballot   Ballot
+		FromSlot int
+	}
+	promiseMsg struct {
+		Ballot   Ballot
+		Accepted []wireSlot
+	}
+	nackMsg struct {
+		Ballot Ballot // the higher ballot the acceptor promised
+	}
+	acceptMsg struct {
+		Ballot Ballot
+		Slot   int
+		Value  Command
+	}
+	acceptedMsg struct {
+		Ballot Ballot
+		Slot   int
+	}
+	chosenMsg struct {
+		Slot  int
+		Value Command
+	}
+	heartbeatMsg struct {
+		Ballot       Ballot
+		ChosenPrefix int
+	}
+	proposeFwd struct {
+		Cmd Command
+	}
+	catchupReq struct {
+		FromSlot int
+	}
+	catchupResp struct {
+		Entries []wireSlot
+	}
+)
+
+type wireSlot struct {
+	Slot   int
+	Ballot Ballot
+	Value  Command
+	Chosen bool
+}
+
+// Node is one Paxos replica.
+type Node struct {
+	name  string
+	index int
+	peers []string // includes self
+	cfg   Config
+	sched *simtime.Scheduler
+	net   *simnet.Network
+	node  *simnet.Node
+	apply Applier
+
+	// Acceptor state.
+	promised Ballot
+
+	// Log.
+	slots   map[int]*slotState
+	applied int // next slot to apply
+	chosenP int // contiguous chosen prefix (== lowest unchosen slot)
+
+	// Leadership.
+	isLeader     bool
+	leaderBallot Ballot
+	leaderHint   string // who we believe leads
+	lastLeaderAt simtime.Time
+	campaigning  bool
+	promises     map[string][]wireSlot
+	nextSlot     int // leader: next free slot
+
+	// Client proposals.
+	pending   []Command
+	inFlight  map[string]int // cmd ID -> slot (leader side)
+	onApplied map[string]func(slot int)
+
+	stopped bool
+
+	// Stats.
+	elections uint64
+	proposed  uint64
+}
+
+// New creates a replica named name (must appear in peers) on net.
+func New(net *simnet.Network, name string, peers []string, cfg Config, apply Applier) *Node {
+	idx := -1
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		if p == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("paxos: %s not in peer list %v", name, peers))
+	}
+	n := &Node{
+		name:      name,
+		index:     idx,
+		peers:     sorted,
+		cfg:       cfg,
+		sched:     net.Scheduler(),
+		net:       net,
+		node:      net.Node(name),
+		apply:     apply,
+		slots:     make(map[int]*slotState),
+		promises:  make(map[string][]wireSlot),
+		inFlight:  make(map[string]int),
+		onApplied: make(map[string]func(int)),
+	}
+	n.node.Handle(n.dispatch)
+	n.armElectionTimer()
+	return n
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// IsLeader reports current leadership belief.
+func (n *Node) IsLeader() bool { return n.isLeader }
+
+// Leader returns the believed leader's name ("" if unknown).
+func (n *Node) Leader() string {
+	if n.isLeader {
+		return n.name
+	}
+	return n.leaderHint
+}
+
+// Applied returns the number of slots applied to the state machine.
+func (n *Node) Applied() int { return n.applied }
+
+// Elections returns how many campaigns this node has started.
+func (n *Node) Elections() uint64 { return n.elections }
+
+// Stop makes the node inert (process crash). Its acceptor state is
+// retained, modelling a restart-with-durable-state when Resume is called.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.isLeader = false
+	n.node.SetDown(true)
+}
+
+// Resume restarts a stopped node.
+func (n *Node) Resume() {
+	n.stopped = false
+	n.node.SetDown(false)
+	n.lastLeaderAt = n.sched.Now()
+	n.armElectionTimer()
+}
+
+// Propose submits a command. If this node is not leader it forwards to the
+// believed leader (or buffers until one emerges). onApplied, if non-nil,
+// fires when the command is applied locally (at-least-once: callers give
+// commands unique IDs and the state machine deduplicates).
+func (n *Node) Propose(cmd Command, onApplied func(slot int)) {
+	if n.stopped {
+		return
+	}
+	if onApplied != nil {
+		n.onApplied[cmd.ID] = onApplied
+	}
+	if n.isLeader {
+		n.leaderPropose(cmd)
+		return
+	}
+	if n.leaderHint != "" {
+		n.node.Send(n.leaderHint, proposeFwd{Cmd: cmd}, 64)
+		return
+	}
+	n.pending = append(n.pending, cmd)
+}
+
+func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+func (n *Node) slot(i int) *slotState {
+	s, ok := n.slots[i]
+	if !ok {
+		s = &slotState{acks: make(map[string]bool)}
+		n.slots[i] = s
+	}
+	return s
+}
+
+func (n *Node) broadcast(payload any, size int) {
+	for _, p := range n.peers {
+		n.node.Send(p, payload, size)
+	}
+}
+
+// --- Elections ---
+
+func (n *Node) armElectionTimer() {
+	jitter := time.Duration(n.sched.Rand().Int63n(int64(n.cfg.ElectionTimeoutBase)))
+	timeout := n.cfg.ElectionTimeoutBase + jitter
+	n.sched.After(timeout, func() {
+		if n.stopped {
+			return
+		}
+		if !n.isLeader && n.sched.Now()-n.lastLeaderAt >= n.cfg.ElectionTimeoutBase {
+			n.campaign()
+		}
+		n.armElectionTimer()
+	})
+}
+
+func (n *Node) campaign() {
+	n.elections++
+	n.campaigning = true
+	round := n.promised.Round() + 1
+	b := NewBallot(round, n.index)
+	n.promised = b
+	n.leaderBallot = b
+	n.promises = map[string][]wireSlot{}
+	from := n.chosenP
+	ballot := b
+	n.broadcast(prepareMsg{Ballot: b, FromSlot: from}, 64)
+	n.sched.After(n.cfg.PhaseTimeout, func() {
+		if n.campaigning && n.leaderBallot == ballot && !n.isLeader {
+			n.campaigning = false // retry via election timer
+		}
+	})
+}
+
+// --- Message handling ---
+
+func (n *Node) dispatch(msg simnet.Message) {
+	if n.stopped {
+		return
+	}
+	switch m := msg.Payload.(type) {
+	case prepareMsg:
+		n.onPrepare(msg.From, m)
+	case promiseMsg:
+		n.onPromise(msg.From, m)
+	case nackMsg:
+		n.onNack(m)
+	case acceptMsg:
+		n.onAccept(msg.From, m)
+	case acceptedMsg:
+		n.onAccepted(msg.From, m)
+	case chosenMsg:
+		n.markChosen(m.Slot, m.Value)
+	case heartbeatMsg:
+		n.onHeartbeat(msg.From, m)
+	case proposeFwd:
+		if n.isLeader {
+			n.leaderPropose(m.Cmd)
+		} else if n.leaderHint != "" && n.leaderHint != msg.From {
+			n.node.Send(n.leaderHint, m, 64)
+		} else {
+			n.pending = append(n.pending, m.Cmd)
+		}
+	case catchupReq:
+		n.onCatchupReq(msg.From, m)
+	case catchupResp:
+		for _, e := range m.Entries {
+			if e.Chosen {
+				n.markChosen(e.Slot, e.Value)
+			}
+		}
+	}
+}
+
+func (n *Node) onPrepare(from string, m prepareMsg) {
+	if m.Ballot < n.promised {
+		n.node.Send(from, nackMsg{Ballot: n.promised}, 16)
+		return
+	}
+	n.promised = m.Ballot
+	if from != n.name {
+		// A prepare from a would-be leader resets our election patience.
+		n.lastLeaderAt = n.sched.Now()
+	}
+	var acc []wireSlot
+	for i, s := range n.slots {
+		if i < m.FromSlot {
+			continue
+		}
+		switch {
+		case s.chosen:
+			acc = append(acc, wireSlot{Slot: i, Ballot: s.acceptedBallot, Value: s.chosenValue, Chosen: true})
+		case s.hasAccepted:
+			acc = append(acc, wireSlot{Slot: i, Ballot: s.acceptedBallot, Value: s.acceptedValue})
+		}
+	}
+	n.node.Send(from, promiseMsg{Ballot: m.Ballot, Accepted: acc}, 64+len(acc)*32)
+}
+
+func (n *Node) onPromise(from string, m promiseMsg) {
+	if !n.campaigning || m.Ballot != n.leaderBallot {
+		return
+	}
+	n.promises[from] = m.Accepted
+	if len(n.promises) < n.quorum() {
+		return
+	}
+	// Quorum: become leader.
+	n.campaigning = false
+	n.isLeader = true
+	n.leaderHint = n.name
+	n.lastLeaderAt = n.sched.Now()
+
+	// Recover: adopt highest-ballot accepted value per slot; chosen values
+	// win outright.
+	highest := make(map[int]wireSlot)
+	maxSlot := n.chosenP - 1
+	for _, acc := range n.promises {
+		for _, ws := range acc {
+			if ws.Slot > maxSlot {
+				maxSlot = ws.Slot
+			}
+			cur, ok := highest[ws.Slot]
+			if ws.Chosen || !ok || ws.Ballot > cur.Ballot {
+				if !cur.Chosen || ws.Chosen {
+					highest[ws.Slot] = ws
+				}
+			}
+		}
+	}
+	n.nextSlot = maxSlot + 1
+	if n.nextSlot < n.chosenP {
+		n.nextSlot = n.chosenP
+	}
+	for i := n.chosenP; i <= maxSlot; i++ {
+		if ws, ok := highest[i]; ok {
+			if ws.Chosen {
+				n.markChosen(ws.Slot, ws.Value)
+				n.broadcast(chosenMsg{Slot: ws.Slot, Value: ws.Value}, 64)
+			} else {
+				n.phase2(i, ws.Value)
+			}
+		} else {
+			n.phase2(i, Command{ID: noopID})
+		}
+	}
+	// Drain buffered proposals.
+	pend := n.pending
+	n.pending = nil
+	for _, c := range pend {
+		n.leaderPropose(c)
+	}
+	n.heartbeat()
+}
+
+func (n *Node) onNack(m nackMsg) {
+	if m.Ballot > n.promised {
+		n.promised = m.Ballot
+	}
+	if n.isLeader && m.Ballot > n.leaderBallot {
+		n.isLeader = false
+	}
+	n.campaigning = false
+}
+
+func (n *Node) leaderPropose(cmd Command) {
+	if slot, dup := n.inFlight[cmd.ID]; dup {
+		_ = slot // already proposed under this leadership; Phase 2 retries handle it
+		return
+	}
+	slot := n.nextSlot
+	n.nextSlot++
+	n.inFlight[cmd.ID] = slot
+	n.proposed++
+	n.phase2(slot, cmd)
+}
+
+func (n *Node) phase2(slot int, value Command) {
+	s := n.slot(slot)
+	if s.chosen {
+		return
+	}
+	s.acks = make(map[string]bool)
+	b := n.leaderBallot
+	n.broadcast(acceptMsg{Ballot: b, Slot: slot, Value: value}, 128)
+	n.sched.After(n.cfg.PhaseTimeout, func() {
+		if n.stopped || !n.isLeader || n.leaderBallot != b {
+			return
+		}
+		if !n.slot(slot).chosen {
+			n.phase2(slot, value) // retry under same ballot
+		}
+	})
+}
+
+func (n *Node) onAccept(from string, m acceptMsg) {
+	if m.Ballot < n.promised {
+		n.node.Send(from, nackMsg{Ballot: n.promised}, 16)
+		return
+	}
+	n.promised = m.Ballot
+	if from != n.name {
+		n.lastLeaderAt = n.sched.Now()
+		n.leaderHint = from
+		if n.isLeader && m.Ballot > n.leaderBallot {
+			n.isLeader = false
+		}
+	}
+	s := n.slot(m.Slot)
+	if !s.chosen {
+		s.acceptedBallot = m.Ballot
+		s.acceptedValue = m.Value
+		s.hasAccepted = true
+	}
+	n.node.Send(from, acceptedMsg{Ballot: m.Ballot, Slot: m.Slot}, 32)
+}
+
+func (n *Node) onAccepted(from string, m acceptedMsg) {
+	if !n.isLeader || m.Ballot != n.leaderBallot {
+		return
+	}
+	s := n.slot(m.Slot)
+	if s.chosen {
+		return
+	}
+	s.acks[from] = true
+	if len(s.acks) >= n.quorum() {
+		value := s.acceptedValue
+		if !s.hasAccepted {
+			// The leader itself may not have self-delivered yet; the value
+			// is whatever we sent — recover it from in-flight tracking is
+			// complex, so leaders always self-deliver (local sends have
+			// zero latency and are processed before remote acks).
+			return
+		}
+		n.markChosen(m.Slot, value)
+		n.broadcast(chosenMsg{Slot: m.Slot, Value: value}, 128)
+	}
+}
+
+func (n *Node) markChosen(slot int, value Command) {
+	s := n.slot(slot)
+	if s.chosen {
+		return
+	}
+	s.chosen = true
+	s.chosenValue = value
+	for n.slots[n.chosenP] != nil && n.slots[n.chosenP].chosen {
+		n.chosenP++
+	}
+	n.applyReady()
+}
+
+func (n *Node) applyReady() {
+	for n.applied < n.chosenP {
+		slot := n.applied
+		s := n.slots[slot]
+		n.applied++
+		cmd := s.chosenValue
+		if !cmd.IsNoop() && n.apply != nil {
+			n.apply(slot, cmd)
+		}
+		if cb, ok := n.onApplied[cmd.ID]; ok {
+			delete(n.onApplied, cmd.ID)
+			cb(slot)
+		}
+	}
+}
+
+// --- Heartbeats & catch-up ---
+
+func (n *Node) heartbeat() {
+	if n.stopped || !n.isLeader {
+		return
+	}
+	n.broadcast(heartbeatMsg{Ballot: n.leaderBallot, ChosenPrefix: n.chosenP}, 32)
+	n.sched.After(n.cfg.HeartbeatInterval, n.heartbeat)
+}
+
+func (n *Node) onHeartbeat(from string, m heartbeatMsg) {
+	if m.Ballot < n.promised {
+		n.node.Send(from, nackMsg{Ballot: n.promised}, 16)
+		return
+	}
+	n.promised = m.Ballot
+	if from != n.name {
+		if n.isLeader {
+			n.isLeader = false
+		}
+		n.leaderHint = from
+		n.lastLeaderAt = n.sched.Now()
+		n.campaigning = false
+		// Flush buffered proposals to the live leader.
+		pend := n.pending
+		n.pending = nil
+		for _, c := range pend {
+			n.node.Send(from, proposeFwd{Cmd: c}, 64)
+		}
+	}
+	if m.ChosenPrefix > n.chosenP {
+		n.node.Send(from, catchupReq{FromSlot: n.chosenP}, 16)
+	}
+}
+
+func (n *Node) onCatchupReq(from string, m catchupReq) {
+	var entries []wireSlot
+	for i := m.FromSlot; i < n.chosenP; i++ {
+		s := n.slots[i]
+		if s == nil || !s.chosen {
+			break
+		}
+		entries = append(entries, wireSlot{Slot: i, Value: s.chosenValue, Chosen: true})
+		if len(entries) >= 256 {
+			break
+		}
+	}
+	if len(entries) > 0 {
+		n.node.Send(from, catchupResp{Entries: entries}, 64+len(entries)*64)
+	}
+}

@@ -1,0 +1,108 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func TestColocatedNodesAreLoopback(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	n.Colocate("ep:h1", "h1")
+	n.Colocate("blk:h1", "h1")
+	n.SetLatency("ep:h1", "blk:h1", time.Second) // must be ignored
+	var gotAt simtime.Time = -1
+	n.Node("blk:h1").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("ep:h1").Send("blk:h1", "io", 4<<20)
+	s.Run()
+	if gotAt != 0 {
+		t.Fatalf("loopback delivery at %v, want 0", gotAt)
+	}
+	if n.Stats().Bytes != 0 {
+		t.Fatalf("loopback counted %d network bytes", n.Stats().Bytes)
+	}
+}
+
+func TestDifferentMachinesUseNetwork(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	n.Colocate("a", "h1")
+	n.Colocate("b", "h2")
+	var gotAt simtime.Time = -1
+	n.Node("b").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("a").Send("b", "x", 1000)
+	s.Run()
+	if gotAt <= 0 {
+		t.Fatalf("cross-machine delivery at %v, want network delay", gotAt)
+	}
+	if n.Stats().Bytes != 1000 {
+		t.Fatalf("bytes = %d", n.Stats().Bytes)
+	}
+	if n.Machine("a") != "h1" || n.Machine("unassigned") != "" {
+		t.Fatalf("Machine() wrong: %q %q", n.Machine("a"), n.Machine("unassigned"))
+	}
+}
+
+func TestUnassignedNodeNotLocalToAssigned(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	n.Colocate("a", "h1")
+	// "b" is unassigned; must not be treated as local to anything.
+	var gotAt simtime.Time = -1
+	n.Node("b").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("a").Send("b", "x", 0)
+	s.Run()
+	if gotAt <= 0 {
+		t.Fatal("unassigned node treated as loopback")
+	}
+	// Two unassigned nodes are also remote to each other.
+	gotAt = -1
+	n.Node("c").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("b").Send("c", "x", 0)
+	s.Run()
+	if gotAt <= 0 {
+		t.Fatal("two unassigned nodes treated as loopback")
+	}
+}
+
+func TestColocatedIgnoresLossAndCut(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	n.Colocate("a", "h1")
+	n.Colocate("b", "h1")
+	n.SetLossRate("a", "b", 1.0)
+	n.Cut("a", "b")
+	got := 0
+	n.Node("b").Handle(func(m Message) { got++ })
+	n.Node("a").Send("b", "x", 0)
+	s.Run()
+	if got != 1 {
+		t.Fatal("loopback affected by link loss/cut")
+	}
+}
+
+func TestDupRateDeliversTwice(t *testing.T) {
+	s := simtime.NewScheduler(3)
+	n := New(s)
+	n.SetDupRate("a", "b", 1.0)
+	got := 0
+	n.Node("b").Handle(func(m Message) { got++ })
+	n.Node("a").Send("b", "x", 0)
+	s.Run()
+	if got != 2 {
+		t.Fatalf("delivered %d times with dupRate 1, want 2", got)
+	}
+}
+
+func TestDupRateValidation(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for dup rate out of range")
+		}
+	}()
+	n.SetDupRate("a", "b", -0.5)
+}

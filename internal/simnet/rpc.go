@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is returned to an RPC callback when no reply arrives within the
+// deadline.
+var ErrTimeout = errors.New("simnet: rpc timeout")
+
+// rpcRequest and rpcReply are the internal envelopes the RPC layer exchanges.
+type rpcRequest struct {
+	ID     uint64
+	Method string
+	Args   any
+}
+
+type rpcReply struct {
+	ID     uint64
+	Result any
+	Err    string
+}
+
+// RPCHandler serves one method. Returning a non-nil error sends the error
+// string to the caller instead of a result.
+type RPCHandler func(from string, args any) (any, error)
+
+// RPCAsyncHandler serves one method whose reply is produced later (e.g.
+// after further scheduled events). reply must be called exactly once.
+type RPCAsyncHandler func(from string, args any, reply func(result any, err error))
+
+// RPCNode wraps a Node with request/response semantics: named methods on the
+// server side, per-call timeouts and callbacks on the client side. All
+// callbacks run on the scheduler goroutine.
+type RPCNode struct {
+	node     *Node
+	net      *Network
+	methods  map[string]RPCHandler
+	async    map[string]RPCAsyncHandler
+	nextID   uint64
+	pending  map[uint64]*pendingCall
+	otherRaw Handler
+}
+
+type pendingCall struct {
+	done    func(result any, err error)
+	timeout *eventRef
+}
+
+// eventRef lets us cancel the timeout without importing simtime types here.
+type eventRef struct{ cancel func() }
+
+// NewRPCNode registers name on the network and installs the RPC dispatcher
+// as its message handler.
+func NewRPCNode(net *Network, name string) *RPCNode {
+	r := &RPCNode{
+		node:    net.Node(name),
+		net:     net,
+		methods: make(map[string]RPCHandler),
+		async:   make(map[string]RPCAsyncHandler),
+		pending: make(map[uint64]*pendingCall),
+	}
+	r.node.Handle(r.dispatch)
+	return r
+}
+
+// Name returns the underlying node name.
+func (r *RPCNode) Name() string { return r.node.Name() }
+
+// Node returns the underlying network node (for Up/SetDown).
+func (r *RPCNode) Node() *Node { return r.node }
+
+// Register installs a handler for method. Re-registering replaces it.
+func (r *RPCNode) Register(method string, h RPCHandler) {
+	r.methods[method] = h
+}
+
+// RegisterAsync installs a handler whose reply arrives later. The reply
+// closure is safe to call from any subsequently scheduled event.
+func (r *RPCNode) RegisterAsync(method string, h RPCAsyncHandler) {
+	r.async[method] = h
+}
+
+// HandleRaw installs a handler for non-RPC payloads delivered to this node
+// (e.g. one-way notifications sent with Node.Send).
+func (r *RPCNode) HandleRaw(h Handler) { r.otherRaw = h }
+
+// Call sends an async request. done is invoked exactly once: with the reply,
+// with a remote error, or with ErrTimeout. size is the request's nominal
+// wire size in bytes.
+func (r *RPCNode) Call(to, method string, args any, size int, timeout time.Duration, done func(result any, err error)) {
+	r.nextID++
+	id := r.nextID
+	pc := &pendingCall{done: done}
+	r.pending[id] = pc
+	if timeout > 0 {
+		ev := r.net.sched.After(timeout, func() {
+			if _, ok := r.pending[id]; !ok {
+				return
+			}
+			delete(r.pending, id)
+			if done != nil {
+				done(nil, ErrTimeout)
+			}
+		})
+		pc.timeout = &eventRef{cancel: ev.Cancel}
+	}
+	r.node.Send(to, rpcRequest{ID: id, Method: method, Args: args}, size)
+}
+
+func (r *RPCNode) dispatch(msg Message) {
+	switch p := msg.Payload.(type) {
+	case rpcRequest:
+		if ah, ok := r.async[p.Method]; ok {
+			id := p.ID
+			from := msg.From
+			replied := false
+			ah(from, p.Args, func(result any, err error) {
+				if replied {
+					panic("simnet: async RPC handler replied twice")
+				}
+				replied = true
+				rep := rpcReply{ID: id, Result: result}
+				if err != nil {
+					rep.Err = err.Error()
+				}
+				r.node.Send(from, rep, 0)
+			})
+			return
+		}
+		h, ok := r.methods[p.Method]
+		if !ok {
+			r.node.Send(msg.From, rpcReply{ID: p.ID, Err: "unknown method " + p.Method}, 0)
+			return
+		}
+		result, err := h(msg.From, p.Args)
+		rep := rpcReply{ID: p.ID, Result: result}
+		if err != nil {
+			rep.Err = err.Error()
+		}
+		r.node.Send(msg.From, rep, 0)
+	case rpcReply:
+		pc, ok := r.pending[p.ID]
+		if !ok {
+			return // late reply after timeout; drop
+		}
+		delete(r.pending, p.ID)
+		if pc.timeout != nil {
+			pc.timeout.cancel()
+		}
+		if pc.done == nil {
+			return
+		}
+		if p.Err != "" {
+			pc.done(nil, errors.New(p.Err))
+		} else {
+			pc.done(p.Result, nil)
+		}
+	default:
+		if r.otherRaw != nil {
+			r.otherRaw(msg)
+		}
+	}
+}

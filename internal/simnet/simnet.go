@@ -1,0 +1,285 @@
+// Package simnet provides a simulated message-passing network for UStore
+// components, built on the simtime discrete-event scheduler.
+//
+// A Network holds named Nodes. Messages sent between nodes are delivered as
+// scheduled events after a per-link latency (plus optional serialization time
+// derived from link bandwidth and message size). Links can be cut, delayed,
+// or made lossy to inject the failure modes the paper's failure-detection and
+// failover machinery must survive.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+// Message is a unit of delivery. Payload typing is left to the application
+// protocols layered above (core RPCs, block protocol, paxos messages).
+type Message struct {
+	From    string
+	To      string
+	Payload any
+	// Size is the nominal size in bytes, used for serialization delay on
+	// bandwidth-limited links. Zero means "control message" (latency only).
+	Size int
+}
+
+// Handler receives delivered messages on a node.
+type Handler func(msg Message)
+
+// Node is a network endpoint.
+type Node struct {
+	name    string
+	net     *Network
+	handler Handler
+	up      bool
+}
+
+// Name returns the node's unique name.
+func (n *Node) Name() string { return n.name }
+
+// Up reports whether the node is accepting deliveries.
+func (n *Node) Up() bool { return n.up }
+
+// SetDown makes the node drop all deliveries (simulates a crashed or
+// partitioned-away process). Messages already in flight are dropped on
+// arrival.
+func (n *Node) SetDown(down bool) { n.up = !down }
+
+// Handle installs the delivery callback. Must be set before messages arrive;
+// deliveries with no handler are counted as drops.
+func (n *Node) Handle(h Handler) { n.handler = h }
+
+// Send sends a message from this node. See Network.Send.
+func (n *Node) Send(to string, payload any, size int) {
+	n.net.Send(Message{From: n.name, To: to, Payload: payload, Size: size})
+}
+
+type linkKey struct{ from, to string }
+
+type linkState struct {
+	latency   time.Duration
+	bandwidth float64 // bytes/sec; 0 = infinite
+	lossRate  float64 // probability a message is dropped
+	dupRate   float64 // probability a message is delivered twice
+	cut       bool
+}
+
+// Stats aggregates network counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// Network is a collection of nodes and directed links.
+type Network struct {
+	sched *simtime.Scheduler
+	nodes map[string]*Node
+	links map[linkKey]*linkState
+	// machines maps node name -> physical machine. Two nodes on the same
+	// machine exchange messages locally: no latency, no bandwidth charge,
+	// no loss, and no contribution to network byte counters.
+	machines map[string]string
+
+	defaultLatency   time.Duration
+	defaultBandwidth float64
+
+	stats Stats
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the default one-way latency for links without an explicit
+// override. The default is 200µs (same-cluster datacenter RTT ≈ 0.4ms).
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.defaultLatency = d }
+}
+
+// WithBandwidth sets the default link bandwidth in bytes/sec (0 = infinite).
+// The default models a 1GbE NIC (125e6 bytes/sec), matching the paper's
+// datacenter setting.
+func WithBandwidth(bytesPerSec float64) Option {
+	return func(n *Network) { n.defaultBandwidth = bytesPerSec }
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *simtime.Scheduler, opts ...Option) *Network {
+	n := &Network{
+		sched:            sched,
+		nodes:            make(map[string]*Node),
+		links:            make(map[linkKey]*linkState),
+		machines:         make(map[string]string),
+		defaultLatency:   200 * time.Microsecond,
+		defaultBandwidth: 125e6,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Scheduler returns the scheduler the network runs on.
+func (n *Network) Scheduler() *simtime.Scheduler { return n.sched }
+
+// Node registers (or returns the existing) node with the given name.
+func (n *Network) Node(name string) *Node {
+	if nd, ok := n.nodes[name]; ok {
+		return nd
+	}
+	nd := &Node{name: name, net: n, up: true}
+	n.nodes[name] = nd
+	return nd
+}
+
+// Lookup returns the named node, or nil if unregistered.
+func (n *Network) Lookup(name string) *Node { return n.nodes[name] }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) link(from, to string) *linkState {
+	k := linkKey{from, to}
+	if l, ok := n.links[k]; ok {
+		return l
+	}
+	l := &linkState{latency: n.defaultLatency, bandwidth: n.defaultBandwidth}
+	n.links[k] = l
+	return l
+}
+
+// SetLatency overrides the one-way latency in both directions between a and b.
+func (n *Network) SetLatency(a, b string, d time.Duration) {
+	n.link(a, b).latency = d
+	n.link(b, a).latency = d
+}
+
+// SetLossRate sets the message drop probability in both directions.
+func (n *Network) SetLossRate(a, b string, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("simnet: loss rate %v out of [0,1]", p))
+	}
+	n.link(a, b).lossRate = p
+	n.link(b, a).lossRate = p
+}
+
+// SetDupRate sets the probability that a message is delivered twice in
+// both directions (retransmission storms; consensus must be idempotent).
+func (n *Network) SetDupRate(a, b string, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("simnet: dup rate %v out of [0,1]", p))
+	}
+	n.link(a, b).dupRate = p
+	n.link(b, a).dupRate = p
+}
+
+// Cut severs the link in both directions (a network partition between the
+// pair). Messages sent while cut are dropped.
+func (n *Network) Cut(a, b string) {
+	n.link(a, b).cut = true
+	n.link(b, a).cut = true
+}
+
+// Heal restores a cut link.
+func (n *Network) Heal(a, b string) {
+	n.link(a, b).cut = false
+	n.link(b, a).cut = false
+}
+
+// Isolate cuts every link touching name (both directions).
+func (n *Network) Isolate(name string) {
+	for other := range n.nodes {
+		if other != name {
+			n.Cut(name, other)
+		}
+	}
+}
+
+// Rejoin heals every link touching name.
+func (n *Network) Rejoin(name string) {
+	for other := range n.nodes {
+		if other != name {
+			n.Heal(name, other)
+		}
+	}
+}
+
+// Colocate places a node on a physical machine. Messages between nodes of
+// the same machine are loopback: zero latency and no network accounting
+// (the process-to-process path inside one host).
+func (n *Network) Colocate(node, machine string) {
+	n.machines[node] = machine
+}
+
+// Machine returns the machine a node is placed on ("" if unassigned).
+func (n *Network) Machine(node string) string { return n.machines[node] }
+
+// sameMachine reports whether two nodes are loopback-local.
+func (n *Network) sameMachine(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ma, ok := n.machines[a]
+	if !ok {
+		return false
+	}
+	return ma == n.machines[b]
+}
+
+// Send delivers msg after the link's latency plus serialization time. It is a
+// no-op (counted as a drop) if either endpoint is unknown or down, the link
+// is cut, or the loss dice say so. Local sends (same node or same machine)
+// are delivered with zero latency on the next event.
+func (n *Network) Send(msg Message) {
+	n.stats.Sent++
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	local := n.sameMachine(msg.From, msg.To)
+	var delay time.Duration
+	dup := false
+	if !local {
+		l := n.link(msg.From, msg.To)
+		if l.cut {
+			n.stats.Dropped++
+			return
+		}
+		if l.lossRate > 0 && n.sched.Rand().Float64() < l.lossRate {
+			n.stats.Dropped++
+			return
+		}
+		if l.dupRate > 0 && n.sched.Rand().Float64() < l.dupRate {
+			dup = true
+		}
+		delay = l.latency
+		if l.bandwidth > 0 && msg.Size > 0 {
+			delay += time.Duration(float64(msg.Size) / l.bandwidth * float64(time.Second))
+		}
+	}
+	if dup {
+		// Deliver a copy a little later (retransmission).
+		jitter := delay + time.Duration(n.sched.Rand().Int63n(int64(time.Millisecond)))
+		n.deliver(msg, dst, jitter, local)
+	}
+	n.deliver(msg, dst, delay, local)
+}
+
+func (n *Network) deliver(msg Message, dst *Node, delay time.Duration, local bool) {
+	n.sched.After(delay, func() {
+		if !dst.up || dst.handler == nil {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		if !local {
+			n.stats.Bytes += uint64(msg.Size)
+		}
+		dst.handler(msg)
+	})
+}

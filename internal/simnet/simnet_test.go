@@ -1,0 +1,281 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func newNet(t *testing.T) (*simtime.Scheduler, *Network) {
+	t.Helper()
+	s := simtime.NewScheduler(1)
+	return s, New(s)
+}
+
+func TestDeliveryWithLatency(t *testing.T) {
+	s, n := newNet(t)
+	n.SetLatency("a", "b", 5*time.Millisecond)
+	var gotAt simtime.Time
+	var got Message
+	n.Node("b").Handle(func(m Message) { got = m; gotAt = s.Now() })
+	n.Node("a").Send("b", "hello", 0)
+	s.Run()
+	if got.Payload != "hello" || got.From != "a" {
+		t.Fatalf("got %+v", got)
+	}
+	if gotAt != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", gotAt)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	s, n := newNet(t)
+	n.SetLatency("a", "b", 0)
+	// default bandwidth 125e6 B/s: 125e6 bytes take exactly 1s.
+	var gotAt simtime.Time
+	n.Node("b").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("a").Send("b", nil, 125_000_000)
+	s.Run()
+	if gotAt != time.Second {
+		t.Fatalf("delivered at %v, want 1s", gotAt)
+	}
+}
+
+func TestLocalSendNoLatency(t *testing.T) {
+	s, n := newNet(t)
+	var gotAt simtime.Time = -1
+	n.Node("a").Handle(func(m Message) { gotAt = s.Now() })
+	n.Node("a").Send("a", "self", 1000)
+	s.Run()
+	if gotAt != 0 {
+		t.Fatalf("local delivery at %v, want 0", gotAt)
+	}
+}
+
+func TestCutAndHeal(t *testing.T) {
+	s, n := newNet(t)
+	count := 0
+	n.Node("b").Handle(func(m Message) { count++ })
+	a := n.Node("a")
+	n.Cut("a", "b")
+	a.Send("b", 1, 0)
+	s.Run()
+	if count != 0 {
+		t.Fatal("message crossed a cut link")
+	}
+	n.Heal("a", "b")
+	a.Send("b", 2, 0)
+	s.Run()
+	if count != 1 {
+		t.Fatal("message lost after heal")
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIsolateRejoin(t *testing.T) {
+	s, n := newNet(t)
+	count := 0
+	for _, name := range []string{"a", "b", "c"} {
+		n.Node(name).Handle(func(m Message) { count++ })
+	}
+	n.Isolate("a")
+	n.Node("b").Send("a", 1, 0)
+	n.Node("a").Send("c", 1, 0)
+	n.Node("b").Send("c", 1, 0) // unaffected pair
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want only b->c delivered", count)
+	}
+	n.Rejoin("a")
+	n.Node("b").Send("a", 1, 0)
+	s.Run()
+	if count != 2 {
+		t.Fatal("rejoin did not restore connectivity")
+	}
+}
+
+func TestDownNodeDropsInFlight(t *testing.T) {
+	s, n := newNet(t)
+	count := 0
+	b := n.Node("b")
+	b.Handle(func(m Message) { count++ })
+	n.SetLatency("a", "b", 10*time.Millisecond)
+	n.Node("a").Send("b", 1, 0)
+	s.After(5*time.Millisecond, func() { b.SetDown(true) })
+	s.Run()
+	if count != 0 {
+		t.Fatal("down node received an in-flight message")
+	}
+	if !b.Up() == false {
+		_ = b
+	}
+	b.SetDown(false)
+	n.Node("a").Send("b", 2, 0)
+	s.Run()
+	if count != 1 {
+		t.Fatal("restored node did not receive")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	s := simtime.NewScheduler(99)
+	n := New(s)
+	n.SetLossRate("a", "b", 0.5)
+	got := 0
+	n.Node("b").Handle(func(m Message) { got++ })
+	a := n.Node("a")
+	const total = 2000
+	for i := 0; i < total; i++ {
+		a.Send("b", i, 0)
+	}
+	s.Run()
+	if got < total*2/5 || got > total*3/5 {
+		t.Fatalf("delivered %d of %d with 50%% loss; outside [40%%,60%%]", got, total)
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	_, n := newNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for loss rate > 1")
+		}
+	}()
+	n.SetLossRate("a", "b", 1.5)
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	s, n := newNet(t)
+	n.Node("a").Send("ghost", 1, 0)
+	s.Run()
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", n.Stats())
+	}
+}
+
+func TestRPCBasic(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	srv.Register("add", func(from string, args any) (any, error) {
+		p := args.([2]int)
+		return p[0] + p[1], nil
+	})
+	cli := NewRPCNode(n, "client")
+	var result any
+	var callErr error
+	cli.Call("server", "add", [2]int{2, 3}, 0, time.Second, func(r any, err error) {
+		result, callErr = r, err
+	})
+	s.Run()
+	if callErr != nil || result != 5 {
+		t.Fatalf("result=%v err=%v", result, callErr)
+	}
+}
+
+func TestRPCRemoteError(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	srv.Register("boom", func(from string, args any) (any, error) {
+		return nil, fmt.Errorf("kaboom %d", 42)
+	})
+	cli := NewRPCNode(n, "client")
+	var callErr error
+	cli.Call("server", "boom", nil, 0, time.Second, func(r any, err error) { callErr = err })
+	s.Run()
+	if callErr == nil || callErr.Error() != "kaboom 42" {
+		t.Fatalf("err = %v", callErr)
+	}
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	s, n := newNet(t)
+	NewRPCNode(n, "server")
+	cli := NewRPCNode(n, "client")
+	var callErr error
+	cli.Call("server", "nope", nil, 0, time.Second, func(r any, err error) { callErr = err })
+	s.Run()
+	if callErr == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestRPCTimeoutOnCutLink(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	srv.Register("ping", func(from string, args any) (any, error) { return "pong", nil })
+	cli := NewRPCNode(n, "client")
+	n.Cut("client", "server")
+	var callErr error
+	fired := 0
+	cli.Call("server", "ping", nil, 0, 100*time.Millisecond, func(r any, err error) {
+		fired++
+		callErr = err
+	})
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times, want exactly once", fired)
+	}
+	if !errors.Is(callErr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", callErr)
+	}
+}
+
+func TestRPCLateReplyAfterTimeoutIsDropped(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	srv.Register("slow", func(from string, args any) (any, error) { return "late", nil })
+	cli := NewRPCNode(n, "client")
+	n.SetLatency("client", "server", 200*time.Millisecond) // RTT 400ms > 100ms timeout
+	fired := 0
+	var firstErr error
+	cli.Call("server", "slow", nil, 0, 100*time.Millisecond, func(r any, err error) {
+		fired++
+		firstErr = err
+	})
+	s.Run()
+	if fired != 1 || !errors.Is(firstErr, ErrTimeout) {
+		t.Fatalf("fired=%d err=%v, want single timeout", fired, firstErr)
+	}
+}
+
+func TestRPCConcurrentCallsKeepIdentity(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	srv.Register("echo", func(from string, args any) (any, error) { return args, nil })
+	cli := NewRPCNode(n, "client")
+	results := make(map[int]any)
+	for i := 0; i < 50; i++ {
+		i := i
+		cli.Call("server", "echo", i, 0, time.Second, func(r any, err error) {
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		})
+	}
+	s.Run()
+	for i := 0; i < 50; i++ {
+		if results[i] != i {
+			t.Fatalf("call %d got %v", i, results[i])
+		}
+	}
+}
+
+func TestRawHandler(t *testing.T) {
+	s, n := newNet(t)
+	srv := NewRPCNode(n, "server")
+	var raw any
+	srv.HandleRaw(func(m Message) { raw = m.Payload })
+	n.Node("client").Send("server", "oneway", 0)
+	s.Run()
+	if raw != "oneway" {
+		t.Fatalf("raw = %v", raw)
+	}
+}

@@ -1,0 +1,262 @@
+// Package simtime provides a deterministic discrete-event simulation clock.
+//
+// All UStore simulation components share one Scheduler. Time is virtual: the
+// scheduler pops the earliest pending event, advances the clock to the event's
+// deadline, and runs the event's callback on the scheduler goroutine (or the
+// caller's goroutine when driven via Run/Step). Because every state change
+// happens inside an event callback, components need no locking and every run
+// with the same seed is bit-for-bit reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Duration and Time alias the standard library types so call sites read
+// naturally; only the source of "now" differs.
+type (
+	// Duration is a span of virtual time.
+	Duration = time.Duration
+	// Time is an instant of virtual time, measured from the scheduler epoch.
+	Time = time.Duration
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	// At is the virtual deadline of the event.
+	At Time
+	// Fn runs when the clock reaches At. It may schedule further events.
+	Fn func()
+
+	seq      uint64 // tie-break: FIFO among events with equal deadline
+	index    int    // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil {
+		return
+	}
+	e.canceled = true
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event scheduler with a virtual clock and a seeded
+// random source. The zero value is not usable; call NewScheduler.
+//
+// Scheduler is not safe for concurrent use: all interaction must happen from
+// the goroutine driving Run/Step (which is also the goroutine event callbacks
+// run on). This is deliberate — single-threaded event execution is what makes
+// simulations deterministic.
+type Scheduler struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+
+	fired   uint64
+	stopped bool
+}
+
+// NewScheduler returns a scheduler whose clock reads zero and whose random
+// source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting to fire (including cancelled
+// events that have not yet been popped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. If at is in the past it
+// fires at the current time (events never run the clock backwards).
+func (s *Scheduler) At(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{At: at, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned Ticker is stopped. interval must be positive.
+func (s *Scheduler) Every(interval Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive tick interval %v", interval))
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+// Step pops and executes the single earliest event. It reports false when the
+// queue is empty or the scheduler has been stopped.
+func (s *Scheduler) Step() bool {
+	for {
+		if s.stopped || len(s.queue) == 0 {
+			return false
+		}
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.At
+		s.fired++
+		e.Fn()
+		return true
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the virtual time at which it stopped.
+func (s *Scheduler) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events whose deadline is at or before deadline, then
+// advances the clock to deadline. Events scheduled beyond deadline remain
+// queued.
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.At > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Scheduler) RunFor(d Duration) Time { return s.RunUntil(s.now + d) }
+
+// Stop halts Run/RunUntil after the current event completes. Pending events
+// stay queued; a stopped scheduler can be resumed with Resume.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears the stopped flag set by Stop.
+func (s *Scheduler) Resume() { s.stopped = false }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Ticker fires a callback at a fixed interval of virtual time.
+type Ticker struct {
+	s        *Scheduler
+	interval Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Reset stops the ticker and re-arms it with a new interval.
+func (t *Ticker) Reset(interval Duration) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive tick interval %v", interval))
+	}
+	t.Stop()
+	t.stopped = false
+	t.interval = interval
+	t.arm()
+}
+
+// Interval returns the current tick interval.
+func (t *Ticker) Interval() Duration { return t.interval }

@@ -1,0 +1,75 @@
+// Package ustore is the public API of the UStore reproduction: a low-cost
+// cold and archival storage system that attaches large numbers of disks to
+// existing datacenter servers through a reconfigurable USB 3.0 fat-tree
+// interconnect fabric (Zhang, Dai, Li, Zhang — ICDCS 2015).
+//
+// The package wraps the internal simulation and system layers behind a
+// small surface:
+//
+//   - NewCluster boots a complete deploy unit: simulated disks, the fat-tree
+//     fabric with its dual-microcontroller control plane, per-host USB
+//     controllers, the Paxos-replicated Master, primary/backup Controllers,
+//     per-host EndPoints, and a virtual-time scheduler to drive it all.
+//
+//   - Cluster.Client returns a ClientLib: allocate space, mount it, and do
+//     block IO that transparently survives host failures and disk switches.
+//
+//   - Experiment helpers (bench re-exports) regenerate every table and
+//     figure of the paper's evaluation.
+//
+// Everything runs on a deterministic discrete-event scheduler: a "cluster
+// second" is virtual time, so experiments that take minutes of wall-clock in
+// the paper run in milliseconds here, bit-for-bit reproducibly.
+package ustore
+
+import (
+	"time"
+
+	"ustore/internal/core"
+	"ustore/internal/disk"
+	"ustore/internal/fabric"
+)
+
+// Re-exported core types. See the internal/core documentation for details.
+type (
+	// Config parameterizes a cluster (hosts, disks, fan-in, timing).
+	Config = core.Config
+	// Cluster is a complete simulated UStore deployment.
+	Cluster = core.Cluster
+	// ClientLib is the §IV-D client library.
+	ClientLib = core.ClientLib
+	// Master is one Master replica.
+	Master = core.Master
+	// SpaceID names allocated storage (</DeployUnit/Disk/Space>).
+	SpaceID = core.SpaceID
+	// AllocateReply describes a fresh allocation.
+	AllocateReply = core.AllocateReply
+	// LookupReply describes a space's current location.
+	LookupReply = core.LookupReply
+	// MountEvent notifies mounts and failover remounts.
+	MountEvent = core.MountEvent
+	// ExecuteArgs is an explicit topology command for the Controller.
+	ExecuteArgs = core.ExecuteArgs
+	// DiskHost is one "connect disk to host" pair.
+	DiskHost = fabric.DiskHost
+	// FabricConfig shapes the interconnect (hosts, disks, hub fan-in).
+	FabricConfig = fabric.Config
+	// DiskParams is the calibrated disk model.
+	DiskParams = disk.Params
+)
+
+// DefaultConfig returns the paper's prototype: 16 disks, 4 hosts, 4-port
+// hubs, switch-high fabric, 3 Master replicas.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewCluster builds and boots a cluster. Call Settle to let enumeration and
+// elections complete (8 virtual seconds is comfortable).
+func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// DT01ACA300 returns the calibrated parameters of the paper's TOSHIBA 3TB
+// disks.
+func DT01ACA300() DiskParams { return disk.DT01ACA300() }
+
+// BootTime is a comfortable Settle duration for a fresh cluster: initial
+// USB enumeration plus Paxos and Master elections.
+const BootTime = 8 * time.Second
