@@ -51,21 +51,28 @@ const (
 	StatusIOError
 	StatusOutOfRange
 	StatusNotLoggedIn
+	// StatusChecksum means the target read the blocks but their content
+	// failed CRC verification — the medium silently corrupted the data.
+	StatusChecksum
 )
 
 // String names the status.
 func (s Status) String() string {
-	names := []string{"ok", "no-volume", "io-error", "out-of-range", "not-logged-in"}
+	names := []string{"ok", "no-volume", "io-error", "out-of-range", "not-logged-in", "checksum"}
 	if int(s) < len(names) {
 		return names[s]
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
 
-// Err converts a non-OK status to an error (nil for StatusOK).
+// Err converts a non-OK status to an error (nil for StatusOK). A checksum
+// status wraps ErrChecksum so callers can errors.Is across the wire.
 func (s Status) Err() error {
 	if s == StatusOK {
 		return nil
+	}
+	if s == StatusChecksum {
+		return fmt.Errorf("%w (remote)", ErrChecksum)
 	}
 	return fmt.Errorf("block: %s", s)
 }

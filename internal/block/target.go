@@ -1,6 +1,8 @@
 package block
 
 import (
+	"errors"
+
 	"ustore/internal/simnet"
 )
 
@@ -98,6 +100,9 @@ func (t *Target) serve(from string, m *Msg) *Msg {
 			resp := &Msg{Type: MsgReadResp, Tag: tag, Data: data}
 			if err != nil {
 				resp.Status = StatusIOError
+				if errors.Is(err, ErrChecksum) {
+					resp.Status = StatusChecksum
+				}
 				resp.Data = nil
 			}
 			buf := resp.Encode()

@@ -1,0 +1,329 @@
+// Package chaos is UStore's deterministic chaos-testing harness. It composes
+// randomized fault schedules — host crashes, disk and hub failures with
+// operator replacement, network partitions, message loss and duplication,
+// and silent media corruption — against a full simulated cluster while a
+// replicated workload keeps writing, and continuously checks the system's
+// durability and liveness invariants:
+//
+//   - no acknowledged write is ever lost or silently corrupted;
+//   - clients re-converge (remount) after host failover;
+//   - exactly one active master exists once the quorum is quiet;
+//   - allocation records never double-assign disk extents.
+//
+// Every run is seeded and replayable: the same Options produce a
+// byte-identical event log. Minimize re-runs a violating schedule's prefixes
+// to find the shortest one that still violates.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FaultKind classifies one scheduled fault event.
+type FaultKind int
+
+// Fault kinds. Window-opening kinds pair with the closing kind right after
+// them; FaultCorrupt is a point event with no closing pair.
+const (
+	FaultHostCrash FaultKind = iota
+	FaultHostRestore
+	FaultDiskFail
+	FaultDiskReplace
+	FaultHubFail
+	FaultHubReplace
+	FaultLinkCut
+	FaultLinkHeal
+	FaultLinkLoss
+	FaultLinkLossEnd
+	FaultLinkDup
+	FaultLinkDupEnd
+	FaultIsolate
+	FaultRejoin
+	FaultCorrupt
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultHostCrash:
+		return "host-crash"
+	case FaultHostRestore:
+		return "host-restore"
+	case FaultDiskFail:
+		return "disk-fail"
+	case FaultDiskReplace:
+		return "disk-replace"
+	case FaultHubFail:
+		return "hub-fail"
+	case FaultHubReplace:
+		return "hub-replace"
+	case FaultLinkCut:
+		return "link-cut"
+	case FaultLinkHeal:
+		return "link-heal"
+	case FaultLinkLoss:
+		return "link-loss"
+	case FaultLinkLossEnd:
+		return "link-loss-end"
+	case FaultLinkDup:
+		return "link-dup"
+	case FaultLinkDupEnd:
+		return "link-dup-end"
+	case FaultIsolate:
+		return "isolate"
+	case FaultRejoin:
+		return "rejoin"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one entry of a chaos schedule. At is relative to the start of the
+// fault phase (after boot and the initial write pass).
+type Fault struct {
+	At   time.Duration
+	Kind FaultKind
+	// A is the primary target: a host, disk, hub, or machine name.
+	A string
+	// B is the second machine of a link fault.
+	B string
+	// Rate is the loss/duplication probability of a link fault window.
+	Rate float64
+	// Copy and Block select the workload replica and block a FaultCorrupt
+	// event damages (replicas are indexed in allocation order).
+	Copy  int
+	Block int
+}
+
+// String renders the fault for the event log.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultLinkCut, FaultLinkHeal:
+		return fmt.Sprintf("%s %s<->%s", f.Kind, f.A, f.B)
+	case FaultLinkLoss, FaultLinkDup:
+		return fmt.Sprintf("%s %s<->%s p=%.2f", f.Kind, f.A, f.B, f.Rate)
+	case FaultLinkLossEnd, FaultLinkDupEnd:
+		return fmt.Sprintf("%s %s<->%s", f.Kind, f.A, f.B)
+	case FaultCorrupt:
+		return fmt.Sprintf("corrupt copy%d/block%d", f.Copy, f.Block)
+	default:
+		return fmt.Sprintf("%s %s", f.Kind, f.A)
+	}
+}
+
+// Options parameterizes a chaos run. The zero value is not useful; start
+// from DefaultOptions.
+type Options struct {
+	// Seed drives both the cluster simulation and the schedule generator.
+	Seed int64
+	// Duration is the fault phase's simulated length.
+	Duration time.Duration
+
+	// Fault family switches.
+	HostCrashes bool
+	DiskFaults  bool
+	HubFaults   bool
+	NetFaults   bool
+	Corruptions bool
+
+	// DisableChecksums turns off the per-block CRC export wrapper, so
+	// injected media corruption reaches clients silently. Used to prove the
+	// invariant checker detects real corruption.
+	DisableChecksums bool
+
+	// Workload shape: Pairs replicated spaces (2 copies each), each
+	// BlocksPerSpace checksum blocks long. WriteEvery paces the mutating
+	// workload (0 disables it, leaving only the initial write pass);
+	// AuditEvery paces the read-back invariant audit.
+	Pairs          int
+	BlocksPerSpace int
+	WriteEvery     time.Duration
+	AuditEvery     time.Duration
+	// ScrubEvery is the per-endpoint scrub cadence (0 disables scrubbing).
+	ScrubEvery time.Duration
+}
+
+// DefaultOptions returns an all-faults configuration for the given seed and
+// duration.
+func DefaultOptions(seed int64, duration time.Duration) Options {
+	return Options{
+		Seed:           seed,
+		Duration:       duration,
+		HostCrashes:    true,
+		DiskFaults:     true,
+		HubFaults:      true,
+		NetFaults:      true,
+		Corruptions:    true,
+		Pairs:          4,
+		BlocksPerSpace: 8,
+		WriteEvery:     30 * time.Minute,
+		AuditEvery:     12 * time.Hour,
+		ScrubEvery:     time.Hour,
+	}
+}
+
+// genSchedule builds the fault schedule for a run, deterministically from
+// opts.Seed. Window faults (crash/fail/cut/loss/dup/isolate) are generated
+// per target with non-overlapping windows so every opening event has exactly
+// one matching closing event; prefixes cut by the minimizer may leave
+// windows open — the harness's drain phase heals them.
+func genSchedule(o Options, hosts, disks, hubs, machines []string) []Fault {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var out []Fault
+	d := o.Duration
+
+	// windows lays n non-overlapping [start,end) windows on [0,d).
+	windows := func(n int, minW, maxW time.Duration) [][2]time.Duration {
+		starts := make([]time.Duration, n)
+		for i := range starts {
+			starts[i] = time.Duration(rng.Int63n(int64(d)))
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		var ws [][2]time.Duration
+		prevEnd := time.Duration(0)
+		for _, s := range starts {
+			if s < prevEnd+10*time.Minute {
+				s = prevEnd + 10*time.Minute
+			}
+			if s >= d {
+				break
+			}
+			w := minW + time.Duration(rng.Int63n(int64(maxW-minW)+1))
+			e := s + w
+			if e > d {
+				e = d
+			}
+			ws = append(ws, [2]time.Duration{s, e})
+			prevEnd = e
+		}
+		return ws
+	}
+	// count turns a mean spacing into a per-target window count, guaranteeing
+	// at least min across short runs.
+	count := func(spacing time.Duration, min int) int {
+		n := int(d / spacing)
+		if n < min {
+			n = min
+		}
+		return n
+	}
+
+	if o.HostCrashes {
+		for _, h := range hosts {
+			for _, w := range windows(count(30*24*time.Hour, 1), 30*time.Minute, 4*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultHostCrash, A: h},
+					Fault{At: w[1], Kind: FaultHostRestore, A: h})
+			}
+		}
+	}
+	if o.DiskFaults {
+		for i, disk := range disks {
+			n := count(120*24*time.Hour, 0)
+			if i == 0 && n == 0 {
+				n = 1 // short runs still fail at least one disk
+			}
+			if n == 0 {
+				continue
+			}
+			for _, w := range windows(n, 2*time.Hour, 8*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultDiskFail, A: disk},
+					Fault{At: w[1], Kind: FaultDiskReplace, A: disk})
+			}
+		}
+	}
+	if o.HubFaults {
+		for i, hub := range hubs {
+			n := count(200*24*time.Hour, 0)
+			if i == 0 && n == 0 {
+				n = 1
+			}
+			if n == 0 {
+				continue
+			}
+			for _, w := range windows(n, 2*time.Hour, 6*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultHubFail, A: hub},
+					Fault{At: w[1], Kind: FaultHubReplace, A: hub})
+			}
+		}
+	}
+	if o.NetFaults {
+		// Random machine-pair windows: cuts, loss, duplication. Per-pair
+		// bookkeeping keeps windows of the same kind from overlapping.
+		pick := func() (string, string) {
+			i := rng.Intn(len(machines))
+			j := rng.Intn(len(machines) - 1)
+			if j >= i {
+				j++
+			}
+			a, b := machines[i], machines[j]
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+		type pairKey struct{ a, b string }
+		place := func(n int, minW, maxW time.Duration, open, close FaultKind, rated bool) {
+			lastEnd := make(map[pairKey]time.Duration)
+			for i := 0; i < n; i++ {
+				a, b := pick()
+				k := pairKey{a, b}
+				s := time.Duration(rng.Int63n(int64(d)))
+				if s < lastEnd[k]+10*time.Minute {
+					s = lastEnd[k] + 10*time.Minute
+				}
+				w := minW + time.Duration(rng.Int63n(int64(maxW-minW)+1))
+				rate := 0.05 + 0.35*rng.Float64()
+				if s >= d {
+					continue
+				}
+				e := s + w
+				if e > d {
+					e = d
+				}
+				lastEnd[k] = e
+				fo := Fault{At: s, Kind: open, A: a, B: b}
+				if rated {
+					fo.Rate = rate
+				}
+				out = append(out, fo, Fault{At: e, Kind: close, A: a, B: b})
+			}
+		}
+		place(count(8*24*time.Hour, 2), 10*time.Minute, 90*time.Minute, FaultLinkCut, FaultLinkHeal, false)
+		place(count(10*24*time.Hour, 2), 30*time.Minute, 3*time.Hour, FaultLinkLoss, FaultLinkLossEnd, true)
+		place(count(15*24*time.Hour, 1), 30*time.Minute, 3*time.Hour, FaultLinkDup, FaultLinkDupEnd, true)
+		// Master-machine isolation windows (full partition of one replica).
+		for _, m := range machines {
+			if !strings.HasPrefix(m, "mach-") {
+				continue
+			}
+			for _, w := range windows(count(40*24*time.Hour, 1), 30*time.Minute, 2*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultIsolate, A: m},
+					Fault{At: w[1], Kind: FaultRejoin, A: m})
+			}
+		}
+	}
+	if o.Corruptions {
+		n := count(8*24*time.Hour, 2)
+		for i := 0; i < n; i++ {
+			out = append(out, Fault{
+				At:    time.Duration(rng.Int63n(int64(d))),
+				Kind:  FaultCorrupt,
+				Copy:  rng.Intn(2 * o.Pairs),
+				Block: rng.Intn(o.BlocksPerSpace),
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,871 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ustore/internal/block"
+	"ustore/internal/core"
+	"ustore/internal/paxos"
+	"ustore/internal/simtime"
+)
+
+// BlockSize is the workload's write/verify granularity — one checksum block.
+const BlockSize = block.ChecksumBlockSize
+
+// streakLimit is how many consecutive all-error audits a replica may suffer
+// before the harness declares the remount/failover path non-convergent. At
+// the default 12h audit cadence this allows any legitimate repair window
+// (host MTTR, disk replacement) to pass, but not a stuck client.
+const streakLimit = 4
+
+// Stats summarizes a chaos run.
+type Stats struct {
+	FaultsApplied       int
+	WritesAcked         int
+	WritesFailed        int
+	AuditReads          int
+	CorruptionsDetected int // checksum-layer detections during audits
+	Repairs             int // blocks rewritten from the replica's good copy
+	ScrubScanned        int
+	ScrubBad            int
+	ScrubRepaired       int
+	ScrubUnrepaired     int
+	Remounts            uint64
+}
+
+// Report is the outcome of a chaos run.
+type Report struct {
+	Seed       int64
+	Opts       Options
+	Schedule   []Fault
+	Log        []string
+	Violations []string
+	Stats      Stats
+}
+
+// LogText renders the event log as one string (replay comparisons).
+func (r *Report) LogText() string { return strings.Join(r.Log, "\n") }
+
+// replicaBlock tracks one block of one replica: the last acknowledged
+// content and whether an unacknowledged write makes it unverifiable.
+type replicaBlock struct {
+	data      []byte // last acked content; nil = never acknowledged
+	uncertain bool   // an outstanding/failed write may or may not have landed
+	version   int    // bumped per write (and per media wipe) to drop stale acks
+	inflight  int
+}
+
+// replica is one copy of a replicated workload space.
+type replica struct {
+	name     string
+	cl       *core.ClientLib
+	space    core.SpaceID
+	diskID   string
+	offset   int64 // on-disk base offset of the space
+	blocks   []replicaBlock
+	streak   int // consecutive audits where every read failed
+	auditing bool
+}
+
+type pairKey struct{ a, b string }
+
+type harness struct {
+	opts Options
+	c    *core.Cluster
+	rng  *rand.Rand // workload randomness (schedule has its own stream)
+
+	replicas []*replica
+	bySpace  map[core.SpaceID]*replica
+
+	log        []string
+	violations []string
+	allocSeen  map[string]bool
+	stats      Stats
+
+	// Open fault windows, for the drain phase and quiet-point detection.
+	crashedHosts map[string]bool
+	failedDisks  map[string]bool
+	failedHubs   map[string]bool
+	openCuts     map[pairKey]bool
+	openLoss     map[pairKey]bool
+	openDup      map[pairKey]bool
+	isolated     map[string]bool
+	lastNetFault simtime.Time
+
+	writeSeq int
+}
+
+// leanConfig stretches the control loop's timers so a 100-simulated-day run
+// stays within a simulable event budget, while keeping every ratio (failure
+// detection < MTTR < audit cadence) intact.
+func leanConfig(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.HeartbeatInterval = 5 * time.Minute
+	cfg.HostDeadAfter = 3
+	cfg.ElectionTTL = 30 * time.Minute
+	cfg.Paxos = paxos.Config{
+		HeartbeatInterval:   time.Minute,
+		ElectionTimeoutBase: 4 * time.Minute,
+		PhaseTimeout:        2 * time.Minute,
+	}
+	cfg.CoordSweepInterval = 2 * time.Minute
+	cfg.ScrubInterval = o.ScrubEvery
+	cfg.DisableChecksums = o.DisableChecksums
+	cfg.RPCTimeout = 2 * time.Second
+	return cfg
+}
+
+// Run generates the seeded fault schedule and executes it.
+func Run(o Options) (*Report, error) {
+	h, err := newHarness(o)
+	if err != nil {
+		return nil, err
+	}
+	schedule := genSchedule(o, h.hostNames(), h.diskNames(), h.leafHubNames(), h.machineNames())
+	return h.execute(schedule)
+}
+
+// RunSchedule executes an explicit schedule (the minimizer's entry point).
+func RunSchedule(o Options, schedule []Fault) (*Report, error) {
+	h, err := newHarness(o)
+	if err != nil {
+		return nil, err
+	}
+	return h.execute(schedule)
+}
+
+func newHarness(o Options) (*harness, error) {
+	if o.Pairs <= 0 || o.BlocksPerSpace <= 0 || o.Duration <= 0 {
+		return nil, fmt.Errorf("chaos: bad options (pairs=%d blocks=%d duration=%s)",
+			o.Pairs, o.BlocksPerSpace, o.Duration)
+	}
+	c, err := core.NewCluster(leanConfig(o))
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{
+		opts:         o,
+		c:            c,
+		rng:          rand.New(rand.NewSource(o.Seed ^ 0x5deece66d)),
+		bySpace:      make(map[core.SpaceID]*replica),
+		allocSeen:    make(map[string]bool),
+		crashedHosts: make(map[string]bool),
+		failedDisks:  make(map[string]bool),
+		failedHubs:   make(map[string]bool),
+		openCuts:     make(map[pairKey]bool),
+		openLoss:     make(map[pairKey]bool),
+		openDup:      make(map[pairKey]bool),
+		isolated:     make(map[string]bool),
+	}
+	// Boot: rolling spin-up, USB enumeration, paxos + coord + master
+	// election all need to converge before the workload starts.
+	c.Settle(30 * time.Minute)
+	if c.ActiveMaster() == nil {
+		return nil, fmt.Errorf("chaos: no active master after boot settle")
+	}
+	if err := h.setupWorkload(); err != nil {
+		return nil, err
+	}
+	h.installScrubRepair()
+	return h, nil
+}
+
+// --- population helpers (deterministic orderings) ---
+
+func (h *harness) hostNames() []string { return h.c.Fabric.Hosts() }
+
+func (h *harness) diskNames() []string {
+	var out []string
+	for _, d := range h.c.Fabric.Disks() {
+		out = append(out, string(d))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leafHubNames returns the fabric's leaf hubs — the bounded-blast-radius
+// targets for hub faults (an aggregation hub failure is a host-wide outage,
+// already covered by host crashes).
+func (h *harness) leafHubNames() []string {
+	var out []string
+	for _, hub := range h.c.Fabric.Hubs() {
+		if strings.Contains(string(hub), "leafhub") {
+			out = append(out, string(hub))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// machineNames lists the machines network faults may target: the hosts and
+// the master-replica machines.
+func (h *harness) machineNames() []string {
+	out := append([]string(nil), h.c.Fabric.Hosts()...)
+	for _, m := range h.c.Masters {
+		out = append(out, "mach-"+m.Name())
+	}
+	return out
+}
+
+// --- workload setup ---
+
+func (h *harness) setupWorkload() error {
+	size := int64(h.opts.BlocksPerSpace) * BlockSize
+	for i := 0; i < h.opts.Pairs; i++ {
+		for j := 0; j < 2; j++ {
+			name := fmt.Sprintf("chaos%d%c", i, 'a'+j)
+			cl := h.c.Client(name, fmt.Sprintf("chaos-svc%d%c", i, 'a'+j))
+			var rep core.AllocateReply
+			err := errPending
+			cl.Allocate(size, func(r core.AllocateReply, e error) { rep, err = r, e })
+			h.settleUntil(func() bool { return !errors.Is(err, errPending) }, 2*time.Minute)
+			if err != nil {
+				return fmt.Errorf("chaos: allocating %s: %w", name, err)
+			}
+			err = errPending
+			cl.Mount(rep.Space, func(e error) { err = e })
+			h.settleUntil(func() bool { return !errors.Is(err, errPending) }, 2*time.Minute)
+			if err != nil {
+				return fmt.Errorf("chaos: mounting %s: %w", name, err)
+			}
+			r := &replica{
+				name:   name,
+				cl:     cl,
+				space:  rep.Space,
+				diskID: rep.DiskID,
+				offset: rep.Offset,
+				blocks: make([]replicaBlock, h.opts.BlocksPerSpace),
+			}
+			h.replicas = append(h.replicas, r)
+			h.bySpace[rep.Space] = r
+		}
+		if a, b := h.replicas[2*i], h.replicas[2*i+1]; a.diskID == b.diskID {
+			h.logf("warning: pair %d copies share disk %s", i, a.diskID)
+		}
+	}
+	// Initial write pass: every block of every pair gets acknowledged data
+	// before any fault fires, so the whole surface is auditable.
+	for i := 0; i < h.opts.Pairs; i++ {
+		for blk := 0; blk < h.opts.BlocksPerSpace; blk++ {
+			h.writePair(i, blk)
+		}
+	}
+	ok := h.settleUntil(func() bool { return h.inflightWrites() == 0 }, time.Hour)
+	if !ok {
+		return fmt.Errorf("chaos: initial write pass did not drain")
+	}
+	for _, r := range h.replicas {
+		for blk := range r.blocks {
+			if r.blocks[blk].uncertain || r.blocks[blk].data == nil {
+				return fmt.Errorf("chaos: initial write to %s block %d not acknowledged", r.name, blk)
+			}
+		}
+	}
+	h.logf("workload ready: %d pairs x %d blocks x %d KiB, seed %d",
+		h.opts.Pairs, h.opts.BlocksPerSpace, BlockSize/1024, h.opts.Seed)
+	return nil
+}
+
+var errPending = errors.New("chaos: pending")
+
+// installScrubRepair points every endpoint scrubber at the harness's
+// known-good copies (standing in for the replica/EC read a service-level
+// repair would do).
+func (h *harness) installScrubRepair() {
+	hosts := make([]string, 0, len(h.c.EndPoints))
+	for name := range h.c.EndPoints {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	for _, name := range hosts {
+		sc := h.c.EndPoints[name].Scrubber()
+		if sc == nil {
+			continue
+		}
+		sc.SetRepairFunc(func(ex core.ExportArgs, off int64, length int, done func([]byte, bool)) {
+			r := h.bySpace[ex.Space]
+			blk := int(off / BlockSize)
+			if r == nil || blk >= len(r.blocks) || int64(blk)*BlockSize != off {
+				done(nil, false)
+				return
+			}
+			b := &r.blocks[blk]
+			if b.data == nil || b.uncertain || length != len(b.data) {
+				done(nil, false)
+				return
+			}
+			done(append([]byte(nil), b.data...), true)
+		})
+	}
+}
+
+// pattern builds deterministic block content for a (pair, block, sequence)
+// triple.
+func (h *harness) pattern(pair, blk, seq int) []byte {
+	buf := make([]byte, BlockSize)
+	base := byte(pair*31 + blk*7 + seq*13 + int(h.opts.Seed))
+	for i := range buf {
+		buf[i] = base + byte(i)
+	}
+	return buf
+}
+
+func (h *harness) writePair(pair, blk int) {
+	h.writeSeq++
+	data := h.pattern(pair, blk, h.writeSeq)
+	h.writeReplicaData(h.replicas[2*pair], blk, data)
+	h.writeReplicaData(h.replicas[2*pair+1], blk, data)
+}
+
+func (h *harness) writeReplicaData(r *replica, blk int, data []byte) {
+	b := &r.blocks[blk]
+	b.version++
+	v := b.version
+	b.inflight++
+	b.uncertain = true // unverifiable until (and unless) the write acks
+	r.cl.Write(r.space, int64(blk)*BlockSize, data, func(err error) {
+		b.inflight--
+		if b.version != v {
+			return // superseded by a newer write or a media wipe
+		}
+		if err == nil {
+			b.data = append([]byte(nil), data...)
+			b.uncertain = false
+			h.stats.WritesAcked++
+		} else {
+			h.stats.WritesFailed++
+		}
+	})
+}
+
+func (h *harness) inflightWrites() int {
+	n := 0
+	for _, r := range h.replicas {
+		for i := range r.blocks {
+			n += r.blocks[i].inflight
+		}
+	}
+	return n
+}
+
+// --- logging ---
+
+func (h *harness) stamp() string {
+	now := h.c.Sched.Now()
+	day := now / (24 * time.Hour)
+	rem := now % (24 * time.Hour)
+	return fmt.Sprintf("[d%03d %02d:%02d:%02d]", day,
+		rem/time.Hour, (rem%time.Hour)/time.Minute, (rem%time.Minute)/time.Second)
+}
+
+func (h *harness) logf(format string, a ...any) {
+	h.log = append(h.log, h.stamp()+" "+fmt.Sprintf(format, a...))
+}
+
+func (h *harness) violatef(format string, a ...any) {
+	msg := fmt.Sprintf(format, a...)
+	h.violations = append(h.violations, h.stamp()+" "+msg)
+	h.logf("VIOLATION: %s", msg)
+}
+
+// --- fault application ---
+
+func (h *harness) apply(f Fault) {
+	h.stats.FaultsApplied++
+	h.logf("fault: %s", f)
+	switch f.Kind {
+	case FaultHostCrash:
+		h.crashedHosts[f.A] = true
+		h.c.CrashHost(f.A)
+	case FaultHostRestore:
+		delete(h.crashedHosts, f.A)
+		h.c.RestoreHost(f.A)
+	case FaultDiskFail:
+		h.failedDisks[f.A] = true
+		if err := h.c.FailDisk(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultDiskReplace:
+		delete(h.failedDisks, f.A)
+		if err := h.c.ReplaceDisk(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+		h.markWiped(f.A)
+		h.scheduleRebuild(f.A)
+	case FaultHubFail:
+		h.failedHubs[f.A] = true
+		if err := h.c.FailHub(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultHubReplace:
+		delete(h.failedHubs, f.A)
+		if err := h.c.ReplaceHub(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultLinkCut:
+		h.openCuts[pairKey{f.A, f.B}] = true
+		h.c.Net.CutMachines(f.A, f.B)
+		h.netEvent()
+	case FaultLinkHeal:
+		delete(h.openCuts, pairKey{f.A, f.B})
+		h.c.Net.HealMachines(f.A, f.B)
+		h.netEvent()
+	case FaultLinkLoss:
+		h.openLoss[pairKey{f.A, f.B}] = true
+		h.c.Net.SetMachineLossRate(f.A, f.B, f.Rate)
+		h.netEvent()
+	case FaultLinkLossEnd:
+		delete(h.openLoss, pairKey{f.A, f.B})
+		h.c.Net.SetMachineLossRate(f.A, f.B, 0)
+		h.netEvent()
+	case FaultLinkDup:
+		h.openDup[pairKey{f.A, f.B}] = true
+		h.c.Net.SetMachineDupRate(f.A, f.B, f.Rate)
+		h.netEvent()
+	case FaultLinkDupEnd:
+		delete(h.openDup, pairKey{f.A, f.B})
+		h.c.Net.SetMachineDupRate(f.A, f.B, 0)
+		h.netEvent()
+	case FaultIsolate:
+		h.isolated[f.A] = true
+		h.c.Net.IsolateMachine(f.A)
+		h.netEvent()
+	case FaultRejoin:
+		delete(h.isolated, f.A)
+		h.c.Net.RejoinMachine(f.A)
+		h.netEvent()
+	case FaultCorrupt:
+		r := h.replicas[f.Copy%len(h.replicas)]
+		blk := f.Block % len(r.blocks)
+		off := r.offset + int64(blk)*BlockSize
+		h.c.Disks[r.diskID].CorruptSector(off)
+	}
+}
+
+func (h *harness) netEvent() { h.lastNetFault = h.c.Sched.Now() }
+
+// markWiped invalidates the harness's expectations for every replica on a
+// freshly replaced (blank-media) disk.
+func (h *harness) markWiped(diskID string) {
+	for _, r := range h.replicas {
+		if r.diskID != diskID {
+			continue
+		}
+		for i := range r.blocks {
+			b := &r.blocks[i]
+			b.version++ // drop acks from writes that hit the old media
+			if b.data != nil {
+				b.uncertain = true
+			}
+		}
+	}
+}
+
+// scheduleRebuild restores a replaced disk's replicas from the harness's
+// good copies — the role a replica/EC rebuild plays in a real deployment.
+// Retries cover rebuilds that collide with other open fault windows.
+func (h *harness) scheduleRebuild(diskID string) {
+	for _, delay := range []time.Duration{30 * time.Minute, 3 * time.Hour, 9 * time.Hour} {
+		h.c.Sched.After(delay, func() {
+			for _, r := range h.replicas {
+				if r.diskID != diskID {
+					continue
+				}
+				for blk := range r.blocks {
+					b := &r.blocks[blk]
+					if b.uncertain && b.data != nil && b.inflight == 0 {
+						h.writeReplicaData(r, blk, b.data)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- invariant checking ---
+
+func (h *harness) activeMasters() int {
+	n := 0
+	for _, m := range h.c.Masters {
+		if m.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *harness) checkAllocations(stage string) {
+	m := h.c.ActiveMaster()
+	if m == nil {
+		return
+	}
+	if err := m.ValidateAllocations(); err != nil {
+		if !h.allocSeen[err.Error()] {
+			h.allocSeen[err.Error()] = true
+			h.violatef("%s: allocation invariant: %v", stage, err)
+		}
+	}
+}
+
+// checkQuietMasters verifies the single-active-master invariant, but only at
+// quiet points: no network fault window open and none closed within the last
+// two hours (well past session TTL + sweep + election convergence).
+func (h *harness) checkQuietMasters() {
+	if len(h.openCuts)+len(h.openLoss)+len(h.openDup)+len(h.isolated) > 0 {
+		return
+	}
+	if h.c.Sched.Now()-h.lastNetFault < 2*time.Hour {
+		return
+	}
+	if n := h.activeMasters(); n != 1 {
+		h.violatef("quiet-point master invariant: %d active masters", n)
+	}
+}
+
+func (h *harness) audit() {
+	h.checkAllocations("audit")
+	h.checkQuietMasters()
+	for _, r := range h.replicas {
+		h.auditReplica(r)
+	}
+}
+
+// auditReplica read-verifies every acknowledged block of one replica.
+// Checksum errors are *detections*, not violations — the storage layer did
+// its job — and trigger a repair write from the good copy. A successful read
+// returning wrong bytes is silent corruption: an invariant violation.
+func (h *harness) auditReplica(r *replica) {
+	if r.auditing {
+		return
+	}
+	var targets []int
+	for i := range r.blocks {
+		b := &r.blocks[i]
+		if b.data != nil && !b.uncertain && b.inflight == 0 {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	r.auditing = true
+	okCount, errCount := 0, 0
+	pending := len(targets)
+	finish := func() {
+		r.auditing = false
+		if okCount > 0 {
+			r.streak = 0
+		} else if errCount > 0 {
+			r.streak++
+			if r.streak == streakLimit {
+				h.violatef("remount not converging: %s failed %d consecutive audits", r.name, r.streak)
+			}
+		}
+	}
+	for _, blk := range targets {
+		blk := blk
+		b := &r.blocks[blk]
+		v := b.version
+		h.stats.AuditReads++
+		r.cl.Read(r.space, int64(blk)*BlockSize, BlockSize, func(data []byte, err error) {
+			defer func() {
+				pending--
+				if pending == 0 {
+					finish()
+				}
+			}()
+			if b.version != v || b.uncertain {
+				return // block changed while the read was in flight
+			}
+			if err != nil {
+				if errors.Is(err, block.ErrChecksum) {
+					h.stats.CorruptionsDetected++
+					h.logf("audit: checksum error on %s block %d — repairing from good copy", r.name, blk)
+					h.repairBlock(r, blk)
+				} else {
+					errCount++
+				}
+				return
+			}
+			if !bytes.Equal(data, b.data) {
+				h.violatef("silent corruption: %s block %d read acked data back wrong", r.name, blk)
+				h.repairBlock(r, blk) // restore so one hit doesn't re-fire every audit
+				return
+			}
+			okCount++
+		})
+	}
+}
+
+// repairBlock rewrites a block from the harness's good copy (recomputing the
+// on-disk CRC on the way down).
+func (h *harness) repairBlock(r *replica, blk int) {
+	b := &r.blocks[blk]
+	if b.data == nil {
+		return
+	}
+	data := append([]byte(nil), b.data...)
+	b.version++
+	v := b.version
+	b.inflight++
+	r.cl.Write(r.space, int64(blk)*BlockSize, data, func(err error) {
+		b.inflight--
+		if b.version != v {
+			return
+		}
+		if err == nil {
+			b.uncertain = false
+			h.stats.Repairs++
+		} else {
+			b.uncertain = true
+		}
+	})
+}
+
+// --- run loop ---
+
+func (h *harness) execute(schedule []Fault) (*Report, error) {
+	o := h.opts
+	start := h.c.Sched.Now()
+	for _, f := range schedule {
+		f := f
+		h.c.Sched.At(start+f.At, func() { h.apply(f) })
+	}
+	var writeTick, auditTick *simtime.Ticker
+	if o.WriteEvery > 0 {
+		tick := 0
+		writeTick = h.c.Sched.Every(o.WriteEvery, func() {
+			pair := tick % o.Pairs
+			tick++
+			h.writePair(pair, h.rng.Intn(o.BlocksPerSpace))
+		})
+	}
+	if o.AuditEvery > 0 {
+		auditTick = h.c.Sched.Every(o.AuditEvery, h.audit)
+	}
+
+	h.lastNetFault = start
+	h.c.Settle(o.Duration)
+	h.drain()
+	h.c.Settle(12 * time.Hour)
+	if writeTick != nil {
+		writeTick.Stop()
+	}
+	if auditTick != nil {
+		auditTick.Stop()
+	}
+
+	h.finalAudit()
+	h.finalWritePass()
+	if n := h.activeMasters(); n != 1 {
+		h.violatef("final: master invariant: %d active masters", n)
+	}
+	h.checkAllocations("final")
+	h.logf("run complete: %d faults, %d violations", h.stats.FaultsApplied, len(h.violations))
+
+	rep := &Report{
+		Seed:       o.Seed,
+		Opts:       o,
+		Schedule:   schedule,
+		Log:        h.log,
+		Violations: h.violations,
+		Stats:      h.stats,
+	}
+	hosts := make([]string, 0, len(h.c.EndPoints))
+	for name := range h.c.EndPoints {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	for _, name := range hosts {
+		if sc := h.c.EndPoints[name].Scrubber(); sc != nil {
+			st := sc.Stats()
+			rep.Stats.ScrubScanned += st.Scanned
+			rep.Stats.ScrubBad += st.BadBlocks
+			rep.Stats.ScrubRepaired += st.Repaired
+			rep.Stats.ScrubUnrepaired += st.Unrepaired
+		}
+	}
+	for _, r := range h.replicas {
+		rep.Stats.Remounts += r.cl.Remounts
+	}
+	return rep, nil
+}
+
+// drain force-heals everything still open so the convergence invariants can
+// be checked against a fault-free cluster (also what makes truncated
+// minimizer prefixes well-formed).
+func (h *harness) drain() {
+	h.logf("drain: healing all outstanding faults")
+	for _, host := range sortedKeys(h.crashedHosts) {
+		h.c.RestoreHost(host)
+	}
+	h.crashedHosts = make(map[string]bool)
+	for _, d := range sortedKeys(h.failedDisks) {
+		if err := h.c.ReplaceDisk(d); err != nil {
+			h.logf("drain error: %v", err)
+		}
+		h.markWiped(d)
+		h.scheduleRebuild(d)
+	}
+	h.failedDisks = make(map[string]bool)
+	for _, hub := range sortedKeys(h.failedHubs) {
+		if err := h.c.ReplaceHub(hub); err != nil {
+			h.logf("drain error: %v", err)
+		}
+	}
+	h.failedHubs = make(map[string]bool)
+	for _, k := range sortedPairs(h.openCuts) {
+		h.c.Net.HealMachines(k.a, k.b)
+	}
+	h.openCuts = make(map[pairKey]bool)
+	for _, k := range sortedPairs(h.openLoss) {
+		h.c.Net.SetMachineLossRate(k.a, k.b, 0)
+	}
+	h.openLoss = make(map[pairKey]bool)
+	for _, k := range sortedPairs(h.openDup) {
+		h.c.Net.SetMachineDupRate(k.a, k.b, 0)
+	}
+	h.openDup = make(map[pairKey]bool)
+	for _, m := range sortedKeys(h.isolated) {
+		h.c.Net.RejoinMachine(m)
+	}
+	h.isolated = make(map[string]bool)
+	h.netEvent()
+}
+
+// finalAudit is the strict end-of-run sweep: every acknowledged block must
+// read back correct. Checksum detections get one repair + recheck; anything
+// still failing is a violation.
+func (h *harness) finalAudit() {
+	h.logf("final: strict audit")
+	type recheck struct {
+		r   *replica
+		blk int
+	}
+	var rechecks []recheck
+	pending := 0
+	for _, r := range h.replicas {
+		r := r
+		for blk := range r.blocks {
+			blk := blk
+			b := &r.blocks[blk]
+			if b.data == nil || b.uncertain || b.inflight > 0 {
+				continue
+			}
+			pending++
+			h.stats.AuditReads++
+			r.cl.Read(r.space, int64(blk)*BlockSize, BlockSize, func(data []byte, err error) {
+				pending--
+				if err != nil {
+					if errors.Is(err, block.ErrChecksum) {
+						h.stats.CorruptionsDetected++
+						h.logf("final audit: checksum error on %s block %d — repairing", r.name, blk)
+						h.repairBlock(r, blk)
+					}
+					rechecks = append(rechecks, recheck{r, blk})
+					return
+				}
+				if !bytes.Equal(data, r.blocks[blk].data) {
+					h.violatef("final audit: silent corruption on %s block %d", r.name, blk)
+				}
+			})
+		}
+	}
+	h.settleUntil(func() bool { return pending == 0 }, 2*time.Hour)
+	if len(rechecks) == 0 {
+		return
+	}
+	h.c.Settle(30 * time.Minute) // let repair writes land
+	for _, rc := range rechecks {
+		rc := rc
+		b := &rc.r.blocks[rc.blk]
+		if b.data == nil || b.uncertain {
+			continue
+		}
+		pending++
+		r := rc.r
+		r.cl.Read(r.space, int64(rc.blk)*BlockSize, BlockSize, func(data []byte, err error) {
+			pending--
+			if err != nil {
+				h.violatef("final audit: %s block %d unreadable after repair: %v", r.name, rc.blk, err)
+				return
+			}
+			if !bytes.Equal(data, b.data) {
+				h.violatef("final audit: %s block %d wrong after repair", r.name, rc.blk)
+			}
+		})
+	}
+	h.settleUntil(func() bool { return pending == 0 }, 2*time.Hour)
+}
+
+// finalWritePass proves the write path converged: every block of every
+// replica accepts a fresh acknowledged write on the healed cluster.
+func (h *harness) finalWritePass() {
+	h.logf("final: convergence write pass")
+	for pair := 0; pair < h.opts.Pairs; pair++ {
+		for blk := 0; blk < h.opts.BlocksPerSpace; blk++ {
+			h.writePair(pair, blk)
+		}
+	}
+	h.settleUntil(func() bool { return h.inflightWrites() == 0 }, 2*time.Hour)
+	// One retry round for stragglers that raced a rebuild.
+	for _, r := range h.replicas {
+		for blk := range r.blocks {
+			b := &r.blocks[blk]
+			if b.uncertain && b.inflight == 0 {
+				h.writeSeq++
+				h.writeReplicaData(r, blk, h.pattern(0, blk, h.writeSeq))
+			}
+		}
+	}
+	h.settleUntil(func() bool { return h.inflightWrites() == 0 }, 2*time.Hour)
+	for _, r := range h.replicas {
+		for blk := range r.blocks {
+			if r.blocks[blk].uncertain {
+				h.violatef("write path not converged: %s block %d rejects writes on healed cluster", r.name, blk)
+			}
+		}
+	}
+}
+
+// settleUntil advances the simulation until cond holds or budget elapses.
+func (h *harness) settleUntil(cond func() bool, budget time.Duration) bool {
+	deadline := h.c.Sched.Now() + budget
+	for h.c.Sched.Now() < deadline {
+		if cond() {
+			return true
+		}
+		h.c.Settle(15 * time.Second)
+	}
+	return cond()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPairs(m map[pairKey]bool) []pairKey {
+	out := make([]pairKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}

@@ -1,0 +1,50 @@
+package chaos
+
+import "fmt"
+
+// Minimize runs the seeded schedule and, if it produced violations, bisects
+// for the shortest schedule prefix that still violates. Truncated prefixes
+// are well-formed because the harness's drain phase heals any fault window
+// whose closing event was cut off. Returns the minimized schedule, the
+// report of its run, and the full run's report.
+//
+// If the full run is clean, Minimize returns (nil, nil, full, nil).
+func Minimize(o Options) (schedule []Fault, minimized, full *Report, err error) {
+	h, err := newHarness(o)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	all := genSchedule(o, h.hostNames(), h.diskNames(), h.leafHubNames(), h.machineNames())
+	full, err = h.execute(all)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(full.Violations) == 0 {
+		return nil, nil, full, nil
+	}
+
+	// Binary search the smallest k such that schedule[:k] violates. Fault
+	// interactions are not strictly monotone (a later fault can mask an
+	// earlier violation), so the result is confirmed by a final run; if
+	// bisection ever loses the violation, fall back to the full schedule.
+	lo, hi := 1, len(all) // invariant: all[:hi] violates (or hi == len(all))
+	best := full
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rep, rerr := RunSchedule(o, all[:mid])
+		if rerr != nil {
+			return nil, nil, nil, fmt.Errorf("chaos: minimizing at prefix %d: %w", mid, rerr)
+		}
+		if len(rep.Violations) > 0 {
+			hi = mid
+			best = rep
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(all) {
+		return all[:lo], best, full, nil
+	}
+	// Bisection converged on the full length: re-use the full run.
+	return all, full, full, nil
+}

@@ -145,6 +145,9 @@ type Store struct {
 	// applyErrs records per-command outcomes so the proposing replica can
 	// complete its callback with the real result.
 	stopped bool
+
+	// sweep is the leader's session-expiry scan period.
+	sweep time.Duration
 }
 
 // coordName is the simnet node name for a replica's session-ping endpoint.
@@ -164,6 +167,7 @@ func NewStore(net *simnet.Network, name string, peers []string, cfg paxos.Config
 		watches:      map[string][]func(Event){},
 		childWatches: map[string][]func(Event){},
 		pending:      map[string]func(error){},
+		sweep:        250 * time.Millisecond,
 	}
 	s.px = paxos.New(net, name, peers, cfg, s.apply)
 	s.node.Handle(s.onMessage)
@@ -347,13 +351,29 @@ func (s *Store) onMessage(msg simnet.Message) {
 	}
 }
 
+// SetSweepInterval changes the session-expiry scan period (default 250ms).
+// Long-horizon simulations raise it together with session TTLs so the sweep
+// doesn't dominate the event budget; it must stay well below the shortest
+// session TTL in use. Takes effect from the next scheduled sweep.
+func (s *Store) SetSweepInterval(d time.Duration) {
+	if d > 0 {
+		s.sweep = d
+	}
+}
+
 // sweepLoop is the leader's session-expiry scan.
 func (s *Store) sweepLoop() {
-	const sweepEvery = 250 * time.Millisecond
+	sweepEvery := s.sweep
 	s.sched.After(sweepEvery, func() {
 		if !s.stopped && s.px.IsLeader() {
 			now := s.sched.Now()
-			for id, sess := range s.sessions {
+			ids := make([]string, 0, len(s.sessions))
+			for id := range s.sessions {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids) // deterministic expiry-proposal order
+			for _, id := range ids {
+				sess := s.sessions[id]
 				seen, ok := s.lastSeen[id]
 				if !ok {
 					// First sweep since this replica became leader (or the

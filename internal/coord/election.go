@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"errors"
 	"strings"
 	"time"
 )
@@ -86,6 +87,20 @@ func (e *Election) Run() {
 	})
 }
 
+// ensure re-campaigns if the path is leaderless. The deletion watch alone is
+// not enough to guarantee progress: an acquire proposal can be lost to a
+// leader change or partition without any further EventDeleted ever firing.
+// The leader check is a local applied-state read, so the steady state (a
+// leader exists) costs no proposals.
+func (e *Election) ensure() {
+	if e.stopped || e.leading {
+		return
+	}
+	if _, err := e.store.Get(e.path); err != nil {
+		e.tryAcquire()
+	}
+}
+
 // Stop abandons the campaign (the session lapses and any held leadership
 // expires naturally).
 func (e *Election) Stop() {
@@ -97,6 +112,7 @@ func (e *Election) keepAlive() {
 		return
 	}
 	e.store.Ping(e.session)
+	e.ensure()
 	e.store.sched.After(e.ttl/3, e.keepAlive)
 }
 
@@ -115,6 +131,18 @@ func (e *Election) tryAcquire() {
 			}
 			return
 		}
-		// Lost the race: the watch on e.path retries when it frees up.
+		if errors.Is(err, ErrNoSession) {
+			// Our session expired (e.g. this replica was partitioned past the
+			// TTL). Start a fresh session under the same ID and re-campaign,
+			// as a ZooKeeper client would reconnect with a new session.
+			e.store.CreateSession(e.session, e.ttl, func(serr error) {
+				if serr == nil && !e.stopped {
+					e.tryAcquire()
+				}
+			})
+			return
+		}
+		// Lost the race: the watch on e.path (and the periodic ensure pass)
+		// retries when it frees up.
 	})
 }

@@ -77,20 +77,29 @@ func NewClientLib(net *simnet.Network, name, service string, cfg Config, masters
 func (cl *ClientLib) Service() string { return cl.service }
 
 // callMaster tries the believed-active master, then the rest, until one
-// accepts (a standby returns ErrNotActive-equivalent text).
+// accepts (a standby returns ErrNotActive-equivalent text). Each replica is
+// called with retry so a lossy or flapping link doesn't masquerade as a
+// rejected request: resends reuse the request ID, and the master's RPC dedup
+// guarantees the operation executes at most once even if the first send got
+// through and only the reply was lost.
 func (cl *ClientLib) callMaster(method string, args any, size int, done func(any, error)) {
 	order := make([]string, 0, len(cl.masters)+1)
 	if cl.active != "" {
 		order = append(order, masterNode(cl.active))
 	}
 	order = append(order, cl.masters...)
+	retry := simnet.RetryOpts{
+		Attempts: 2,
+		Timeout:  cl.cfg.RPCTimeoutOrDefault(),
+		Backoff:  cl.cfg.RPCTimeoutOrDefault() / 8,
+	}
 	var try func(i int, lastErr error)
 	try = func(i int, lastErr error) {
 		if i >= len(order) {
 			done(nil, fmt.Errorf("core: no active master: %v", lastErr))
 			return
 		}
-		cl.rpc.Call(order[i], method, args, size, cl.cfg.RPCTimeoutOrDefault(), func(res any, err error) {
+		cl.rpc.CallWithRetry(order[i], method, args, size, retry, func(res any, err error) {
 			if err == nil {
 				done(res, nil)
 				return

@@ -7,7 +7,6 @@ import (
 	"ustore/internal/coord"
 	"ustore/internal/disk"
 	"ustore/internal/fabric"
-	"ustore/internal/paxos"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
 )
@@ -89,7 +88,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	groups := allGroups(c.UnitRigs)
 	primaryCtrls := infos[0].Controllers
 	for _, name := range peerNames {
-		st := coord.NewStore(net, name, peerNames, paxos.DefaultConfig())
+		st := coord.NewStore(net, name, peerNames, cfg.PaxosOrDefault())
+		if cfg.CoordSweepInterval > 0 {
+			st.SetSweepInterval(cfg.CoordSweepInterval)
+		}
 		c.Stores = append(c.Stores, st)
 		m := NewMaster(net, name, st, cfg, primaryCtrls)
 		m.SetUnits(infos)
@@ -173,6 +175,84 @@ func (c *Cluster) RestoreHost(host string) {
 			ctl.Down(false)
 		}
 	}
+}
+
+// rigOfNode returns the deploy unit whose fabric contains the node.
+func (c *Cluster) rigOfNode(id string) *UnitRig {
+	for _, rig := range c.UnitRigs {
+		if rig.Fabric.Node(fabric.NodeID(id)) != nil {
+			return rig
+		}
+	}
+	return nil
+}
+
+// FailDisk simulates a whole-disk hardware failure: the fabric marks the
+// disk node failed (its bridge shares the failure unit, §IV-E), the binding
+// drops it from its host's USB tree, and the device itself goes dark so
+// in-flight IO errors out.
+func (c *Cluster) FailDisk(id string) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	if err := rig.Fabric.Fail(fabric.NodeID(id)); err != nil {
+		return err
+	}
+	if d := c.Disks[id]; d != nil {
+		d.PowerOff()
+		d.StopMediaDecay()
+	}
+	rig.Binding.Resync()
+	return nil
+}
+
+// ReplaceDisk models the operator swapping in a fresh drive at the failed
+// disk's slot: blank media (any surviving data lives only on replicas), the
+// fabric node repaired, and the device powered back on. The binding resync
+// re-enumerates it, and the heartbeat path re-exports spaces onto it.
+func (c *Cluster) ReplaceDisk(id string) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	if err := rig.Fabric.Repair(fabric.NodeID(id)); err != nil {
+		return err
+	}
+	if d := c.Disks[id]; d != nil {
+		d.ReplaceMedia()
+		d.PowerOn()
+	}
+	rig.Binding.Resync()
+	return nil
+}
+
+// FailHub marks a hub (and hence the subtree hanging off it) failed. Disk
+// data under the hub is intact — only the path to it is gone until repair.
+func (c *Cluster) FailHub(id string) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown hub %s", id)
+	}
+	if err := rig.Fabric.Fail(fabric.NodeID(id)); err != nil {
+		return err
+	}
+	rig.Binding.Resync()
+	return nil
+}
+
+// ReplaceHub repairs a failed hub; the subtree re-enumerates with its data
+// untouched.
+func (c *Cluster) ReplaceHub(id string) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown hub %s", id)
+	}
+	if err := rig.Fabric.Repair(fabric.NodeID(id)); err != nil {
+		return err
+	}
+	rig.Binding.Resync()
+	return nil
 }
 
 // DiskCountOn returns how many disks SysStat places on host (via the

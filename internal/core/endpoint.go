@@ -28,8 +28,10 @@ type EndPoint struct {
 	disks    map[string]*disk.Disk
 	attached map[string]bool
 
-	// exports tracks live exports: space -> disk.
+	// exports tracks live exports: space -> disk; volumes holds the local
+	// Volume serving each export (the scrubber sweeps these directly).
 	exports map[SpaceID]ExportArgs
+	volumes map[SpaceID]block.Volume
 
 	masters     []string
 	controllers []string
@@ -38,7 +40,8 @@ type EndPoint struct {
 	activeHint  string
 	down        bool
 
-	pm *PowerManager
+	pm    *PowerManager
+	scrub *Scrubber
 }
 
 // endpointNode returns an EndPoint's RPC node name.
@@ -58,6 +61,7 @@ func NewEndPoint(net *simnet.Network, host string, cfg Config, hc *usb.HostContr
 		disks:       disks,
 		attached:    make(map[string]bool),
 		exports:     make(map[SpaceID]ExportArgs),
+		volumes:     make(map[SpaceID]block.Volume),
 		masters:     masters,
 		controllers: controllers,
 	}
@@ -66,6 +70,9 @@ func NewEndPoint(net *simnet.Network, host string, cfg Config, hc *usb.HostContr
 	ep.rpc.Register("DiskPower", ep.handleDiskPower)
 	if cfg.SpinDownIdle > 0 {
 		ep.pm = NewPowerManager(ep, cfg.SpinDownIdle)
+	}
+	if cfg.ScrubInterval > 0 {
+		ep.scrub = NewScrubber(ep, cfg.ScrubInterval)
 	}
 	ep.heartbeatLoop()
 	return ep
@@ -122,11 +129,12 @@ func (ep *EndPoint) DiskDetached(diskID string) {
 		return
 	}
 	delete(ep.attached, diskID)
-	// Revoke exports living on the vanished disk.
-	for space, ex := range ep.exports {
-		if ex.DiskID == diskID {
+	// Revoke exports living on the vanished disk (sorted for determinism).
+	for _, space := range ep.exportedSpaces() {
+		if ep.exports[space].DiskID == diskID {
 			ep.tgt.Revoke(string(space))
 			delete(ep.exports, space)
+			delete(ep.volumes, space)
 		}
 	}
 	ep.sendUSBReport()
@@ -170,10 +178,18 @@ func (ep *EndPoint) sendHeartbeat() {
 		infos = append(infos, DiskInfo{ID: id, State: ep.diskState(id)})
 	}
 	hb := HeartbeatArgs{Host: ep.host, Seq: ep.hbSeq, Disks: infos}
-	// Send to the believed active master first, falling back to all.
+	// Send to the believed active master first, falling back to all. Each
+	// send retries once on loss (same request ID; the master's RPC dedup
+	// absorbs duplicates), so one dropped message doesn't cost a whole
+	// heartbeat cycle of failure-detection budget.
 	targets := ep.masters
 	if ep.activeHint != "" {
 		targets = append([]string{masterNode(ep.activeHint)}, ep.masters...)
+	}
+	retry := simnet.RetryOpts{
+		Attempts: 2,
+		Timeout:  ep.cfg.RPCTimeoutOrDefault(),
+		Backoff:  ep.cfg.RPCTimeoutOrDefault() / 8,
 	}
 	sent := make(map[string]bool)
 	for _, t := range targets {
@@ -181,7 +197,7 @@ func (ep *EndPoint) sendHeartbeat() {
 			continue
 		}
 		sent[t] = true
-		ep.rpc.Call(t, "Heartbeat", hb, 128, ep.cfg.RPCTimeoutOrDefault(), func(res any, err error) {
+		ep.rpc.CallWithRetry(t, "Heartbeat", hb, 128, retry, func(res any, err error) {
 			if err != nil {
 				return
 			}
@@ -227,7 +243,16 @@ func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) 
 		return
 	}
 	d := ep.disks[ex.DiskID]
-	vol, err := block.NewDiskVolume(d, ex.Offset, ex.Size)
+	// Exports verify per-block CRCs end to end unless the deployment
+	// explicitly opts out; the CRC sidecar lives on the disk itself, so a
+	// space keeps its checksums when it fails over to another host.
+	var vol block.Volume
+	var err error
+	if ep.cfg.DisableChecksums {
+		vol, err = block.NewDiskVolume(d, ex.Offset, ex.Size)
+	} else {
+		vol, err = block.NewChecksumDiskVolume(d, ex.Offset, ex.Size)
+	}
 	if err != nil {
 		reply(nil, fmt.Errorf("exporting %s: %w", ex.Space, err))
 		return
@@ -239,6 +264,7 @@ func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) 
 		}
 		ep.tgt.Export(string(ex.Space), vol)
 		ep.exports[ex.Space] = ex
+		ep.volumes[ex.Space] = vol
 		reply(struct{}{}, nil)
 	})
 }
@@ -247,6 +273,7 @@ func (ep *EndPoint) handleUnexport(from string, args any) (any, error) {
 	u := args.(UnexportArgs)
 	ep.tgt.Revoke(string(u.Space))
 	delete(ep.exports, u.Space)
+	delete(ep.volumes, u.Space)
 	return struct{}{}, nil
 }
 
@@ -268,6 +295,20 @@ func (ep *EndPoint) handleDiskPower(from string, args any) (any, error) {
 
 // Exports returns the number of live exports.
 func (ep *EndPoint) Exports() int { return len(ep.exports) }
+
+// Scrubber returns the endpoint's background scrubber (nil if disabled).
+func (ep *EndPoint) Scrubber() *Scrubber { return ep.scrub }
+
+// exportedSpaces returns the live exports in sorted order (deterministic
+// iteration for the scrubber's cursor).
+func (ep *EndPoint) exportedSpaces() []SpaceID {
+	out := make([]SpaceID, 0, len(ep.exports))
+	for sp := range ep.exports {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // HasExport reports whether a space is currently exported here.
 func (ep *EndPoint) HasExport(space SpaceID) bool {

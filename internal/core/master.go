@@ -120,7 +120,7 @@ func NewMaster(net *simnet.Network, name string, store *coord.Store, cfg Config,
 		Hosts:       cfg.Fabric.Hosts,
 		Controllers: controllers,
 	}})
-	m.elect = coord.NewElection(store, "/master/active", name, 2*time.Second)
+	m.elect = coord.NewElection(store, "/master/active", name, cfg.ElectionTTLOrDefault())
 	m.elect.OnElected = m.onElected
 	m.rpc.Register("Heartbeat", m.handleHeartbeat)
 	m.rpc.Register("Allocate", m.handleAllocate)
@@ -221,6 +221,14 @@ func (m *Master) handleHeartbeat(from string, args any) (any, error) {
 			if m.diskHost[id] == hb.Host {
 				delete(m.diskHost, id)
 			}
+			// The EndPoint revoked this disk's exports when it detached;
+			// forget them here too, or a later reappearance on the same
+			// host would skip re-export and strand the spaces.
+			for _, rec := range m.diskAllocs[id] {
+				if m.exported[rec.Space] == hb.Host {
+					delete(m.exported, rec.Space)
+				}
+			}
 		}
 	}
 	if wasOffline || len(appeared) > 0 {
@@ -253,10 +261,16 @@ func (m *Master) reconcileExports() {
 		return
 	}
 	byHost := make(map[string][]string)
+	hosts := make([]string, 0, len(byHost))
 	for diskID, host := range m.diskHost {
+		if len(byHost[host]) == 0 {
+			hosts = append(hosts, host)
+		}
 		byHost[host] = append(byHost[host], diskID)
 	}
-	for host, disks := range byHost {
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		disks := byHost[host]
 		sort.Strings(disks)
 		m.exportDisksOn(host, disks)
 	}
@@ -267,8 +281,13 @@ func (m *Master) detectLoop() {
 	m.sched.After(m.cfg.HeartbeatInterval, func() {
 		if m.Active() {
 			deadline := time.Duration(m.cfg.HostDeadAfter) * m.cfg.HeartbeatInterval
-			for host, hs := range m.hosts {
-				if hs.online && m.sched.Now()-hs.lastSeen > deadline {
+			hosts := make([]string, 0, len(m.hosts))
+			for host := range m.hosts {
+				hosts = append(hosts, host)
+			}
+			sort.Strings(hosts)
+			for _, host := range hosts {
+				if hs := m.hosts[host]; hs.online && m.sched.Now()-hs.lastSeen > deadline {
 					hs.online = false
 					m.hostDead(host)
 				}
@@ -667,9 +686,36 @@ func (m *Master) SetDiskGroups(groups [][]string) {
 	}
 }
 
-// RPCTimeoutOrDefault returns the configured RPC timeout.
-func (c Config) RPCTimeoutOrDefault() time.Duration {
-	return DefaultRPCTimeout
+// ValidateAllocations checks StorAlloc's core invariant: no two records on
+// one disk overlap, and every record fits the disk. The chaos harness calls
+// it continuously; a violation means the allocator double-assigned extents.
+func (m *Master) ValidateAllocations() error {
+	disks := make([]string, 0, len(m.diskAllocs))
+	for d := range m.diskAllocs {
+		disks = append(disks, d)
+	}
+	sort.Strings(disks)
+	for _, d := range disks {
+		recs := append([]*allocRecord(nil), m.diskAllocs[d]...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Offset < recs[j].Offset })
+		prevEnd := int64(0)
+		var prev SpaceID
+		for _, rec := range recs {
+			if rec.Size <= 0 || rec.Offset < 0 {
+				return fmt.Errorf("core: alloc %s on %s has bad extent [%d,+%d)", rec.Space, d, rec.Offset, rec.Size)
+			}
+			if rec.Offset+rec.Size > m.cfg.DiskParams.CapacityBytes {
+				return fmt.Errorf("core: alloc %s on %s exceeds capacity", rec.Space, d)
+			}
+			if rec.Offset < prevEnd {
+				return fmt.Errorf("core: allocs %s and %s overlap on %s ([%d,+%d) vs end %d)",
+					prev, rec.Space, d, rec.Offset, rec.Size, prevEnd)
+			}
+			prevEnd = rec.Offset + rec.Size
+			prev = rec.Space
+		}
+	}
+	return nil
 }
 
 // HostOnline exposes SysStat for tests and the bench harness.

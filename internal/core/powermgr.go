@@ -68,7 +68,7 @@ func (pm *PowerManager) loop() {
 
 func (pm *PowerManager) scan() {
 	now := pm.ep.sched.Now()
-	for id := range pm.ep.attached {
+	for _, id := range pm.ep.AttachedDisks() {
 		d := pm.ep.disks[id]
 		if d == nil {
 			continue

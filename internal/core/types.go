@@ -12,6 +12,7 @@ import (
 
 	"ustore/internal/disk"
 	"ustore/internal/fabric"
+	"ustore/internal/paxos"
 )
 
 // SpaceID uniquely identifies allocated storage in the global namespace
@@ -75,8 +76,54 @@ type Config struct {
 	// limit. Set to usb.IntelRootHubDeviceLimit (14) to reproduce the
 	// prototype's §V-B driver quirk.
 	HostDeviceLimit int
+	// RPCTimeout bounds control-plane RPCs (0 = DefaultRPCTimeout).
+	RPCTimeout time.Duration
+	// ElectionTTL is the master-election session TTL (0 = 2s). Long
+	// simulated horizons raise it so session keep-alives don't dominate
+	// the event budget.
+	ElectionTTL time.Duration
+	// Paxos overrides the coord quorum's consensus timing; a zero value
+	// uses paxos.DefaultConfig(). Chaos soaks stretch these to keep a
+	// 100-day run's event count simulable.
+	Paxos paxos.Config
+	// CoordSweepInterval is the coord leader's session-expiry scan period
+	// (0 = the store's 250ms default). Must stay well under ElectionTTL.
+	CoordSweepInterval time.Duration
+	// DisableChecksums turns off the per-block CRC volume wrapper on
+	// exports, re-exposing silent media corruption to clients (used by the
+	// chaos harness to prove its invariant checker catches real loss).
+	DisableChecksums bool
+	// ScrubInterval enables the EndPoint background scrubber: every
+	// interval each endpoint verifies one block of one exported space
+	// during disk idle windows, repairing via the configured repair hook.
+	// 0 disables scrubbing.
+	ScrubInterval time.Duration
 	// Seed drives the deterministic simulation.
 	Seed int64
+}
+
+// RPCTimeoutOrDefault returns the configured RPC timeout.
+func (c Config) RPCTimeoutOrDefault() time.Duration {
+	if c.RPCTimeout > 0 {
+		return c.RPCTimeout
+	}
+	return DefaultRPCTimeout
+}
+
+// ElectionTTLOrDefault returns the configured master-election TTL.
+func (c Config) ElectionTTLOrDefault() time.Duration {
+	if c.ElectionTTL > 0 {
+		return c.ElectionTTL
+	}
+	return 2 * time.Second
+}
+
+// PaxosOrDefault returns the consensus timing (DefaultConfig if unset).
+func (c Config) PaxosOrDefault() paxos.Config {
+	if c.Paxos == (paxos.Config{}) {
+		return paxos.DefaultConfig()
+	}
+	return c.Paxos
 }
 
 // DefaultConfig returns the paper's prototype shape: one unit, 16 disks,

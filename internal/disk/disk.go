@@ -88,7 +88,18 @@ type Disk struct {
 	// stateObservers are notified of every state transition (power meter,
 	// rolling spin-up sequencer, ...).
 	stateObservers []func(old, new State)
+
+	// Silent-corruption model (Gray & van Ingen: uncorrectable read errors
+	// and latent sector errors dominate on low-cost SATA media).
+	ureRate      float64 // per-sector probability of corruption on read
+	latentErrors int
+	decayMean    time.Duration
+	decayEvent   *simtime.Event
 }
+
+// SectorSize is the granularity of the corruption model: URE draws are per
+// sector read, and decay events damage one sector at a time.
+const SectorSize = 4096
 
 // New creates a disk in the spun-down state (as after rack power-on, before
 // rolling spin-up).
@@ -248,6 +259,101 @@ func (d *Disk) Submit(req *Request) {
 	}
 }
 
+// SetURERate sets the per-sector probability that a read surfaces an
+// uncorrectable (silently corrupted) sector. Zero (the default) disables
+// the model entirely and consumes no RNG, so existing runs are unchanged.
+// Typical consumer SATA spec is one URE per 1e14 bits ≈ 3e-4 per 4KiB
+// sector-terabyte; chaos runs compress this the same way they compress MTTF.
+func (d *Disk) SetURERate(p float64) { d.ureRate = p }
+
+// URERate returns the configured per-sector corruption probability.
+func (d *Disk) URERate() float64 { return d.ureRate }
+
+// LatentErrors returns how many sectors the fault model has corrupted on
+// this medium (URE hits, decay events, and manual CorruptSector calls).
+func (d *Disk) LatentErrors() int { return d.latentErrors }
+
+// CorruptSector flips bits in the sector containing off. The damage is
+// persistent — it lives in the backing store, exactly like a real latent
+// sector error, until something rewrites the sector.
+func (d *Disk) CorruptSector(off int64) {
+	if off < 0 || off >= d.params.CapacityBytes {
+		return
+	}
+	sec := off / SectorSize * SectorSize
+	d.store.CorruptAt(sec, SectorSize, 0x5a)
+	d.latentErrors++
+}
+
+// maybeCorruptOnRead applies the URE model to a read about to be served:
+// each sector covered by the read independently rots with probability
+// ureRate. Damage is applied to the store before the data is extracted, so
+// the caller sees the corrupted bytes (and any checksum layer above can
+// catch them).
+func (d *Disk) maybeCorruptOnRead(off int64, size int) {
+	if d.ureRate <= 0 || size <= 0 {
+		return
+	}
+	rng := d.sched.Rand()
+	first := off / SectorSize
+	last := (off + int64(size) - 1) / SectorSize
+	for s := first; s <= last; s++ {
+		if rng.Float64() < d.ureRate {
+			d.CorruptSector(s * SectorSize)
+		}
+	}
+}
+
+// StartMediaDecay begins background bit rot: at exponentially-distributed
+// intervals with the given mean, one random allocated sector is corrupted
+// in place (no IO involved — this is the medium decaying while the platters
+// sit, the failure mode scrubbing exists to bound). Restarting replaces any
+// previous decay clock.
+func (d *Disk) StartMediaDecay(mean time.Duration) {
+	d.StopMediaDecay()
+	if mean <= 0 {
+		return
+	}
+	d.decayMean = mean
+	d.armDecay()
+}
+
+// StopMediaDecay cancels the background decay clock.
+func (d *Disk) StopMediaDecay() {
+	if d.decayEvent != nil {
+		d.decayEvent.Cancel()
+		d.decayEvent = nil
+	}
+	d.decayMean = 0
+}
+
+func (d *Disk) armDecay() {
+	wait := time.Duration(d.sched.Rand().ExpFloat64() * float64(d.decayMean))
+	d.decayEvent = d.sched.After(wait, func() {
+		if d.decayMean <= 0 {
+			return
+		}
+		if offs := d.store.AllocatedChunkOffsets(); len(offs) > 0 {
+			chunk := offs[d.sched.Rand().Intn(len(offs))]
+			sector := chunk + int64(d.sched.Rand().Intn(chunkSize/SectorSize))*SectorSize
+			d.CorruptSector(sector)
+		}
+		d.armDecay()
+	})
+}
+
+// ReplaceMedia swaps in a blank platter stack, modelling an operator
+// swapping the failed drive for a fresh unit of the same model. All data
+// and checksums are gone; latent-error history resets; the URE/decay
+// configuration carries over (the replacement is the same drive model).
+func (d *Disk) ReplaceMedia() {
+	d.store = NewStore()
+	d.latentErrors = 0
+	if d.decayMean > 0 {
+		d.StartMediaDecay(d.decayMean)
+	}
+}
+
 // pump starts servicing the head of the queue if the disk is ready.
 func (d *Disk) pump() {
 	if d.state != StateIdle || len(d.queue) == 0 {
@@ -273,6 +379,7 @@ func (d *Disk) pump() {
 
 		var data []byte
 		if op.Read {
+			d.maybeCorruptOnRead(req.Offset, op.Size)
 			data = d.store.ReadAt(req.Offset, op.Size)
 			d.bytesRead += uint64(op.Size)
 		} else {

@@ -1,19 +1,35 @@
 package disk
 
+import "sort"
+
 // Store is a sparse in-memory byte store backing a simulated disk's data
 // plane. Unwritten regions read as zero, like a fresh drive. Chunks are
 // allocated lazily so simulating a 3TB disk costs memory proportional only
 // to the bytes actually written.
+//
+// Alongside the data plane the store keeps an out-of-band checksum sidecar
+// (SetBlockCRC/BlockCRC), modelling the per-sector ECC/metadata area real
+// drives reserve next to each sector: it travels with the platters when a
+// disk is re-cabled to another host, and it is NOT damaged by CorruptAt —
+// which is exactly what makes silent bit rot detectable.
 type Store struct {
 	chunks map[int64][]byte
+	crcs   map[int64]uint32
 }
 
 // chunkSize is the allocation granularity of the sparse store.
 const chunkSize = 64 * 1024
 
+// ChunkSize exposes the sparse-allocation granularity (also the unit the
+// checksum sidecar is keyed by).
+const ChunkSize = chunkSize
+
 // NewStore returns an empty sparse store.
 func NewStore() *Store {
-	return &Store{chunks: make(map[int64][]byte)}
+	return &Store{
+		chunks: make(map[int64][]byte),
+		crcs:   make(map[int64]uint32),
+	}
 }
 
 // WriteAt copies data into the store at off.
@@ -55,4 +71,51 @@ func (s *Store) ReadAt(off int64, size int) []byte {
 // BytesAllocated returns the memory footprint of written chunks.
 func (s *Store) BytesAllocated() int64 {
 	return int64(len(s.chunks)) * chunkSize
+}
+
+// CorruptAt flips bits in n bytes starting at off by XOR-ing mask into the
+// stored data (mask must be nonzero to actually corrupt). It models silent
+// media corruption: the data plane changes, the checksum sidecar does not.
+// Corrupting a hole materializes the chunk, as a real flipped sector would.
+func (s *Store) CorruptAt(off int64, n int, mask byte) {
+	if mask == 0 {
+		mask = 0xff
+	}
+	for ; n > 0; n-- {
+		ci := off / chunkSize
+		co := off % chunkSize
+		c, ok := s.chunks[ci]
+		if !ok {
+			c = make([]byte, chunkSize)
+			s.chunks[ci] = c
+		}
+		c[co] ^= mask
+		off++
+	}
+}
+
+// SetBlockCRC records the checksum for the chunk-aligned block with index
+// idx (byte offset idx*ChunkSize) in the out-of-band sidecar.
+func (s *Store) SetBlockCRC(idx int64, crc uint32) {
+	s.crcs[idx] = crc
+}
+
+// BlockCRC returns the recorded checksum for block idx and whether one has
+// ever been written. Blocks without a recorded CRC are unverifiable (fresh
+// or pre-checksum data).
+func (s *Store) BlockCRC(idx int64) (uint32, bool) {
+	crc, ok := s.crcs[idx]
+	return crc, ok
+}
+
+// AllocatedChunkOffsets returns the byte offsets of all materialized chunks
+// in ascending order. Sorting makes random-victim selection deterministic
+// under a seeded RNG despite map iteration order.
+func (s *Store) AllocatedChunkOffsets() []int64 {
+	out := make([]int64, 0, len(s.chunks))
+	for ci := range s.chunks {
+		out = append(out, ci*chunkSize)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

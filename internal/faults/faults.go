@@ -38,6 +38,10 @@ const (
 	KindHostRecover
 	KindDiskFail
 	KindHubFail
+	// KindDiskReplace and KindHubReplace are operator field-replacements of
+	// a failed unit, arriving one MTTR after the corresponding failure.
+	KindDiskReplace
+	KindHubReplace
 )
 
 // String names the kind.
@@ -51,6 +55,10 @@ func (k Kind) String() string {
 		return "disk-fail"
 	case KindHubFail:
 		return "hub-fail"
+	case KindDiskReplace:
+		return "disk-replace"
+	case KindHubReplace:
+		return "hub-replace"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,6 +77,10 @@ type Actions struct {
 	RestoreHost func(host string)
 	FailDisk    func(disk string)
 	FailHub     func(hub string)
+	// ReplaceDisk and ReplaceHub swap a failed unit for a working one
+	// (fresh media for disks — data recovery is the upper layer's job).
+	ReplaceDisk func(disk string)
+	ReplaceHub  func(hub string)
 }
 
 // Injector drives MTTF-based failure injection.
@@ -83,6 +95,17 @@ type Injector struct {
 	// MTTF — accelerated-aging experiments compress a year of failures
 	// into a simulable window.
 	HostMTTFOverride time.Duration
+	// DiskMTTR and HubMTTR are how long a failed disk/hub waits for an
+	// operator field-replacement (Actions.ReplaceDisk/ReplaceHub), after
+	// which its failure clock is re-armed. Zero leaves failed units dead
+	// forever (the seed behaviour); multi-year runs want a realistic few
+	// days so the cluster doesn't decay to empty.
+	DiskMTTR time.Duration
+	HubMTTR  time.Duration
+	// DiskMTTFOverride and HubMTTFOverride, when nonzero, compress the
+	// 10-50y disk and hub MTTFs for accelerated-aging runs.
+	DiskMTTFOverride time.Duration
+	HubMTTFOverride  time.Duration
 
 	hosts []string
 	disks []string
@@ -90,6 +113,23 @@ type Injector struct {
 
 	log     []Event
 	stopped bool
+	events  []*simtime.Event
+}
+
+// after schedules fn and records the event so Stop can cancel it.
+func (in *Injector) after(d time.Duration, fn func()) {
+	in.events = append(in.events, in.sched.After(d, fn))
+	// Compact occasionally so multi-year runs don't accumulate a reference
+	// to every fired event.
+	if len(in.events) >= 64 {
+		live := in.events[:0]
+		for _, ev := range in.events {
+			if !ev.Done() {
+				live = append(live, ev)
+			}
+		}
+		in.events = live
+	}
 }
 
 // NewInjector creates an injector over the given component populations.
@@ -107,8 +147,15 @@ func NewInjector(sched *simtime.Scheduler, act Actions, hosts, disks, hubs []str
 // Log returns the injected events so far.
 func (in *Injector) Log() []Event { return append([]Event(nil), in.log...) }
 
-// Stop halts future injection.
-func (in *Injector) Stop() { in.stopped = true }
+// Stop halts future injection and cancels every outstanding scheduled
+// event, so nothing fires actions or appends to the log after Stop returns.
+func (in *Injector) Stop() {
+	in.stopped = true
+	for _, ev := range in.events {
+		ev.Cancel()
+	}
+	in.events = nil
+}
 
 // exp draws an exponential variate with the given mean from the scheduler's
 // deterministic RNG.
@@ -128,7 +175,10 @@ func (in *Injector) Start() {
 		in.armHost(h)
 	}
 	for _, d := range in.disks {
-		mean := DiskMTTFLow + time.Duration(in.sched.Rand().Float64()*float64(DiskMTTFHigh-DiskMTTFLow))
+		mean := in.DiskMTTFOverride
+		if mean <= 0 {
+			mean = DiskMTTFLow + time.Duration(in.sched.Rand().Float64()*float64(DiskMTTFHigh-DiskMTTFLow))
+		}
 		in.armDisk(d, mean)
 	}
 	for _, hub := range in.hubs {
@@ -141,7 +191,7 @@ func (in *Injector) armHost(h string) {
 	if in.HostMTTFOverride > 0 {
 		mttf = in.HostMTTFOverride
 	}
-	in.sched.After(in.exp(mttf), func() {
+	in.after(in.exp(mttf), func() {
 		if in.stopped {
 			return
 		}
@@ -149,7 +199,7 @@ func (in *Injector) armHost(h string) {
 		if in.act.CrashHost != nil {
 			in.act.CrashHost(h)
 		}
-		in.sched.After(in.HostRepair, func() {
+		in.after(in.HostRepair, func() {
 			if in.stopped {
 				return
 			}
@@ -163,7 +213,7 @@ func (in *Injector) armHost(h string) {
 }
 
 func (in *Injector) armDisk(d string, mean time.Duration) {
-	in.sched.After(in.exp(mean), func() {
+	in.after(in.exp(mean), func() {
 		if in.stopped {
 			return
 		}
@@ -171,14 +221,30 @@ func (in *Injector) armDisk(d string, mean time.Duration) {
 		if in.act.FailDisk != nil {
 			in.act.FailDisk(d)
 		}
-		// Failed disks are replaced by the operator eventually; this
-		// injector leaves them failed (data recovery is the upper layer's
-		// job, §IV-E).
+		if in.DiskMTTR <= 0 {
+			// No operator on schedule: the unit stays dead (the seed
+			// behaviour, fine for short windows).
+			return
+		}
+		in.after(in.DiskMTTR, func() {
+			if in.stopped {
+				return
+			}
+			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindDiskReplace, Target: d})
+			if in.act.ReplaceDisk != nil {
+				in.act.ReplaceDisk(d)
+			}
+			in.armDisk(d, mean)
+		})
 	})
 }
 
 func (in *Injector) armHub(h string) {
-	in.sched.After(in.exp(InterconnectMTTF), func() {
+	mttf := InterconnectMTTF
+	if in.HubMTTFOverride > 0 {
+		mttf = in.HubMTTFOverride
+	}
+	in.after(in.exp(mttf), func() {
 		if in.stopped {
 			return
 		}
@@ -186,6 +252,19 @@ func (in *Injector) armHub(h string) {
 		if in.act.FailHub != nil {
 			in.act.FailHub(h)
 		}
+		if in.HubMTTR <= 0 {
+			return
+		}
+		in.after(in.HubMTTR, func() {
+			if in.stopped {
+				return
+			}
+			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHubReplace, Target: h})
+			if in.act.ReplaceHub != nil {
+				in.act.ReplaceHub(h)
+			}
+			in.armHub(h)
+		})
 	})
 }
 
@@ -219,6 +298,14 @@ func (s *Schedule) Add(ev Event) {
 		case KindHubFail:
 			if s.act.FailHub != nil {
 				s.act.FailHub(ev.Target)
+			}
+		case KindDiskReplace:
+			if s.act.ReplaceDisk != nil {
+				s.act.ReplaceDisk(ev.Target)
+			}
+		case KindHubReplace:
+			if s.act.ReplaceHub != nil {
+				s.act.ReplaceHub(ev.Target)
 			}
 		}
 	})

@@ -1,0 +1,206 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func TestCallWithRetrySurvivesLostRequest(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	srv := NewRPCNode(n, "srv")
+	cli := NewRPCNode(n, "cli")
+	calls := 0
+	srv.Register("echo", func(from string, args any) (any, error) {
+		calls++
+		return args, nil
+	})
+
+	// Drop the first request deterministically via a one-shot cut.
+	n.Cut("cli", "srv")
+	s.After(50*time.Millisecond, func() { n.Heal("cli", "srv") })
+
+	var got any
+	var gerr error = errors.New("pending")
+	cli.CallWithRetry("srv", "echo", 42, 0,
+		RetryOpts{Attempts: 3, Timeout: 100 * time.Millisecond, Backoff: 20 * time.Millisecond},
+		func(result any, err error) { got, gerr = result, err })
+	s.Run()
+	if gerr != nil {
+		t.Fatalf("call failed despite retries: %v", gerr)
+	}
+	if got != 42 {
+		t.Fatalf("result = %v, want 42", got)
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1", calls)
+	}
+}
+
+func TestCallWithRetryExhaustsAttempts(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	NewRPCNode(n, "srv") // no handler matters; link stays cut
+	cli := NewRPCNode(n, "cli")
+	n.Cut("cli", "srv")
+
+	var gerr error
+	fired := 0
+	cli.CallWithRetry("srv", "nope", nil, 0,
+		RetryOpts{Attempts: 3, Timeout: 50 * time.Millisecond, Backoff: 10 * time.Millisecond},
+		func(_ any, err error) { fired++; gerr = err })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want exactly 1", fired)
+	}
+	if !errors.Is(gerr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", gerr)
+	}
+}
+
+func TestRetryResendIsDeduplicatedNotReExecuted(t *testing.T) {
+	// The reply (not the request) is lost: the server executes once, the
+	// retry hits the dedup cache, and the client still gets the answer.
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	srv := NewRPCNode(n, "srv")
+	cli := NewRPCNode(n, "cli")
+	calls := 0
+	srv.Register("bump", func(from string, args any) (any, error) {
+		calls++
+		return calls, nil
+	})
+
+	// Cut only srv->cli so the first reply dies in flight.
+	n.link("srv", "cli").cut = true
+	s.After(50*time.Millisecond, func() { n.link("srv", "cli").cut = false })
+
+	var got any
+	var gerr error = errors.New("pending")
+	cli.CallWithRetry("srv", "bump", nil, 0,
+		RetryOpts{Attempts: 4, Timeout: 100 * time.Millisecond, Backoff: 20 * time.Millisecond},
+		func(result any, err error) { got, gerr = result, err })
+	s.Run()
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if calls != 1 {
+		t.Fatalf("non-idempotent handler ran %d times, want 1", calls)
+	}
+	if got != 1 {
+		t.Fatalf("result = %v, want 1 (the cached first execution)", got)
+	}
+}
+
+func TestDupDeliveredRequestExecutesOnce(t *testing.T) {
+	s := simtime.NewScheduler(7)
+	n := New(s)
+	srv := NewRPCNode(n, "srv")
+	cli := NewRPCNode(n, "cli")
+	calls := 0
+	srv.Register("bump", func(from string, args any) (any, error) {
+		calls++
+		return nil, nil
+	})
+	n.SetDupRate("cli", "srv", 1.0) // every request delivered twice
+
+	oks := 0
+	for i := 0; i < 10; i++ {
+		cli.Call("srv", "bump", nil, 0, time.Second, func(_ any, err error) {
+			if err == nil {
+				oks++
+			}
+		})
+		s.RunFor(2 * time.Second)
+	}
+	if calls != 10 {
+		t.Fatalf("handler ran %d times for 10 calls, want 10", calls)
+	}
+	if oks != 10 {
+		t.Fatalf("%d calls succeeded, want 10", oks)
+	}
+}
+
+func TestMachineCutAndHeal(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	got := 0
+	a := n.Node("a")
+	b := n.Node("b")
+	b.Handle(func(Message) { got++ })
+	_ = a
+	n.Colocate("a", "rack1")
+	n.Colocate("b", "rack2")
+
+	n.CutMachines("rack1", "rack2")
+	a.Send("b", "x", 0)
+	s.Run()
+	if got != 0 {
+		t.Fatal("message crossed a cut machine pair")
+	}
+	n.HealMachines("rack2", "rack1") // order must not matter
+	a.Send("b", "x", 0)
+	s.Run()
+	if got != 1 {
+		t.Fatal("message did not cross after heal")
+	}
+}
+
+func TestIsolateMachineKeepsLoopback(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	a := n.Node("a")
+	peer := n.Node("peer")
+	var aGot, peerGot int
+	n.Node("a2").Handle(func(Message) { aGot++ })
+	peer.Handle(func(Message) { peerGot++ })
+	n.Colocate("a", "m1")
+	n.Colocate("a2", "m1")
+	n.Colocate("peer", "m2")
+
+	n.IsolateMachine("m1")
+	a.Send("a2", "x", 0)   // loopback survives
+	a.Send("peer", "x", 0) // uplink is unplugged
+	peer.Send("a", "x", 0)
+	s.Run()
+	if aGot != 1 {
+		t.Fatalf("loopback deliveries = %d, want 1", aGot)
+	}
+	if peerGot != 0 {
+		t.Fatal("isolated machine reached a peer")
+	}
+
+	n.RejoinMachine("m1")
+	a.Send("peer", "x", 0)
+	s.Run()
+	if peerGot != 1 {
+		t.Fatal("rejoin did not restore traffic")
+	}
+}
+
+func TestMachineLossRate(t *testing.T) {
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	a := n.Node("a")
+	got := 0
+	n.Node("b").Handle(func(Message) { got++ })
+	n.Colocate("a", "m1")
+	n.Colocate("b", "m2")
+	n.SetMachineLossRate("m1", "m2", 1.0)
+	for i := 0; i < 20; i++ {
+		a.Send("b", i, 0)
+	}
+	s.Run()
+	if got != 0 {
+		t.Fatalf("%d messages survived 100%% machine loss", got)
+	}
+	n.SetMachineLossRate("m1", "m2", 0)
+	a.Send("b", 1, 0)
+	s.Run()
+	if got != 1 {
+		t.Fatal("message lost after loss rate reset")
+	}
+}

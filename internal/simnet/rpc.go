@@ -33,6 +33,13 @@ type RPCAsyncHandler func(from string, args any, reply func(result any, err erro
 // RPCNode wraps a Node with request/response semantics: named methods on the
 // server side, per-call timeouts and callbacks on the client side. All
 // callbacks run on the scheduler goroutine.
+//
+// The server side deduplicates requests by (caller, request ID): a retried
+// or duplicate-delivered request is answered from a cache of recent replies
+// (or silently absorbed while the original async handler is still running)
+// instead of re-executing the handler. Combined with CallWithRetry reusing
+// one request ID across resends, this gives effectively-once execution over
+// an at-least-once transport.
 type RPCNode struct {
 	node     *Node
 	net      *Network
@@ -41,7 +48,22 @@ type RPCNode struct {
 	nextID   uint64
 	pending  map[uint64]*pendingCall
 	otherRaw Handler
+
+	seen     map[dedupKey]rpcReply
+	inflight map[dedupKey]bool
+	lastID   map[string]uint64
+	dedupN   int
 }
+
+type dedupKey struct {
+	from string
+	id   uint64
+}
+
+// dedupWindow is how far behind a caller's newest request ID a cached reply
+// is kept; duplicates arrive within milliseconds, so a small window is
+// plenty while keeping the cache bounded over long runs.
+const dedupWindow = 128
 
 type pendingCall struct {
 	done    func(result any, err error)
@@ -55,11 +77,14 @@ type eventRef struct{ cancel func() }
 // as its message handler.
 func NewRPCNode(net *Network, name string) *RPCNode {
 	r := &RPCNode{
-		node:    net.Node(name),
-		net:     net,
-		methods: make(map[string]RPCHandler),
-		async:   make(map[string]RPCAsyncHandler),
-		pending: make(map[uint64]*pendingCall),
+		node:     net.Node(name),
+		net:      net,
+		methods:  make(map[string]RPCHandler),
+		async:    make(map[string]RPCAsyncHandler),
+		pending:  make(map[uint64]*pendingCall),
+		seen:     make(map[dedupKey]rpcReply),
+		inflight: make(map[dedupKey]bool),
+		lastID:   make(map[string]uint64),
 	}
 	r.node.Handle(r.dispatch)
 	return r
@@ -109,22 +134,117 @@ func (r *RPCNode) Call(to, method string, args any, size int, timeout time.Durat
 	r.node.Send(to, rpcRequest{ID: id, Method: method, Args: args}, size)
 }
 
+// RetryOpts tunes CallWithRetry. Zero values pick the defaults.
+type RetryOpts struct {
+	// Attempts is the maximum number of sends (first try included).
+	Attempts int
+	// Timeout is the per-attempt reply deadline.
+	Timeout time.Duration
+	// Backoff is the extra wait before the second send; it doubles each
+	// further attempt and carries deterministic jitter from the scheduler
+	// RNG (up to half the backoff).
+	Backoff time.Duration
+}
+
+// Defaults for RetryOpts zero values.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryTimeout  = time.Second
+	DefaultRetryBackoff  = 100 * time.Millisecond
+)
+
+// CallWithRetry is Call with capped retransmission: if an attempt times out
+// the same request (same ID) is re-sent after an exponential backoff with
+// deterministic jitter. The receiver's dedup cache makes the retries safe
+// for non-idempotent methods. done fires exactly once — with the first
+// reply to arrive, a remote error, or ErrTimeout after the final attempt.
+// A healthy call consumes no RNG, so enabling retries does not perturb
+// fault-free runs.
+func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOpts, done func(result any, err error)) {
+	if o.Attempts <= 0 {
+		o.Attempts = DefaultRetryAttempts
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultRetryTimeout
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultRetryBackoff
+	}
+	r.nextID++
+	id := r.nextID
+	pc := &pendingCall{done: done}
+	r.pending[id] = pc
+	req := rpcRequest{ID: id, Method: method, Args: args}
+	var attempt func(n int)
+	attempt = func(n int) {
+		if _, ok := r.pending[id]; !ok {
+			return // an earlier attempt's reply already landed
+		}
+		r.node.Send(to, req, size)
+		ev := r.net.sched.After(o.Timeout, func() {
+			if _, ok := r.pending[id]; !ok {
+				return
+			}
+			if n+1 >= o.Attempts {
+				delete(r.pending, id)
+				if done != nil {
+					done(nil, ErrTimeout)
+				}
+				return
+			}
+			backoff := o.Backoff << uint(n)
+			jitter := time.Duration(r.net.sched.Rand().Int63n(int64(backoff)/2 + 1))
+			r.net.sched.After(backoff+jitter, func() { attempt(n + 1) })
+		})
+		pc.timeout = &eventRef{cancel: ev.Cancel}
+	}
+	attempt(0)
+}
+
+// remember caches a finished request's reply for duplicate suppression and
+// periodically prunes entries that have fallen out of the caller's window.
+func (r *RPCNode) remember(k dedupKey, rep rpcReply) {
+	r.seen[k] = rep
+	if k.id > r.lastID[k.from] {
+		r.lastID[k.from] = k.id
+	}
+	r.dedupN++
+	if r.dedupN >= 1024 {
+		r.dedupN = 0
+		for old := range r.seen {
+			if old.id+dedupWindow < r.lastID[old.from] {
+				delete(r.seen, old)
+			}
+		}
+	}
+}
+
 func (r *RPCNode) dispatch(msg Message) {
 	switch p := msg.Payload.(type) {
 	case rpcRequest:
+		k := dedupKey{from: msg.From, id: p.ID}
+		if rep, ok := r.seen[k]; ok {
+			r.node.Send(msg.From, rep, 0) // duplicate of a served request
+			return
+		}
+		if r.inflight[k] {
+			return // duplicate while the async handler runs; it will reply
+		}
 		if ah, ok := r.async[p.Method]; ok {
-			id := p.ID
 			from := msg.From
 			replied := false
+			r.inflight[k] = true
 			ah(from, p.Args, func(result any, err error) {
 				if replied {
 					panic("simnet: async RPC handler replied twice")
 				}
 				replied = true
-				rep := rpcReply{ID: id, Result: result}
+				delete(r.inflight, k)
+				rep := rpcReply{ID: k.id, Result: result}
 				if err != nil {
 					rep.Err = err.Error()
 				}
+				r.remember(k, rep)
 				r.node.Send(from, rep, 0)
 			})
 			return
@@ -139,6 +259,7 @@ func (r *RPCNode) dispatch(msg Message) {
 		if err != nil {
 			rep.Err = err.Error()
 		}
+		r.remember(k, rep)
 		r.node.Send(msg.From, rep, 0)
 	case rpcReply:
 		pc, ok := r.pending[p.ID]

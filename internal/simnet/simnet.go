@@ -67,6 +67,13 @@ type linkState struct {
 	cut       bool
 }
 
+// machLink is fault state between a pair of machines.
+type machLink struct {
+	cut      bool
+	lossRate float64
+	dupRate  float64
+}
+
 // Stats aggregates network counters.
 type Stats struct {
 	Sent      uint64
@@ -84,6 +91,13 @@ type Network struct {
 	// machine exchange messages locally: no latency, no bandwidth charge,
 	// no loss, and no contribution to network byte counters.
 	machines map[string]string
+	// machLinks holds machine-pair fault state (switch-port/cable faults):
+	// it applies uniformly to every node pair spanning the two machines,
+	// which is how chaos injects partitions without enumerating node names.
+	machLinks map[linkKey]*machLink
+	// isolatedMach marks machines whose uplink is unplugged: every message
+	// in or out is dropped, loopback traffic still flows.
+	isolatedMach map[string]bool
 
 	defaultLatency   time.Duration
 	defaultBandwidth float64
@@ -114,6 +128,8 @@ func New(sched *simtime.Scheduler, opts ...Option) *Network {
 		nodes:            make(map[string]*Node),
 		links:            make(map[linkKey]*linkState),
 		machines:         make(map[string]string),
+		machLinks:        make(map[linkKey]*machLink),
+		isolatedMach:     make(map[string]bool),
 		defaultLatency:   200 * time.Microsecond,
 		defaultBandwidth: 125e6,
 	}
@@ -215,6 +231,65 @@ func (n *Network) Colocate(node, machine string) {
 	n.machines[node] = machine
 }
 
+func (n *Network) machLink(a, b string) *machLink {
+	if a > b {
+		a, b = b, a // one undirected record per machine pair
+	}
+	k := linkKey{a, b}
+	if l, ok := n.machLinks[k]; ok {
+		return l
+	}
+	l := &machLink{}
+	n.machLinks[k] = l
+	return l
+}
+
+// lookupMachLink returns the fault record for a machine pair without
+// allocating one ("" or same-machine pairs have none).
+func (n *Network) lookupMachLink(a, b string) *machLink {
+	if a == "" || b == "" || a == b {
+		return nil
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return n.machLinks[linkKey{a, b}]
+}
+
+// CutMachines severs all traffic between two machines (in both directions):
+// every node placed on a spans every node placed on b, present and future.
+func (n *Network) CutMachines(a, b string) { n.machLink(a, b).cut = true }
+
+// HealMachines restores a machine-pair cut.
+func (n *Network) HealMachines(a, b string) { n.machLink(a, b).cut = false }
+
+// SetMachineLossRate sets the drop probability for messages between two
+// machines (a flaky inter-rack cable), layered on top of per-node links.
+func (n *Network) SetMachineLossRate(a, b string, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("simnet: machine loss rate %v out of [0,1]", p))
+	}
+	n.machLink(a, b).lossRate = p
+}
+
+// SetMachineDupRate sets the duplicate-delivery probability between two
+// machines.
+func (n *Network) SetMachineDupRate(a, b string, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("simnet: machine dup rate %v out of [0,1]", p))
+	}
+	n.machLink(a, b).dupRate = p
+}
+
+// IsolateMachine unplugs a machine's uplink: all messages to or from any
+// node on it are dropped. Loopback traffic between its own nodes still
+// flows, so colocated processes (a master and its coord replica) keep
+// talking — exactly the asymmetry real partitions have.
+func (n *Network) IsolateMachine(machine string) { n.isolatedMach[machine] = true }
+
+// RejoinMachine plugs the uplink back in.
+func (n *Network) RejoinMachine(machine string) { delete(n.isolatedMach, machine) }
+
 // Machine returns the machine a node is placed on ("" if unassigned).
 func (n *Network) Machine(node string) string { return n.machines[node] }
 
@@ -245,6 +320,24 @@ func (n *Network) Send(msg Message) {
 	var delay time.Duration
 	dup := false
 	if !local {
+		ma, mb := n.machines[msg.From], n.machines[msg.To]
+		if (ma != "" && n.isolatedMach[ma]) || (mb != "" && n.isolatedMach[mb]) {
+			n.stats.Dropped++
+			return
+		}
+		if ml := n.lookupMachLink(ma, mb); ml != nil {
+			if ml.cut {
+				n.stats.Dropped++
+				return
+			}
+			if ml.lossRate > 0 && n.sched.Rand().Float64() < ml.lossRate {
+				n.stats.Dropped++
+				return
+			}
+			if ml.dupRate > 0 && n.sched.Rand().Float64() < ml.dupRate {
+				dup = true
+			}
+		}
 		l := n.link(msg.From, msg.To)
 		if l.cut {
 			n.stats.Dropped++

@@ -48,6 +48,10 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel was called before the event fired.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// Done reports whether the event can no longer fire: it was cancelled or it
+// already left the queue (fired or discarded).
+func (e *Event) Done() bool { return e.canceled || e.index < 0 }
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
