@@ -96,11 +96,11 @@ func BenchmarkFigure6Switching(b *testing.B) {
 	var one, twelve bench.SwitchParts
 	for i := 0; i < b.N; i++ {
 		var err error
-		one, err = bench.MeasureSwitch(1, 1)
+		one, err = bench.MeasureSwitch(1, 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		twelve, err = bench.MeasureSwitch(12, 2)
+		twelve, err = bench.MeasureSwitch(12, 2, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func BenchmarkHostFailover(b *testing.B) {
 	var took time.Duration
 	for i := 0; i < b.N; i++ {
 		var err error
-		took, err = bench.MeasureFailover(int64(i + 1))
+		took, err = bench.MeasureFailover(int64(i+1), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +174,7 @@ func BenchmarkTableVSolutionPower(b *testing.B) {
 func BenchmarkHDFSSwitch(b *testing.B) {
 	var stalls float64
 	for i := 0; i < b.N; i++ {
-		tab := bench.HDFSSwitch()
+		tab := bench.HDFSSwitch(nil)
 		for _, row := range tab.Rows {
 			if row[0] == "datanode transparent remounts" {
 				var v float64

@@ -9,31 +9,69 @@
 //	ustore-bench -exp fig6       # one experiment by ID
 //	ustore-bench -ablate         # the design-choice ablations
 //	ustore-bench -list           # list experiment IDs
+//	ustore-bench -exp failover -metrics-out m.json -trace-out t.json
+//
+// -metrics-out writes the metrics collected by the simulated experiments
+// as JSON (or Prometheus text with a .prom suffix); -trace-out writes a
+// Chrome trace_event file for chrome://tracing. Only the cluster-driving
+// experiments (fig6, failover, hdfs) feed the recorder.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ustore/internal/bench"
+	"ustore/internal/obs"
 )
+
+// writeMetrics dumps the registry to path: Prometheus text for .prom files,
+// JSON otherwise.
+func writeMetrics(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") {
+		return rec.Registry().WritePrometheus(f)
+	}
+	return rec.Registry().WriteJSON(f)
+}
+
+func writeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.Tracer().WriteChromeTrace(f)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "skip slow experiments (fig6, failover, hdfs)")
 	exp := flag.String("exp", "", "run a single experiment by ID")
 	ablate := flag.Bool("ablate", false, "run the ablation studies instead")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metricsOut := flag.String("metrics-out", "", "write collected metrics to this file (JSON, or Prometheus text if it ends in .prom)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file for chrome://tracing")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *metricsOut != "" || *traceOut != "" {
+		rec = obs.NewRecorder()
+	}
 
 	runners := map[string]func() *bench.Table{
 		"table1":   bench.TableI,
 		"table2":   bench.TableII,
 		"fig5":     bench.Figure5,
 		"duplex":   bench.DuplexHeadline,
-		"fig6":     bench.Figure6,
-		"failover": bench.Failover,
-		"hdfs":     bench.HDFSSwitch,
+		"fig6":     func() *bench.Table { return bench.Figure6(rec) },
+		"failover": func() *bench.Table { return bench.Failover(rec) },
+		"hdfs":     func() *bench.Table { return bench.HDFSSwitch(rec) },
 		"table3":   bench.TableIII,
 		"table4":   bench.TableIV,
 		"table5":   bench.TableV,
@@ -58,26 +96,36 @@ func main() {
 		return
 	}
 
-	if *exp != "" {
+	switch {
+	case *exp != "":
 		run, ok := runners[*exp]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
 		fmt.Print(run().Render())
-		return
-	}
-
-	if *ablate {
+	case *ablate:
 		for _, t := range bench.Ablations() {
 			fmt.Print(t.Render())
 			fmt.Println()
 		}
-		return
+	default:
+		for _, t := range bench.All(*quick, rec) {
+			fmt.Print(t.Render())
+			fmt.Println()
+		}
 	}
 
-	for _, t := range bench.All(*quick) {
-		fmt.Print(t.Render())
-		fmt.Println()
+	if *metricsOut != "" {
+		if err := writeMetrics(rec, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-bench: writing metrics: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(rec, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-bench: writing trace: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -4,6 +4,11 @@
 //	ustore-chaos -seed 7 -days 100          # seeded all-fault soak
 //	ustore-chaos -seed 7 -days 2 -log       # print the event log
 //	ustore-chaos -no-checksums -minimize    # shrink a violating schedule
+//	ustore-chaos -metrics-out m.json -trace-out t.json
+//
+// -metrics-out writes the run's metrics registry as JSON (or Prometheus
+// text with a .prom suffix); -trace-out writes a Chrome trace_event file
+// loadable in chrome://tracing or https://ui.perfetto.dev.
 //
 // Exit status 1 means at least one invariant was violated.
 package main
@@ -12,10 +17,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ustore/internal/chaos"
+	"ustore/internal/obs"
 )
+
+// writeMetrics dumps the registry to path: Prometheus text for .prom files,
+// JSON otherwise.
+func writeMetrics(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") {
+		return rec.Registry().WritePrometheus(f)
+	}
+	return rec.Registry().WriteJSON(f)
+}
+
+func writeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.Tracer().WriteChromeTrace(f)
+}
 
 func main() {
 	var (
@@ -25,6 +55,8 @@ func main() {
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
 		showLog     = flag.Bool("log", false, "print the full event log")
 		showSched   = flag.Bool("schedule", false, "print the generated fault schedule")
+		metricsOut  = flag.String("metrics-out", "", "write end-of-run metrics to this file (JSON, or Prometheus text if it ends in .prom)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file for chrome://tracing")
 	)
 	flag.Parse()
 	if *days <= 0 {
@@ -34,6 +66,11 @@ func main() {
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
 	o.DisableChecksums = *noChecksums
+	var rec *obs.Recorder
+	if *metricsOut != "" || *traceOut != "" {
+		rec = obs.NewRecorder()
+		o.Recorder = rec
+	}
 
 	var rep *chaos.Report
 	var err error
@@ -54,6 +91,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
 		os.Exit(2)
+	}
+	if *metricsOut != "" {
+		if werr := writeMetrics(rec, *metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: writing metrics: %v\n", werr)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		if werr := writeTrace(rec, *traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: writing trace: %v\n", werr)
+			os.Exit(2)
+		}
 	}
 
 	if *showSched {

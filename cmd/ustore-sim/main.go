@@ -9,17 +9,21 @@
 //	ustore-sim -hosts 4 -disks 16  # cluster shape
 //	ustore-sim -scenario switch    # deliberate disk-group switch
 //	ustore-sim -seed 7             # different deterministic run
+//	ustore-sim -stats              # end-of-run metrics table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"ustore"
 	"ustore/internal/core"
 	"ustore/internal/fabric"
+	"ustore/internal/obs"
 )
 
 func main() {
@@ -29,9 +33,15 @@ func main() {
 	units := flag.Int("units", 1, "number of deploy units under one Master")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scenario := flag.String("scenario", "crash", "scenario: crash | switch | powersave")
+	stats := flag.Bool("stats", false, "print an end-of-run table of all collected metrics")
 	flag.Parse()
 
 	cfg := ustore.DefaultConfig()
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.NewRecorder()
+		cfg.Recorder = rec
+	}
 	cfg.Seed = *seed
 	cfg.Units = *units
 	cfg.Fabric.Disks = *disks
@@ -74,6 +84,56 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+
+	if *stats {
+		printStats(rec)
+	}
+}
+
+// printStats renders every collected metric series as an aligned table,
+// sorted by component then name then labels (the snapshot order).
+func printStats(rec *obs.Recorder) {
+	snap := rec.Registry().Snapshot()
+	sort.SliceStable(snap.Metrics, func(i, j int) bool {
+		a, b := snap.Metrics[i], snap.Metrics[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Name < b.Name
+	})
+	fmt.Println("\n=== end-of-run metrics ===")
+	rows := [][2]string{}
+	for _, s := range snap.Metrics {
+		name := s.Name
+		if len(s.Labels) > 0 {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var parts []string
+			for _, k := range keys {
+				parts = append(parts, k+"="+s.Labels[k])
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		var val string
+		if s.Type == "histogram" {
+			val = fmt.Sprintf("count=%d sum=%.6gs", s.Count, s.Sum)
+		} else {
+			val = fmt.Sprintf("%g", s.Value)
+		}
+		rows = append(rows, [2]string{name, val})
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-*s  %s\n", width, r[0], r[1])
 	}
 }
 

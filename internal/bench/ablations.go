@@ -100,7 +100,7 @@ func AblateSingleTree() *Table {
 			"host MTTF 3.4 months, repair 10 min; single tree loses the disks for the whole repair, UStore for one failover",
 		},
 	}
-	failover, err := MeasureFailover(1)
+	failover, err := MeasureFailover(1, nil)
 	if err != nil {
 		failover = 6 * time.Second
 		t.Notes = append(t.Notes, "failover measurement failed, using 6s: "+err.Error())

@@ -8,6 +8,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"ustore/internal/obs"
 )
 
 // Table is one rendered experiment result.
@@ -66,8 +68,9 @@ func Cell(v float64) string {
 }
 
 // All runs every experiment in paper order. Slow experiments (fig6,
-// failover) can be skipped with quick=true.
-func All(quick bool) []*Table {
+// failover) can be skipped with quick=true. rec (optional) collects
+// metrics and traces from the simulated experiments.
+func All(quick bool, rec *obs.Recorder) []*Table {
 	out := []*Table{
 		TableI(),
 		TableII(),
@@ -78,7 +81,7 @@ func All(quick bool) []*Table {
 		TableV(),
 	}
 	if !quick {
-		out = append(out, Figure6(), Failover(), HDFSSwitch())
+		out = append(out, Figure6(rec), Failover(rec), HDFSSwitch(rec))
 	}
 	return out
 }

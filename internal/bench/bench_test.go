@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ustore/internal/disk"
+	"ustore/internal/obs"
 	"ustore/internal/workload"
 )
 
@@ -58,11 +59,19 @@ func TestFigure5ShapeAndSaturation(t *testing.T) {
 }
 
 func TestFigure6PartsShape(t *testing.T) {
-	p1, err := MeasureSwitch(1, 1)
+	rec := obs.NewRecorder()
+	p1, err := MeasureSwitch(1, 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p4, err := MeasureSwitch(4, 2)
+	// The milestone tally flows into the recorder: one disk enumerated,
+	// one space exported, one space mounted.
+	for _, phase := range []string{"switch-enumerated", "switch-exported", "switch-mounted"} {
+		if got := rec.Counter("bench", "milestones_total", obs.L("phase", phase)).Value(); got != 1 {
+			t.Errorf("milestones_total{phase=%s} = %d, want 1", phase, got)
+		}
+	}
+	p4, err := MeasureSwitch(4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +91,13 @@ func TestFigure6PartsShape(t *testing.T) {
 }
 
 func TestFailoverHeadline(t *testing.T) {
-	took, err := MeasureFailover(1)
+	rec := obs.NewRecorder()
+	took, err := MeasureFailover(1, rec)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := rec.Counter("core", "host_deaths_total").Value(); got == 0 {
+		t.Errorf("host_deaths_total = 0 after a host crash")
 	}
 	// Paper: 5.8s. Accept the 3-10s band: the shape claim is "seconds,
 	// not minutes, and no data rebuild".

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"ustore/internal/obs"
+	"ustore/internal/simtime"
+)
+
+// milestones tracks the first time each named milestone of a measurement is
+// reached. It replaces the per-measurement ad-hoc tally maps (enumed,
+// exportSeen, mountSeen, recovered): every first hit is stamped with the
+// simulated clock, mirrored into the run's recorder as an instant event on
+// the bench track, and counted in bench_milestones_total{phase=...}.
+type milestones struct {
+	rec   *obs.Recorder
+	now   func() simtime.Time
+	phase string
+	at    map[string]simtime.Time
+}
+
+func newMilestones(rec *obs.Recorder, now func() simtime.Time, phase string) *milestones {
+	return &milestones{rec: rec, now: now, phase: phase, at: make(map[string]simtime.Time)}
+}
+
+// hit records milestone key at the current simulated time. Later hits of the
+// same key are ignored (the first time wins, matching how the measurements
+// define their part boundaries).
+func (ms *milestones) hit(key string) {
+	if _, ok := ms.at[key]; ok {
+		return
+	}
+	ms.at[key] = ms.now()
+	ms.rec.Counter("bench", "milestones_total", obs.L("phase", ms.phase)).Inc()
+	ms.rec.Instant("bench", ms.phase, "bench", obs.L("key", key))
+}
+
+// has reports whether key was already hit.
+func (ms *milestones) has(key string) bool {
+	_, ok := ms.at[key]
+	return ok
+}
+
+// count returns how many distinct milestones were hit.
+func (ms *milestones) count() int { return len(ms.at) }
+
+// last returns the latest hit time (0 if none).
+func (ms *milestones) last() simtime.Time {
+	var max simtime.Time
+	for _, t := range ms.at {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -7,7 +7,7 @@ import (
 	"ustore/internal/core"
 	"ustore/internal/fabric"
 	"ustore/internal/hdfs"
-	"ustore/internal/simtime"
+	"ustore/internal/obs"
 )
 
 // SwitchParts decomposes one switching experiment like Figure 6:
@@ -31,10 +31,11 @@ func (p SwitchParts) Total() time.Duration { return p.Part1 + p.Part2 + p.Part3 
 // fig6Cluster builds a full-trees cluster (per-disk switching, matching
 // Figure 6's x-axis of 1..12 individual disks) with one space allocated
 // and mounted on each of the 16 disks, so 12 are movable to any one host.
-func fig6Cluster(seed int64) (*core.Cluster, []core.SpaceID, []*core.ClientLib, error) {
+func fig6Cluster(seed int64, rec *obs.Recorder) (*core.Cluster, []core.SpaceID, []*core.ClientLib, error) {
 	cfg := core.DefaultConfig()
 	cfg.FullTrees = true
 	cfg.Seed = seed
+	cfg.Recorder = rec
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -68,9 +69,11 @@ func fig6Cluster(seed int64) (*core.Cluster, []core.SpaceID, []*core.ClientLib, 
 }
 
 // MeasureSwitch switches n disks simultaneously to one destination host
-// and returns the three-part delay decomposition.
-func MeasureSwitch(n int, seed int64) (SwitchParts, error) {
-	c, spaces, clients, err := fig6Cluster(seed)
+// and returns the three-part delay decomposition. rec (optional, nil OK)
+// receives the run's metrics and trace, including the measurement's
+// milestone events.
+func MeasureSwitch(n int, seed int64, rec *obs.Recorder) (SwitchParts, error) {
+	c, spaces, clients, err := fig6Cluster(seed, rec)
 	if err != nil {
 		return SwitchParts{}, err
 	}
@@ -98,16 +101,16 @@ func MeasureSwitch(n int, seed int64) (SwitchParts, error) {
 		return SwitchParts{}, fmt.Errorf("only %d movable disks", len(targets))
 	}
 
-	var lastEnum, lastExport, lastMount simtime.Time
-	enumed := make(map[string]bool)
+	enums := newMilestones(rec, c.Sched.Now, "switch-enumerated")
+	exports := newMilestones(rec, c.Sched.Now, "switch-exported")
+	mounts := newMilestones(rec, c.Sched.Now, "switch-mounted")
 	c.Binding.OnStorageEnumerated = func(host string, d fabric.NodeID) {
 		if ep := c.EndPoints[host]; ep != nil {
 			ep.DiskEnumerated(string(d))
 		}
 		for _, tg := range targets {
 			if tg.disk == string(d) && host == dst {
-				enumed[tg.disk] = true
-				lastEnum = c.Sched.Now()
+				enums.hit(tg.disk)
 			}
 		}
 	}
@@ -116,22 +119,19 @@ func MeasureSwitch(n int, seed int64) (SwitchParts, error) {
 		cmd.Pairs = append(cmd.Pairs, fabric.DiskHost{Disk: fabric.NodeID(tg.disk), Host: dst})
 	}
 	start := c.Sched.Now()
+	span := rec.Begin("bench", "measure-switch", "bench", obs.L("disks", fmt.Sprint(n)))
 	var execErr error
 	m.ExecuteTopology(cmd, func(err error) { execErr = err })
 
 	// Poll for export and remount completion.
 	ep := c.EndPoints[dst]
-	exportSeen := make(map[core.SpaceID]bool)
-	mountSeen := make(map[core.SpaceID]bool)
 	tick := c.Sched.Every(50*time.Millisecond, func() {
 		for _, tg := range targets {
-			if !exportSeen[tg.space] && ep.HasExport(tg.space) {
-				exportSeen[tg.space] = true
-				lastExport = c.Sched.Now()
+			if ep.HasExport(tg.space) {
+				exports.hit(string(tg.space))
 			}
-			if exportSeen[tg.space] && !mountSeen[tg.space] && tg.cl.MountedOn(tg.space) == dst {
-				mountSeen[tg.space] = true
-				lastMount = c.Sched.Now()
+			if exports.has(string(tg.space)) && tg.cl.MountedOn(tg.space) == dst {
+				mounts.hit(string(tg.space))
 			}
 		}
 	})
@@ -141,11 +141,11 @@ func MeasureSwitch(n int, seed int64) (SwitchParts, error) {
 	// until the mount lands on the destination.
 	var probe func(tg target)
 	probe = func(tg target) {
-		if mountSeen[tg.space] {
+		if mounts.has(string(tg.space)) {
 			return
 		}
 		tg.cl.Read(tg.space, 0, 4096, func([]byte, error) {
-			if !mountSeen[tg.space] {
+			if !mounts.has(string(tg.space)) {
 				c.Sched.After(200*time.Millisecond, func() { probe(tg) })
 			}
 		})
@@ -155,18 +155,19 @@ func MeasureSwitch(n int, seed int64) (SwitchParts, error) {
 	}
 	c.Settle(60 * time.Second)
 	tick.Stop()
+	span.End()
 	if execErr != nil {
 		return SwitchParts{}, fmt.Errorf("execute: %w", execErr)
 	}
-	if len(enumed) != n || len(exportSeen) != n || len(mountSeen) != n {
+	if enums.count() != n || exports.count() != n || mounts.count() != n {
 		return SwitchParts{}, fmt.Errorf("incomplete: enum=%d export=%d mount=%d of %d",
-			len(enumed), len(exportSeen), len(mountSeen), n)
+			enums.count(), exports.count(), mounts.count(), n)
 	}
 	return SwitchParts{
 		Disks: n,
-		Part1: lastEnum - start,
-		Part2: lastExport - lastEnum,
-		Part3: lastMount - lastExport,
+		Part1: enums.last() - start,
+		Part2: exports.last() - enums.last(),
+		Part3: mounts.last() - exports.last(),
 	}, nil
 }
 
@@ -191,7 +192,8 @@ func diskOf(space core.SpaceID) string {
 }
 
 // Figure6 regenerates the switching-time decomposition for 1..12 disks.
-func Figure6() *Table {
+// rec (optional) collects metrics and traces across the trials.
+func Figure6(rec *obs.Recorder) *Table {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Switching time vs disks switched (Figure 6)",
@@ -201,7 +203,7 @@ func Figure6() *Table {
 		},
 	}
 	for _, n := range []int{1, 2, 4, 8, 12} {
-		parts, err := MeasureSwitch(n, int64(n))
+		parts, err := MeasureSwitch(n, int64(n), rec)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(n), "err: " + err.Error(), "", "", ""})
 			continue
@@ -219,10 +221,11 @@ func Figure6() *Table {
 
 // MeasureFailover kills one host and reports the client-perceived recovery
 // time: crash until every space previously served by that host is readable
-// again.
-func MeasureFailover(seed int64) (time.Duration, error) {
+// again. rec (optional, nil OK) receives the run's metrics and trace.
+func MeasureFailover(seed int64, rec *obs.Recorder) (time.Duration, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Recorder = rec
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		return 0, err
@@ -261,31 +264,28 @@ func MeasureFailover(seed int64) (time.Duration, error) {
 	}
 
 	crashAt := c.Sched.Now()
+	span := rec.Begin("bench", "measure-failover", "bench", obs.L("victim", victim))
 	c.CrashHost(victim)
-	recovered := make(map[core.SpaceID]simtime.Time)
+	recovered := newMilestones(rec, c.Sched.Now, "failover-recovered")
 	for i, sp := range spaces {
 		sp := sp
 		clients[i].Read(sp, 0, 4096, func(_ []byte, err error) {
 			if err == nil {
-				recovered[sp] = c.Sched.Now()
+				recovered.hit(string(sp))
 			}
 		})
 	}
 	c.Settle(40 * time.Second)
-	if len(recovered) != len(spaces) {
-		return 0, fmt.Errorf("recovered %d of %d spaces", len(recovered), len(spaces))
+	span.End()
+	if recovered.count() != len(spaces) {
+		return 0, fmt.Errorf("recovered %d of %d spaces", recovered.count(), len(spaces))
 	}
-	var last simtime.Time
-	for _, at := range recovered {
-		if at > last {
-			last = at
-		}
-	}
-	return last - crashAt, nil
+	return recovered.last() - crashAt, nil
 }
 
 // Failover regenerates the 5.8-second single-host-failure headline.
-func Failover() *Table {
+// rec (optional) collects metrics and traces across the trials.
+func Failover(rec *obs.Recorder) *Table {
 	t := &Table{
 		ID:     "failover",
 		Title:  "Single host failure recovery (§VII headline)",
@@ -293,7 +293,7 @@ func Failover() *Table {
 		Notes:  []string{"paper: 5.8 s"},
 	}
 	for trial := 1; trial <= 3; trial++ {
-		took, err := MeasureFailover(int64(trial))
+		took, err := MeasureFailover(int64(trial), rec)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(trial), "err: " + err.Error()})
 			continue
@@ -305,7 +305,8 @@ func Failover() *Table {
 
 // HDFSSwitch regenerates the §VII-B observation: an HDFS write across a
 // disk switch stalls for seconds and resumes; reads are uninterrupted.
-func HDFSSwitch() *Table {
+// rec (optional) collects the run's metrics and traces.
+func HDFSSwitch(rec *obs.Recorder) *Table {
 	t := &Table{
 		ID:     "hdfs",
 		Title:  "HDFS over UStore across a disk switch (§VII-B)",
@@ -313,6 +314,7 @@ func HDFSSwitch() *Table {
 		Notes:  []string{"paper: client errors for several seconds, then resumes; reads uninterrupted"},
 	}
 	cfg := core.DefaultConfig()
+	cfg.Recorder = rec
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		t.Notes = append(t.Notes, "error: "+err.Error())

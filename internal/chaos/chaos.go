@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"ustore/internal/obs"
 )
 
 // FaultKind classifies one scheduled fault event.
@@ -147,6 +149,12 @@ type Options struct {
 	AuditEvery     time.Duration
 	// ScrubEvery is the per-endpoint scrub cadence (0 disables scrubbing).
 	ScrubEvery time.Duration
+
+	// Recorder, when non-nil, collects metrics and trace events from the
+	// run: the cluster's own instrumentation plus the harness's fault
+	// injections, fault windows, and invariant-audit timings. Use a fresh
+	// Recorder per run (it scopes the per-run metric state).
+	Recorder *obs.Recorder `json:"-"`
 }
 
 // DefaultOptions returns an all-faults configuration for the given seed and

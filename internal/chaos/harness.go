@@ -11,6 +11,7 @@ import (
 
 	"ustore/internal/block"
 	"ustore/internal/core"
+	"ustore/internal/obs"
 	"ustore/internal/paxos"
 	"ustore/internal/simtime"
 )
@@ -98,6 +99,10 @@ type harness struct {
 	isolated     map[string]bool
 	lastNetFault simtime.Time
 
+	// windowSpans holds the open trace span of each active fault window,
+	// keyed by kind+target, so the closing fault ends the matching span.
+	windowSpans map[string]*obs.Span
+
 	writeSeq int
 }
 
@@ -119,6 +124,7 @@ func leanConfig(o Options) core.Config {
 	cfg.ScrubInterval = o.ScrubEvery
 	cfg.DisableChecksums = o.DisableChecksums
 	cfg.RPCTimeout = 2 * time.Second
+	cfg.Recorder = o.Recorder
 	return cfg
 }
 
@@ -163,6 +169,7 @@ func newHarness(o Options) (*harness, error) {
 		openLoss:     make(map[pairKey]bool),
 		openDup:      make(map[pairKey]bool),
 		isolated:     make(map[string]bool),
+		windowSpans:  make(map[string]*obs.Span),
 	}
 	// Boot: rolling spin-up, USB enumeration, paxos + coord + master
 	// election all need to converge before the workload starts.
@@ -373,13 +380,92 @@ func (h *harness) violatef(format string, a ...any) {
 	msg := fmt.Sprintf(format, a...)
 	h.violations = append(h.violations, h.stamp()+" "+msg)
 	h.logf("VIOLATION: %s", msg)
+	h.opts.Recorder.Counter("chaos", "violations_total").Inc()
+	h.opts.Recorder.Instant("chaos", "violation", "auditor")
 }
 
 // --- fault application ---
 
+// faultWindow maps a window-opening or -closing fault to its span key and
+// (for openers) the span name. Point events return an empty key.
+func faultWindow(f Fault) (key, name string, opens bool) {
+	switch f.Kind {
+	case FaultHostCrash:
+		return "host:" + f.A, "host-down", true
+	case FaultHostRestore:
+		return "host:" + f.A, "", false
+	case FaultDiskFail:
+		return "disk:" + f.A, "disk-failed", true
+	case FaultDiskReplace:
+		return "disk:" + f.A, "", false
+	case FaultHubFail:
+		return "hub:" + f.A, "hub-failed", true
+	case FaultHubReplace:
+		return "hub:" + f.A, "", false
+	case FaultLinkCut:
+		return "cut:" + f.A + "|" + f.B, "link-cut", true
+	case FaultLinkHeal:
+		return "cut:" + f.A + "|" + f.B, "", false
+	case FaultLinkLoss:
+		return "loss:" + f.A + "|" + f.B, "link-loss", true
+	case FaultLinkLossEnd:
+		return "loss:" + f.A + "|" + f.B, "", false
+	case FaultLinkDup:
+		return "dup:" + f.A + "|" + f.B, "link-dup", true
+	case FaultLinkDupEnd:
+		return "dup:" + f.A + "|" + f.B, "", false
+	case FaultIsolate:
+		return "isolate:" + f.A, "isolated", true
+	case FaultRejoin:
+		return "isolate:" + f.A, "", false
+	}
+	return "", "", false
+}
+
+// recordFault emits the fault into the run's metrics and trace: a per-kind
+// counter, an instant on the injector track, and (for window faults) a span
+// covering the open window.
+func (h *harness) recordFault(f Fault) {
+	rec := h.opts.Recorder
+	rec.Counter("chaos", "faults_total", obs.L("kind", f.Kind.String())).Inc()
+	target := f.A
+	if f.B != "" {
+		target = f.A + "<->" + f.B
+	}
+	rec.Instant("chaos", f.Kind.String(), "injector", obs.L("target", target))
+	key, name, opens := faultWindow(f)
+	if key == "" {
+		return
+	}
+	if opens {
+		if h.windowSpans[key] == nil {
+			h.windowSpans[key] = rec.Begin("chaos", name, "injector", obs.L("target", target))
+		}
+	} else {
+		sp := h.windowSpans[key]
+		delete(h.windowSpans, key)
+		sp.End()
+	}
+}
+
+// closeWindowSpans ends every still-open fault-window span (the drain phase
+// heals the underlying faults).
+func (h *harness) closeWindowSpans() {
+	keys := make([]string, 0, len(h.windowSpans))
+	for k := range h.windowSpans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.windowSpans[k].End(obs.L("status", "drained"))
+	}
+	h.windowSpans = make(map[string]*obs.Span)
+}
+
 func (h *harness) apply(f Fault) {
 	h.stats.FaultsApplied++
 	h.logf("fault: %s", f)
+	h.recordFault(f)
 	switch f.Kind {
 	case FaultHostCrash:
 		h.crashedHosts[f.A] = true
@@ -530,6 +616,7 @@ func (h *harness) checkQuietMasters() {
 }
 
 func (h *harness) audit() {
+	h.opts.Recorder.Instant("chaos", "audit-tick", "auditor")
 	h.checkAllocations("audit")
 	h.checkQuietMasters()
 	for _, r := range h.replicas {
@@ -556,9 +643,14 @@ func (h *harness) auditReplica(r *replica) {
 		return
 	}
 	r.auditing = true
+	rec := h.opts.Recorder
+	span := rec.Begin("chaos", "audit:"+r.name, "auditor", obs.L("blocks", fmt.Sprint(len(targets))))
+	started := h.c.Sched.Now()
 	okCount, errCount := 0, 0
 	pending := len(targets)
 	finish := func() {
+		rec.Histogram("chaos", "audit_seconds").ObserveDuration(h.c.Sched.Now() - started)
+		span.End(obs.L("ok", fmt.Sprint(okCount)), obs.L("errors", fmt.Sprint(errCount)))
 		r.auditing = false
 		if okCount > 0 {
 			r.streak = 0
@@ -654,6 +746,7 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 	h.lastNetFault = start
 	h.c.Settle(o.Duration)
 	h.drain()
+	h.closeWindowSpans()
 	h.c.Settle(12 * time.Hour)
 	if writeTick != nil {
 		writeTick.Stop()

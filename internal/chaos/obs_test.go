@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ustore/internal/obs"
+)
+
+// obsRun executes a short seeded chaos run with a fresh recorder and returns
+// the recorder plus the run's metrics snapshots.
+func obsRun(t *testing.T, seed int64) (*obs.Recorder, []byte, []byte) {
+	t.Helper()
+	rec := obs.NewRecorder()
+	o := DefaultOptions(seed, 24*time.Hour)
+	o.Recorder = rec
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+	var mJSON, mProm bytes.Buffer
+	if err := rec.Registry().WriteJSON(&mJSON); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := rec.Registry().WritePrometheus(&mProm); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return rec, mJSON.Bytes(), mProm.Bytes()
+}
+
+// TestChaosRunTraceCoverage is the tentpole's acceptance check: one seeded
+// chaos run must leave spans from every instrumented layer in the trace and
+// key series in the metrics registry.
+func TestChaosRunTraceCoverage(t *testing.T) {
+	rec, mJSON, _ := obsRun(t, 7)
+
+	var tr bytes.Buffer
+	if err := rec.Tracer().WriteChromeTrace(&tr); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spanCats := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			spanCats[e.Cat] = true
+		}
+	}
+	for _, comp := range []string{"usb", "disk", "simnet", "core", "chaos"} {
+		if !spanCats[comp] {
+			t.Errorf("trace has no spans from component %q (span components: %v)", comp, spanCats)
+		}
+	}
+
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mJSON, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	byName := map[string]obs.SeriesSnapshot{}
+	for _, s := range snap.Metrics {
+		byName[s.Name] = s
+	}
+	if s, ok := byName["disk_io_seconds"]; !ok || s.Count == 0 {
+		t.Errorf("disk_io_seconds missing or empty: %+v", s)
+	}
+	for _, name := range []string{
+		"usb_enumeration_seconds",
+		"simnet_rpc_seconds",
+		"core_heartbeats_total",
+		"chaos_faults_total",
+		"chaos_audit_seconds",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("metrics snapshot missing %s", name)
+		}
+	}
+}
+
+// TestChaosMetricsDeterminism: two runs with the same seed must produce
+// byte-identical metrics snapshots (JSON and Prometheus text).
+func TestChaosMetricsDeterminism(t *testing.T) {
+	_, json1, prom1 := obsRun(t, 11)
+	_, json2, prom2 := obsRun(t, 11)
+	if !bytes.Equal(json1, json2) {
+		t.Errorf("same-seed runs produced different metrics JSON (%d vs %d bytes)", len(json1), len(json2))
+	}
+	if !bytes.Equal(prom1, prom2) {
+		t.Errorf("same-seed runs produced different Prometheus text")
+	}
+}

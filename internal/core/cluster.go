@@ -44,6 +44,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	sched := simtime.NewScheduler(cfg.Seed)
 	net := simnet.New(sched)
+	if cfg.Recorder != nil {
+		// All trace timestamps come from this run's virtual clock.
+		cfg.Recorder.BindClock(sched.Now)
+		net.SetRecorder(cfg.Recorder)
+	}
 	c := &Cluster{
 		Cfg:       cfg,
 		Sched:     sched,

@@ -7,6 +7,7 @@ import (
 
 	"ustore/internal/block"
 	"ustore/internal/disk"
+	"ustore/internal/obs"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
 	"ustore/internal/usb"
@@ -173,6 +174,7 @@ func (ep *EndPoint) sendHeartbeat() {
 		return
 	}
 	ep.hbSeq++
+	ep.cfg.Recorder.Counter("core", "heartbeats_total").Inc()
 	var infos []DiskInfo
 	for _, id := range ep.AttachedDisks() {
 		infos = append(infos, DiskInfo{ID: id, State: ep.diskState(id)})
@@ -238,7 +240,11 @@ const ExportSetupDelay = 600 * time.Millisecond
 
 func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) {
 	ex := args.(ExportArgs)
+	rec := ep.cfg.Recorder
+	span := rec.Begin("core", "export", ep.host,
+		obs.L("space", string(ex.Space)), obs.L("disk", ex.DiskID))
 	if !ep.attached[ex.DiskID] {
+		span.End(obs.L("status", "not-attached"))
 		reply(nil, fmt.Errorf("core: disk %s not attached to %s", ex.DiskID, ep.host))
 		return
 	}
@@ -254,17 +260,21 @@ func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) 
 		vol, err = block.NewChecksumDiskVolume(d, ex.Offset, ex.Size)
 	}
 	if err != nil {
+		span.End(obs.L("status", "bad-extent"))
 		reply(nil, fmt.Errorf("exporting %s: %w", ex.Space, err))
 		return
 	}
 	ep.sched.After(ExportSetupDelay, func() {
 		if ep.down || !ep.attached[ex.DiskID] {
+			span.End(obs.L("status", "lost-disk"))
 			reply(nil, fmt.Errorf("core: %s lost %s during export setup", ep.host, ex.DiskID))
 			return
 		}
 		ep.tgt.Export(string(ex.Space), vol)
 		ep.exports[ex.Space] = ex
 		ep.volumes[ex.Space] = vol
+		rec.Counter("core", "exports_total").Inc()
+		span.End(obs.L("status", "ok"))
 		reply(struct{}{}, nil)
 	})
 }

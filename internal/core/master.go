@@ -9,6 +9,7 @@ import (
 
 	"ustore/internal/coord"
 	"ustore/internal/fabric"
+	"ustore/internal/obs"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
 )
@@ -148,6 +149,8 @@ func (m *Master) Stop() {
 // onElected rebuilds StorAlloc from coord when this replica becomes active
 // (SysStat rebuilds itself from incoming heartbeats).
 func (m *Master) onElected() {
+	m.cfg.Recorder.Counter("core", "elections_total").Inc()
+	m.cfg.Recorder.Instant("core", "elected", "master", obs.L("replica", m.name))
 	m.allocs = make(map[SpaceID]*allocRecord)
 	m.diskAllocs = make(map[string][]*allocRecord)
 	m.diskOwner = make(map[string]string)
@@ -305,6 +308,10 @@ func (m *Master) hostDead(host string) {
 	}
 	m.failingOver[host] = true
 	started := m.sched.Now()
+	rec := m.cfg.Recorder
+	rec.Counter("core", "host_deaths_total").Inc()
+	rec.Instant("core", "host-dead", "master", obs.L("host", host))
+	span := rec.Begin("core", "failover", "master", obs.L("host", host))
 	if m.OnHostDead != nil {
 		m.OnHostDead(host)
 	}
@@ -316,6 +323,7 @@ func (m *Master) hostDead(host string) {
 	}
 	sort.Strings(moving)
 	if len(moving) == 0 {
+		span.End(obs.L("status", "no-disks"))
 		return
 	}
 	// Spread the disks over the same unit's online hosts, least-loaded
@@ -325,6 +333,7 @@ func (m *Master) hostDead(host string) {
 	unit := m.unitOf(host)
 	targets := m.onlineHostsByLoad(unit, host)
 	if len(targets) == 0 {
+		span.End(obs.L("status", "no-targets"))
 		return // nothing alive to move to; retry on next detection pass
 	}
 	groupTarget := make(map[int]string)
@@ -364,12 +373,14 @@ func (m *Master) hostDead(host string) {
 			// Retry once through the other controller.
 			m.executeOnController(unit, 1-first, ExecuteArgs{Pairs: pairs, Force: true}, func(err2 error) {
 				if err2 == nil {
-					m.watchFailoverDone(host0, moving, started)
+					m.watchFailoverDone(host0, moving, started, span)
+				} else {
+					span.End(obs.L("status", "controllers-unreachable"))
 				}
 			})
 			return
 		}
-		m.watchFailoverDone(host0, moving, started)
+		m.watchFailoverDone(host0, moving, started, span)
 	})
 }
 
@@ -387,7 +398,7 @@ func (m *Master) pickController(unit int) int {
 
 // watchFailoverDone polls SysStat until every moved disk reports on a live
 // host and its spaces are exported, then fires OnFailoverDone.
-func (m *Master) watchFailoverDone(host string, moving []string, started simtime.Time) {
+func (m *Master) watchFailoverDone(host string, moving []string, started simtime.Time, span *obs.Span) {
 	var poll func()
 	poll = func() {
 		done := true
@@ -405,8 +416,12 @@ func (m *Master) watchFailoverDone(host string, moving []string, started simtime
 			}
 		}
 		if done {
+			took := m.sched.Now() - started
+			m.cfg.Recorder.Counter("core", "failovers_total").Inc()
+			m.cfg.Recorder.Histogram("core", "failover_seconds").ObserveDuration(took)
+			span.End(obs.L("status", "ok"))
 			if m.OnFailoverDone != nil {
-				m.OnFailoverDone(host, m.sched.Now()-started)
+				m.OnFailoverDone(host, took)
 			}
 			return
 		}
@@ -465,8 +480,13 @@ func (m *Master) handleAllocate(from string, args any) (any, error) {
 	if a.Size <= 0 {
 		return nil, fmt.Errorf("core: allocation size %d", a.Size)
 	}
+	rec2 := m.cfg.Recorder
+	started := m.sched.Now()
+	span := rec2.Begin("core", "allocate", "master", obs.L("service", a.Service))
 	diskID := m.pickDisk(a)
 	if diskID == "" {
+		rec2.Counter("core", "alloc_errors_total").Inc()
+		span.End(obs.L("status", "no-space"))
 		return nil, ErrNoSpace
 	}
 	offset := int64(0)
@@ -485,8 +505,15 @@ func (m *Master) handleAllocate(from string, args any) (any, error) {
 	m.ensurePath("/alloc/" + diskID)
 	m.store.Create("/alloc/"+diskID+"/"+spaceLeaf(space), data, "", func(err error) {
 		if err != nil {
+			rec2.Counter("core", "alloc_errors_total").Inc()
+			span.End(obs.L("status", "persist-failed"))
 			return
 		}
+		// Allocation latency covers pickDisk through the synchronous
+		// coord commit (the client-visible critical path).
+		rec2.Counter("core", "allocs_total").Inc()
+		rec2.Histogram("core", "alloc_seconds").ObserveDuration(m.sched.Now() - started)
+		span.End(obs.L("status", "ok"), obs.L("disk", diskID))
 		if host, ok := m.diskHost[diskID]; ok {
 			m.exported[space] = host
 			m.rpc.Call(endpointNode(host), "Export",

@@ -43,6 +43,7 @@ func buildUnit(c *Cluster, unitID string, fcfg fabric.Config, masterNodes []stri
 	unitDisks := make(map[string]*disk.Disk)
 	for _, id := range fab.Disks() {
 		d := disk.New(sched, string(id), cfg.DiskParams, disk.AttachFabric)
+		d.SetRecorder(cfg.Recorder)
 		c.Disks[string(id)] = d
 		unitDisks[string(id)] = d
 	}
@@ -73,6 +74,7 @@ func buildUnit(c *Cluster, unitID string, fcfg fabric.Config, masterNodes []stri
 	}
 
 	for _, h := range hosts {
+		rig.Binding.HostController(h).SetRecorder(cfg.Recorder)
 		c.EndPoints[h] = NewEndPoint(net, h, cfg, rig.Binding.HostController(h), unitDisks, masterNodes, ctrlNames)
 		net.Colocate(endpointNode(h), h)
 		net.Colocate(block.TargetNode(h), h)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ustore/internal/disk"
+	"ustore/internal/obs"
 )
 
 // PowerManager implements §IV-F's default power-saving policy on one host:
@@ -82,6 +83,10 @@ func (pm *PowerManager) scan() {
 			d.SpinDown()
 			if d.State() == disk.StateSpunDown {
 				pm.SpinDowns++
+				rec := pm.ep.cfg.Recorder
+				rec.Counter("core", "spindowns_total").Inc()
+				rec.Instant("core", "spin-down", pm.ep.host,
+					obs.L("disk", id), obs.L("idle", (now-since).String()))
 			}
 		}
 	}
@@ -111,6 +116,10 @@ func (pm *PowerManager) noteSpinUps(id string, d *disk.Disk) {
 		}
 		if next != cur {
 			pm.threshold[id] = next
+			rec := pm.ep.cfg.Recorder
+			rec.Counter("core", "threshold_raises_total").Inc()
+			rec.Instant("core", "idle-threshold-raised", pm.ep.host,
+				obs.L("disk", id), obs.L("threshold", next.String()))
 		}
 	}
 }

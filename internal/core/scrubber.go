@@ -5,6 +5,7 @@ import (
 
 	"ustore/internal/block"
 	"ustore/internal/disk"
+	"ustore/internal/obs"
 	"ustore/internal/simtime"
 
 	"time"
@@ -68,6 +69,11 @@ func NewScrubber(ep *EndPoint, interval time.Duration) *Scrubber {
 // no repair func, detected corruption is only counted (Unrepaired).
 func (sc *Scrubber) SetRepairFunc(fn RepairFunc) { sc.repair = fn }
 
+// count bumps one of the scrubber's progress counters in the run's recorder.
+func (sc *Scrubber) count(name string) {
+	sc.ep.cfg.Recorder.Counter("core", name).Inc()
+}
+
 // Stats returns a snapshot of the scrubber's counters.
 func (sc *Scrubber) Stats() ScrubStats { return sc.stats }
 
@@ -128,6 +134,8 @@ func (sc *Scrubber) step() {
 
 	sc.inFlight = true
 	sc.stats.Scanned++
+	sc.count("scrub_scanned_total")
+	rec := sc.ep.cfg.Recorder
 	vol.ReadAt(off, length, func(_ []byte, err error) {
 		if err == nil || !errors.Is(err, block.ErrChecksum) {
 			// Clean block, or a non-checksum error (disk died mid-read);
@@ -136,20 +144,29 @@ func (sc *Scrubber) step() {
 			return
 		}
 		sc.stats.BadBlocks++
+		sc.count("scrub_bad_blocks_total")
+		rec.Instant("core", "scrub-corruption", sc.ep.host,
+			obs.L("space", string(sp)), obs.L("disk", ex.DiskID))
 		if sc.repair == nil {
 			sc.stats.Unrepaired++
+			sc.count("scrub_unrepaired_total")
 			sc.inFlight = false
 			return
 		}
+		span := rec.Begin("core", "scrub-repair", sc.ep.host, obs.L("space", string(sp)))
 		sc.repair(ex, off, length, func(data []byte, ok bool) {
 			if !ok || len(data) != length || sc.ep.down {
 				sc.stats.Unrepaired++
+				sc.count("scrub_unrepaired_total")
+				span.End(obs.L("status", "no-good-copy"))
 				sc.inFlight = false
 				return
 			}
 			vol.WriteAt(off, data, func(werr error) {
 				if werr != nil {
 					sc.stats.Unrepaired++
+					sc.count("scrub_unrepaired_total")
+					span.End(obs.L("status", "write-failed"))
 					sc.inFlight = false
 					return
 				}
@@ -158,8 +175,12 @@ func (sc *Scrubber) step() {
 				vol.ReadAt(off, length, func(_ []byte, rerr error) {
 					if rerr == nil {
 						sc.stats.Repaired++
+						sc.count("scrub_repairs_total")
+						span.End(obs.L("status", "ok"))
 					} else {
 						sc.stats.Unrepaired++
+						sc.count("scrub_unrepaired_total")
+						span.End(obs.L("status", "verify-failed"))
 					}
 					sc.inFlight = false
 				})

@@ -12,6 +12,7 @@ import (
 
 	"ustore/internal/disk"
 	"ustore/internal/fabric"
+	"ustore/internal/obs"
 	"ustore/internal/paxos"
 )
 
@@ -100,6 +101,11 @@ type Config struct {
 	ScrubInterval time.Duration
 	// Seed drives the deterministic simulation.
 	Seed int64
+	// Recorder, when non-nil, collects metrics and trace events from every
+	// component of the cluster (see internal/obs). Each run should use its
+	// own Recorder so concurrent tests don't collide; nil disables all
+	// instrumentation.
+	Recorder *obs.Recorder
 }
 
 // RPCTimeoutOrDefault returns the configured RPC timeout.

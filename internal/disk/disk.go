@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ustore/internal/obs"
 	"ustore/internal/simtime"
 )
 
@@ -89,6 +90,14 @@ type Disk struct {
 	// rolling spin-up sequencer, ...).
 	stateObservers []func(old, new State)
 
+	// Observability handles (all nil-safe; SetRecorder fills them in).
+	rec       *obs.Recorder
+	mIORead   *obs.Histogram
+	mIOWrite  *obs.Histogram
+	cSwitches *obs.Counter
+	cSpinUps  *obs.Counter
+	cCorrupt  *obs.Counter
+
 	// Silent-corruption model (Gray & van Ingen: uncorrectable read errors
 	// and latent sector errors dominate on low-cost SATA media).
 	ureRate      float64 // per-sector probability of corruption on read
@@ -137,6 +146,20 @@ func (d *Disk) SetInterconnect(ic Interconnect) { d.ic = ic }
 // Interconnect returns the current attachment path type.
 func (d *Disk) Interconnect() Interconnect { return d.ic }
 
+// SetRecorder points the disk's instrumentation at a run Recorder. IO
+// service times land in the disk_io_seconds histogram (labelled by op),
+// direction switches, spin-ups and corrupted sectors in counters, and
+// power transitions / IO spans in the trace on the disk's own track.
+// A nil Recorder (the default) records nothing.
+func (d *Disk) SetRecorder(rec *obs.Recorder) {
+	d.rec = rec
+	d.mIORead = rec.Histogram("disk", "io_seconds", obs.L("op", "read"))
+	d.mIOWrite = rec.Histogram("disk", "io_seconds", obs.L("op", "write"))
+	d.cSwitches = rec.Counter("disk", "direction_switches_total")
+	d.cSpinUps = rec.Counter("disk", "spinups_total")
+	d.cCorrupt = rec.Counter("disk", "corrupt_sectors_total")
+}
+
 // OnStateChange adds a state transition observer. Observers fire in
 // registration order.
 func (d *Disk) OnStateChange(fn func(old, new State)) {
@@ -172,6 +195,8 @@ func (d *Disk) setState(s State) {
 	}
 	old := d.state
 	d.state = s
+	d.rec.Counter("disk", "power_transitions_total", obs.L("to", s.String())).Inc()
+	d.rec.Instant("disk", "state:"+s.String(), d.id, obs.L("from", old.String()))
 	for _, fn := range d.stateObservers {
 		fn(old, s)
 	}
@@ -206,10 +231,14 @@ func (d *Disk) SpinUp() {
 	}
 	d.setState(StateSpinningUp)
 	d.spinUps++
+	d.cSpinUps.Inc()
+	sp := d.rec.Begin("disk", "spin-up", d.id)
 	d.sched.After(d.params.SpinUpTime, func() {
 		if d.state != StateSpinningUp {
+			sp.End(obs.L("aborted", "power-off"))
 			return // powered off mid-spin-up
 		}
+		sp.End()
 		d.setState(StateIdle)
 		d.lastActive = d.sched.Now()
 		d.pump()
@@ -283,6 +312,8 @@ func (d *Disk) CorruptSector(off int64) {
 	sec := off / SectorSize * SectorSize
 	d.store.CorruptAt(sec, SectorSize, 0x5a)
 	d.latentErrors++
+	d.cCorrupt.Inc()
+	d.rec.Instant("disk", "corrupt-sector", d.id)
 }
 
 // maybeCorruptOnRead applies the URE model to a read about to be served:
@@ -363,15 +394,24 @@ func (d *Disk) pump() {
 	op := req.Op
 	if d.hadOp && d.lastRead != op.Read {
 		op.DirectionSwitch = true
+		d.cSwitches.Inc()
 	}
 	d.hadOp = true
 	d.lastRead = op.Read
 	d.setState(StateActive)
 	svc := d.params.ServiceTime(d.ic, op)
+	opName, hist := "write", d.mIOWrite
+	if op.Read {
+		opName, hist = "read", d.mIORead
+	}
+	span := d.rec.Begin("disk", opName, d.id)
 	d.sched.After(svc, func() {
 		if d.state != StateActive {
+			span.End(obs.L("aborted", "power-off"))
 			return // powered off mid-IO; queue already failed
 		}
+		span.End()
+		hist.ObserveDuration(svc)
 		d.queue = d.queue[1:]
 		d.busy += svc
 		d.completed++

@@ -150,7 +150,11 @@ func (b *Binding) Resync() {
 		}
 	}
 	sort.Slice(toAttach, func(i, j int) bool {
-		return b.visibleDepth(desired, toAttach[i]) < b.visibleDepth(desired, toAttach[j])
+		di, dj := b.visibleDepth(desired, toAttach[i]), b.visibleDepth(desired, toAttach[j])
+		if di != dj {
+			return di < dj
+		}
+		return toAttach[i] < toAttach[j] // deterministic tiebreak (toAttach comes from a map)
 	})
 	for _, id := range toAttach {
 		want := desired[id]

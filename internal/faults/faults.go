@@ -11,6 +11,7 @@ package faults
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"ustore/internal/simtime"
@@ -111,21 +112,36 @@ type Injector struct {
 	disks []string
 	hubs  []string
 
+	// mu guards stopped, log and events so Stop may be called from a
+	// goroutine other than the one driving the scheduler. Every injected
+	// callback runs under mu and re-checks stopped first, so once Stop
+	// returns no action fires and no log entry is appended.
+	mu      sync.Mutex
 	log     []Event
 	stopped bool
 	events  []*simtime.Event
 }
 
-// after schedules fn and records the event so Stop can cancel it.
+// after schedules fn and records the event so Stop can cancel it. The
+// caller must hold in.mu; fn runs with in.mu held and only if the
+// injector has not been stopped.
 func (in *Injector) after(d time.Duration, fn func()) {
-	in.events = append(in.events, in.sched.After(d, fn))
+	ev := in.sched.After(d, func() {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.stopped {
+			return
+		}
+		fn()
+	})
+	in.events = append(in.events, ev)
 	// Compact occasionally so multi-year runs don't accumulate a reference
 	// to every fired event.
 	if len(in.events) >= 64 {
 		live := in.events[:0]
-		for _, ev := range in.events {
-			if !ev.Done() {
-				live = append(live, ev)
+		for _, e := range in.events {
+			if !e.Done() {
+				live = append(live, e)
 			}
 		}
 		in.events = live
@@ -145,11 +161,21 @@ func NewInjector(sched *simtime.Scheduler, act Actions, hosts, disks, hubs []str
 }
 
 // Log returns the injected events so far.
-func (in *Injector) Log() []Event { return append([]Event(nil), in.log...) }
+func (in *Injector) Log() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.log...)
+}
 
 // Stop halts future injection and cancels every outstanding scheduled
-// event, so nothing fires actions or appends to the log after Stop returns.
+// event, so nothing fires actions or appends to the log after Stop
+// returns. Safe to call from any goroutine, including while the scheduler
+// is being driven elsewhere: a callback already executing holds in.mu, so
+// Stop blocks until it finishes, and callbacks that have not yet acquired
+// the lock observe stopped and return without acting.
 func (in *Injector) Stop() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.stopped = true
 	for _, ev := range in.events {
 		ev.Cancel()
@@ -171,6 +197,8 @@ func (in *Injector) exp(mean time.Duration) time.Duration {
 // exponential crash clock (MTTF/#nothing — per host MTTF directly); each
 // disk and hub a failure clock with a mean drawn from the disk MTTF range.
 func (in *Injector) Start() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, h := range in.hosts {
 		in.armHost(h)
 	}
@@ -192,17 +220,11 @@ func (in *Injector) armHost(h string) {
 		mttf = in.HostMTTFOverride
 	}
 	in.after(in.exp(mttf), func() {
-		if in.stopped {
-			return
-		}
 		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHostCrash, Target: h})
 		if in.act.CrashHost != nil {
 			in.act.CrashHost(h)
 		}
 		in.after(in.HostRepair, func() {
-			if in.stopped {
-				return
-			}
 			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHostRecover, Target: h})
 			if in.act.RestoreHost != nil {
 				in.act.RestoreHost(h)
@@ -214,9 +236,6 @@ func (in *Injector) armHost(h string) {
 
 func (in *Injector) armDisk(d string, mean time.Duration) {
 	in.after(in.exp(mean), func() {
-		if in.stopped {
-			return
-		}
 		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindDiskFail, Target: d})
 		if in.act.FailDisk != nil {
 			in.act.FailDisk(d)
@@ -227,9 +246,6 @@ func (in *Injector) armDisk(d string, mean time.Duration) {
 			return
 		}
 		in.after(in.DiskMTTR, func() {
-			if in.stopped {
-				return
-			}
 			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindDiskReplace, Target: d})
 			if in.act.ReplaceDisk != nil {
 				in.act.ReplaceDisk(d)
@@ -245,9 +261,6 @@ func (in *Injector) armHub(h string) {
 		mttf = in.HubMTTFOverride
 	}
 	in.after(in.exp(mttf), func() {
-		if in.stopped {
-			return
-		}
 		in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHubFail, Target: h})
 		if in.act.FailHub != nil {
 			in.act.FailHub(h)
@@ -256,9 +269,6 @@ func (in *Injector) armHub(h string) {
 			return
 		}
 		in.after(in.HubMTTR, func() {
-			if in.stopped {
-				return
-			}
 			in.log = append(in.log, Event{At: in.sched.Now(), Kind: KindHubReplace, Target: h})
 			if in.act.ReplaceHub != nil {
 				in.act.ReplaceHub(h)

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// SeriesSnapshot is one metric series at snapshot time. Full metric name
+// is Component + "_" + Name (the component_metric_unit convention).
+type SeriesSnapshot struct {
+	Name      string            `json:"name"`
+	Component string            `json:"component"`
+	Type      string            `json:"type"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     float64           `json:"value"`           // counter, gauge
+	Count     uint64            `json:"count,omitempty"` // histogram
+	Sum       float64           `json:"sum,omitempty"`   // histogram
+	Buckets   []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket. LE is the upper
+// bound rendered as Prometheus would ("+Inf" for the overflow bucket).
+type BucketSnapshot struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry, sorted
+// by full name then labels so encoding is deterministic.
+type Snapshot struct {
+	Metrics []SeriesSnapshot `json:"metrics"`
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// labelString renders sorted labels as a stable {k="v",...} suffix.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + "=" + strconv.Quote(l.Value)
+	}
+	return s + "}"
+}
+
+// Snapshot copies every series out of the registry. Safe to call while
+// the run is still updating metrics (each field is read atomically).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+
+	bounds := HistogramBounds()
+	snap := Snapshot{Metrics: make([]SeriesSnapshot, 0, len(all))}
+	for _, s := range all {
+		ss := SeriesSnapshot{
+			Name:      s.component + "_" + s.name,
+			Component: s.component,
+			Type:      s.kind.String(),
+			Labels:    labelMap(s.labels),
+		}
+		switch s.kind {
+		case kindCounter:
+			ss.Value = float64(atomic.LoadUint64(&s.counter))
+		case kindGauge:
+			ss.Value = (*Gauge)(&s.gauge).Value()
+		case kindHistogram:
+			h := s.hist
+			ss.Count = h.Count()
+			ss.Sum = h.Sum()
+			cum := uint64(0)
+			ss.Buckets = make([]BucketSnapshot, 0, HistBuckets+1)
+			for i, b := range bounds {
+				cum += atomic.LoadUint64(&h.buckets[i])
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: formatBound(b), Cumulative: cum})
+			}
+			cum += atomic.LoadUint64(&h.buckets[HistBuckets])
+			ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: "+Inf", Cumulative: cum})
+		}
+		snap.Metrics = append(snap.Metrics, ss)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool {
+		a, b := snap.Metrics[i], snap.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelMapString(a.Labels) < labelMapString(b.Labels)
+	})
+	return snap
+}
+
+func labelMapString(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + m[k] + "\x1f"
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Output is byte-stable
+// for identical registry contents (series sorted, map keys sorted by
+// encoding/json).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (families sorted by name, one # TYPE line per family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		an, bn := a.component+"_"+a.name, b.component+"_"+b.name
+		if an != bn {
+			return an < bn
+		}
+		return labelString(a.labels) < labelString(b.labels)
+	})
+
+	bounds := HistogramBounds()
+	lastFamily := ""
+	for _, s := range all {
+		full := s.component + "_" + s.name
+		if full != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", full, s.kind); err != nil {
+				return err
+			}
+			lastFamily = full
+		}
+		ls := labelString(s.labels)
+		switch s.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", full, ls, atomic.LoadUint64(&s.counter)); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", full, ls,
+				strconv.FormatFloat((*Gauge)(&s.gauge).Value(), 'g', -1, 64)); err != nil {
+				return err
+			}
+		case kindHistogram:
+			h := s.hist
+			cum := uint64(0)
+			for i, b := range bounds {
+				cum += atomic.LoadUint64(&h.buckets[i])
+				if err := writeBucketLine(w, full, s.labels, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += atomic.LoadUint64(&h.buckets[HistBuckets])
+			if err := writeBucketLine(w, full, s.labels, "+Inf", cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", full, ls,
+				strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", full, ls, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeBucketLine(w io.Writer, full string, labels []Label, le string, cum uint64) error {
+	withLE := make([]Label, 0, len(labels)+1)
+	withLE = append(withLE, labels...)
+	withLE = append(withLE, Label{Key: "le", Value: le})
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", full, labelString(withLE), cum)
+	return err
+}

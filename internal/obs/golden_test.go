@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden pins the exact text exposition bytes for a small
+// registry. Regenerate with: go test ./internal/obs -run Golden -update
+func TestPrometheusGolden(t *testing.T) {
+	rec := NewRecorder()
+	rec.Counter("simnet", "msgs_sent_total").Add(42)
+	rec.Counter("simnet", "msgs_dropped_total", L("reason", "partition")).Add(3)
+	rec.Counter("simnet", "msgs_dropped_total", L("reason", "loss")).Add(1)
+	rec.Gauge("usb", "link_utilization_ratio", L("link", "root:h1")).Set(0.625)
+	h := rec.Histogram("disk", "io_seconds", L("op", "read"))
+	h.Observe(0.5e-6) // bucket 0
+	h.Observe(1e-6)   // bucket 0 (inclusive bound)
+	h.Observe(3e-6)   // bucket 2
+	h.Observe(0.008)  // mid-range
+	h.Observe(1e9)    // +Inf overflow
+
+	var buf bytes.Buffer
+	if err := rec.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "registry.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus encoding drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), want)
+	}
+}

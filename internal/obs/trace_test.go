@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) clock() time.Duration { return c.now }
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(128)
+	tr.BindClock(clk.clock)
+
+	clk.now = 5 * time.Millisecond
+	sp := tr.Begin("disk", "io", "disk01", L("op", "read"))
+	clk.now = 9 * time.Millisecond
+	sp.End(L("bytes", "4096"))
+	id := tr.Instant("chaos", "fault", "", L("kind", "disk-fail"))
+	tr.InstantCause("core", "failover-start", "h1", id)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var span, instant, caused map[string]any
+	for _, ev := range out.TraceEvents {
+		switch ev["name"] {
+		case "io":
+			span = ev
+		case "fault":
+			instant = ev
+		case "failover-start":
+			caused = ev
+		}
+	}
+	if span == nil || instant == nil || caused == nil {
+		t.Fatalf("missing events in dump: %s", buf.String())
+	}
+	if span["ph"] != "X" || span["ts"].(float64) != 5000 || span["dur"].(float64) != 4000 {
+		t.Errorf("span event wrong: %v", span)
+	}
+	args := span["args"].(map[string]any)
+	if args["op"] != "read" || args["bytes"] != "4096" {
+		t.Errorf("span args wrong: %v", args)
+	}
+	if instant["ph"] != "i" {
+		t.Errorf("instant phase wrong: %v", instant)
+	}
+	cargs := caused["args"].(map[string]any)
+	if cargs["cause"] != instant["args"].(map[string]any)["id"] {
+		t.Errorf("cause link broken: caused=%v instant=%v", caused, instant)
+	}
+	// pid separation: different components get different pids.
+	if span["pid"] == instant["pid"] {
+		t.Errorf("disk and chaos events share a pid: %v vs %v", span["pid"], instant["pid"])
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("c", "e", "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		Metadata    map[string]uint64 `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Metadata["dropped_events"] != 6 {
+		t.Fatalf("dropped_events metadata = %d, want 6", out.Metadata["dropped_events"])
+	}
+	// 4 kept events survive: the newest IDs 7..10.
+	var ids []string
+	for _, ev := range out.TraceEvents {
+		if ev["ph"] == "i" {
+			ids = append(ids, ev["args"].(map[string]any)["id"].(string))
+		}
+	}
+	want := []string{"7", "8", "9", "10"}
+	if len(ids) != len(want) {
+		t.Fatalf("kept %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("kept %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	emit := func() []byte {
+		clk := &fakeClock{}
+		tr := NewTracer(64)
+		tr.BindClock(clk.clock)
+		for i := 0; i < 10; i++ {
+			clk.now = time.Duration(i) * time.Second
+			sp := tr.Begin("usb", "enumerate", "h1")
+			clk.now += 350 * time.Millisecond
+			sp.End()
+			tr.Instant("simnet", "drop", "net")
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical event sequences produced different trace bytes")
+	}
+}

@@ -3,6 +3,8 @@ package simnet
 import (
 	"errors"
 	"time"
+
+	"ustore/internal/obs"
 )
 
 // ErrTimeout is returned to an RPC callback when no reply arrives within the
@@ -111,10 +113,40 @@ func (r *RPCNode) RegisterAsync(method string, h RPCAsyncHandler) {
 // (e.g. one-way notifications sent with Node.Send).
 func (r *RPCNode) HandleRaw(h Handler) { r.otherRaw = h }
 
+// instrumentCall wraps a call's completion callback with RPC latency and
+// trace recording: a span on the caller's track for the call's lifetime,
+// the latency into simnet_rpc_seconds{method=...}, and a timeout counter.
+// With no recorder bound it returns done unchanged (zero overhead).
+func (r *RPCNode) instrumentCall(to, method string, done func(result any, err error)) func(result any, err error) {
+	rec := r.net.rec
+	if rec == nil {
+		return done
+	}
+	span := rec.Begin("simnet", "rpc:"+method, r.Name(), obs.L("to", to))
+	start := r.net.sched.Now()
+	hist := rec.Histogram("simnet", "rpc_seconds", obs.L("method", method))
+	return func(result any, err error) {
+		status := "ok"
+		switch {
+		case errors.Is(err, ErrTimeout):
+			status = "timeout"
+			rec.Counter("simnet", "rpc_timeouts_total", obs.L("method", method)).Inc()
+		case err != nil:
+			status = "error"
+		}
+		hist.ObserveDuration(r.net.sched.Now() - start)
+		span.End(obs.L("status", status))
+		if done != nil {
+			done(result, err)
+		}
+	}
+}
+
 // Call sends an async request. done is invoked exactly once: with the reply,
 // with a remote error, or with ErrTimeout. size is the request's nominal
 // wire size in bytes.
 func (r *RPCNode) Call(to, method string, args any, size int, timeout time.Duration, done func(result any, err error)) {
+	done = r.instrumentCall(to, method, done)
 	r.nextID++
 	id := r.nextID
 	pc := &pendingCall{done: done}
@@ -170,6 +202,7 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 	if o.Backoff <= 0 {
 		o.Backoff = DefaultRetryBackoff
 	}
+	done = r.instrumentCall(to, method, done)
 	r.nextID++
 	id := r.nextID
 	pc := &pendingCall{done: done}
@@ -179,6 +212,11 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 	attempt = func(n int) {
 		if _, ok := r.pending[id]; !ok {
 			return // an earlier attempt's reply already landed
+		}
+		if n > 0 {
+			r.net.rec.Counter("simnet", "rpc_retries_total", obs.L("method", method)).Inc()
+			r.net.rec.Instant("simnet", "rpc-retry", r.Name(),
+				obs.L("method", method), obs.L("to", to))
 		}
 		r.node.Send(to, req, size)
 		ev := r.net.sched.After(o.Timeout, func() {
@@ -224,10 +262,12 @@ func (r *RPCNode) dispatch(msg Message) {
 	case rpcRequest:
 		k := dedupKey{from: msg.From, id: p.ID}
 		if rep, ok := r.seen[k]; ok {
+			r.net.rec.Counter("simnet", "rpc_dedup_hits_total").Inc()
 			r.node.Send(msg.From, rep, 0) // duplicate of a served request
 			return
 		}
 		if r.inflight[k] {
+			r.net.rec.Counter("simnet", "rpc_dedup_hits_total").Inc()
 			return // duplicate while the async handler runs; it will reply
 		}
 		if ah, ok := r.async[p.Method]; ok {

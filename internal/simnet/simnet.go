@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"ustore/internal/obs"
 	"ustore/internal/simtime"
 )
 
@@ -103,6 +104,55 @@ type Network struct {
 	defaultBandwidth float64
 
 	stats Stats
+
+	// Observability handles (nil-safe; SetRecorder fills them in).
+	rec        *obs.Recorder
+	cSent      *obs.Counter
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
+	cBytes     *obs.Counter
+	cDups      *obs.Counter
+	cParts     *obs.Counter
+	// partSpans holds open partition-window spans, keyed by the pair or
+	// machine the window covers, so Heal/Rejoin can close them.
+	partSpans map[string]*obs.Span
+}
+
+// SetRecorder points the network's instrumentation at a run Recorder:
+// send/deliver/drop/byte counters, duplicate deliveries, and partition
+// windows as spans on the "net" track (machine-level cuts and isolations
+// open a span closed by the matching heal/rejoin).
+func (n *Network) SetRecorder(rec *obs.Recorder) {
+	n.rec = rec
+	n.cSent = rec.Counter("simnet", "msgs_sent_total")
+	n.cDelivered = rec.Counter("simnet", "msgs_delivered_total")
+	n.cDropped = rec.Counter("simnet", "msgs_dropped_total")
+	n.cBytes = rec.Counter("simnet", "bytes_total")
+	n.cDups = rec.Counter("simnet", "dup_deliveries_total")
+	n.cParts = rec.Counter("simnet", "partitions_total")
+}
+
+// openPartition opens (or replaces) a partition-window span.
+func (n *Network) openPartition(key, name string) {
+	if n.rec == nil {
+		return
+	}
+	if n.partSpans == nil {
+		n.partSpans = make(map[string]*obs.Span)
+	}
+	if _, open := n.partSpans[key]; open {
+		return
+	}
+	n.cParts.Inc()
+	n.partSpans[key] = n.rec.Begin("simnet", name, "partitions", obs.L("pair", key))
+}
+
+// closePartition ends the window span opened for key, if any.
+func (n *Network) closePartition(key string) {
+	if sp, ok := n.partSpans[key]; ok {
+		sp.End()
+		delete(n.partSpans, key)
+	}
 }
 
 // Option configures a Network.
@@ -258,10 +308,22 @@ func (n *Network) lookupMachLink(a, b string) *machLink {
 
 // CutMachines severs all traffic between two machines (in both directions):
 // every node placed on a spans every node placed on b, present and future.
-func (n *Network) CutMachines(a, b string) { n.machLink(a, b).cut = true }
+func (n *Network) CutMachines(a, b string) {
+	n.machLink(a, b).cut = true
+	if a > b {
+		a, b = b, a
+	}
+	n.openPartition(a+"|"+b, "partition")
+}
 
 // HealMachines restores a machine-pair cut.
-func (n *Network) HealMachines(a, b string) { n.machLink(a, b).cut = false }
+func (n *Network) HealMachines(a, b string) {
+	n.machLink(a, b).cut = false
+	if a > b {
+		a, b = b, a
+	}
+	n.closePartition(a + "|" + b)
+}
 
 // SetMachineLossRate sets the drop probability for messages between two
 // machines (a flaky inter-rack cable), layered on top of per-node links.
@@ -285,10 +347,16 @@ func (n *Network) SetMachineDupRate(a, b string, p float64) {
 // node on it are dropped. Loopback traffic between its own nodes still
 // flows, so colocated processes (a master and its coord replica) keep
 // talking — exactly the asymmetry real partitions have.
-func (n *Network) IsolateMachine(machine string) { n.isolatedMach[machine] = true }
+func (n *Network) IsolateMachine(machine string) {
+	n.isolatedMach[machine] = true
+	n.openPartition("isolate:"+machine, "isolation")
+}
 
 // RejoinMachine plugs the uplink back in.
-func (n *Network) RejoinMachine(machine string) { delete(n.isolatedMach, machine) }
+func (n *Network) RejoinMachine(machine string) {
+	delete(n.isolatedMach, machine)
+	n.closePartition("isolate:" + machine)
+}
 
 // Machine returns the machine a node is placed on ("" if unassigned).
 func (n *Network) Machine(node string) string { return n.machines[node] }
@@ -311,9 +379,11 @@ func (n *Network) sameMachine(a, b string) bool {
 // are delivered with zero latency on the next event.
 func (n *Network) Send(msg Message) {
 	n.stats.Sent++
+	n.cSent.Inc()
 	dst, ok := n.nodes[msg.To]
 	if !ok {
 		n.stats.Dropped++
+		n.cDropped.Inc()
 		return
 	}
 	local := n.sameMachine(msg.From, msg.To)
@@ -323,15 +393,18 @@ func (n *Network) Send(msg Message) {
 		ma, mb := n.machines[msg.From], n.machines[msg.To]
 		if (ma != "" && n.isolatedMach[ma]) || (mb != "" && n.isolatedMach[mb]) {
 			n.stats.Dropped++
+			n.cDropped.Inc()
 			return
 		}
 		if ml := n.lookupMachLink(ma, mb); ml != nil {
 			if ml.cut {
 				n.stats.Dropped++
+				n.cDropped.Inc()
 				return
 			}
 			if ml.lossRate > 0 && n.sched.Rand().Float64() < ml.lossRate {
 				n.stats.Dropped++
+				n.cDropped.Inc()
 				return
 			}
 			if ml.dupRate > 0 && n.sched.Rand().Float64() < ml.dupRate {
@@ -341,10 +414,12 @@ func (n *Network) Send(msg Message) {
 		l := n.link(msg.From, msg.To)
 		if l.cut {
 			n.stats.Dropped++
+			n.cDropped.Inc()
 			return
 		}
 		if l.lossRate > 0 && n.sched.Rand().Float64() < l.lossRate {
 			n.stats.Dropped++
+			n.cDropped.Inc()
 			return
 		}
 		if l.dupRate > 0 && n.sched.Rand().Float64() < l.dupRate {
@@ -357,6 +432,7 @@ func (n *Network) Send(msg Message) {
 	}
 	if dup {
 		// Deliver a copy a little later (retransmission).
+		n.cDups.Inc()
 		jitter := delay + time.Duration(n.sched.Rand().Int63n(int64(time.Millisecond)))
 		n.deliver(msg, dst, jitter, local)
 	}
@@ -367,11 +443,14 @@ func (n *Network) deliver(msg Message, dst *Node, delay time.Duration, local boo
 	n.sched.After(delay, func() {
 		if !dst.up || dst.handler == nil {
 			n.stats.Dropped++
+			n.cDropped.Inc()
 			return
 		}
 		n.stats.Delivered++
+		n.cDelivered.Inc()
 		if !local {
 			n.stats.Bytes += uint64(msg.Size)
+			n.cBytes.Add(uint64(msg.Size))
 		}
 		dst.handler(msg)
 	})

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,26 +32,31 @@ type Event struct {
 	// Fn runs when the clock reaches At. It may schedule further events.
 	Fn func()
 
-	seq      uint64 // tie-break: FIFO among events with equal deadline
-	index    int    // heap index, -1 once popped or cancelled
-	canceled bool
+	seq   uint64 // tie-break: FIFO among events with equal deadline
+	index int    // heap index, -1 once popped or cancelled
+
+	// canceled is atomic so Cancel may be called from a goroutine other
+	// than the one driving the scheduler (e.g. a test stopping a fault
+	// injector mid-run) without racing the Step/peek reads.
+	canceled atomic.Bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Unlike every other scheduler
+// operation, Cancel is safe to call from any goroutine.
 func (e *Event) Cancel() {
 	if e == nil {
 		return
 	}
-	e.canceled = true
+	e.canceled.Store(true)
 }
 
 // Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+func (e *Event) Canceled() bool { return e.canceled.Load() }
 
 // Done reports whether the event can no longer fire: it was cancelled or it
 // already left the queue (fired or discarded).
-func (e *Event) Done() bool { return e.canceled || e.index < 0 }
+func (e *Event) Done() bool { return e.canceled.Load() || e.index < 0 }
 
 type eventQueue []*Event
 
@@ -159,7 +165,7 @@ func (s *Scheduler) Step() bool {
 			return false
 		}
 		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
+		if e.canceled.Load() {
 			continue
 		}
 		s.now = e.At
@@ -213,7 +219,7 @@ func (s *Scheduler) Resume() { s.stopped = false }
 func (s *Scheduler) peek() *Event {
 	for len(s.queue) > 0 {
 		e := s.queue[0]
-		if !e.canceled {
+		if !e.canceled.Load() {
 			return e
 		}
 		heap.Pop(&s.queue)

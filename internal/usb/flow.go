@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"ustore/internal/obs"
 )
 
 // This file implements a fluid-flow bandwidth model with max-min fair
@@ -62,6 +64,22 @@ type FlowSim struct {
 	resources map[string]*Resource
 	flows     map[string]*Flow
 	nextEvent func() // cancel for pending completion event
+
+	rec *obs.Recorder
+}
+
+// SetRecorder publishes per-link utilization gauges
+// (usb_link_utilization_ratio{link=...}) updated on every rebalance.
+func (fs *FlowSim) SetRecorder(rec *obs.Recorder) { fs.rec = rec }
+
+// publishUtilization refreshes the per-resource utilization gauges.
+func (fs *FlowSim) publishUtilization() {
+	if fs.rec == nil {
+		return
+	}
+	for id := range fs.resources {
+		fs.rec.Gauge("usb", "link_utilization_ratio", obs.L("link", id)).Set(fs.Utilization(id))
+	}
 }
 
 // NewFlowSim creates a flow simulator. schedule must return a cancel func
@@ -170,6 +188,7 @@ func (fs *FlowSim) rebalance() {
 		fs.nextEvent = nil
 	}
 	fs.assignRates()
+	fs.publishUtilization()
 
 	// Find the earliest finishing bounded flow.
 	var nextID string

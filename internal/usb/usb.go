@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"ustore/internal/obs"
 )
 
 // Bus-level constants from the USB 3.0 specification and the paper's
@@ -155,6 +157,26 @@ type HostController struct {
 	OnEnumerated func(dev *Device)
 	// OnDetached fires when a device is surprise-removed from this host.
 	OnDetached func(dev *Device)
+
+	// Observability handles (nil-safe; SetRecorder fills them in).
+	rec     *obs.Recorder
+	mEnum   *obs.Histogram
+	cAttach *obs.Counter
+	cDetach *obs.Counter
+	cEnum   *obs.Counter
+}
+
+// SetRecorder points the controller's instrumentation at a run Recorder.
+// Hot-plug attach/detach become trace instants, each device's wait from
+// physical attach to driver enumeration lands in the
+// usb_enumeration_seconds histogram, and the serialized enumeration of
+// each device is a span on the host's track.
+func (hc *HostController) SetRecorder(rec *obs.Recorder) {
+	hc.rec = rec
+	hc.mEnum = rec.Histogram("usb", "enumeration_seconds")
+	hc.cAttach = rec.Counter("usb", "hotplug_attach_total")
+	hc.cDetach = rec.Counter("usb", "hotplug_detach_total")
+	hc.cEnum = rec.Counter("usb", "enumerations_total")
 }
 
 // NewHostController creates a controller for host with the given root port
@@ -227,22 +249,34 @@ func (hc *HostController) Attach(parent *Device, port int, dev *Device) error {
 	parent.Children[port] = dev
 	dev.parent = parent
 	dev.port = port
+	attachedAt := hc.clock()
+	cause := hc.rec.Instant("usb", "hotplug-attach", hc.host,
+		obs.L("device", dev.ID), obs.L("class", dev.Class.String()))
+	hc.cAttach.Inc()
 	// Schedule serialized enumeration of the subtree, breadth-first-ish via
 	// Walk order (parents before children, as real enumeration requires).
-	ready := hc.clock() + EnumDetectDelay
+	ready := attachedAt + EnumDetectDelay
 	if hc.enumBusyTill > ready {
 		ready = hc.enumBusyTill
 	}
 	dev.Walk(func(d *Device) {
+		// The span covers this device's serial slot in the enumeration
+		// queue; the histogram covers the full attach-to-visible wait.
+		span := hc.rec.Begin("usb", "enumerate", hc.host, obs.L("device", d.ID))
 		ready += EnumPerDevice
 		at := ready
 		hc.schedule(at-hc.clock(), func() {
 			// The device may have been detached before enumeration
 			// completed (rapid re-switching).
 			if !hc.contains(d) {
+				span.End(obs.L("aborted", "detached"))
 				return
 			}
 			d.Enumerated = true
+			span.End()
+			hc.mEnum.ObserveDuration(hc.clock() - attachedAt)
+			hc.cEnum.Inc()
+			hc.rec.InstantCause("usb", "enumerated", hc.host, cause, obs.L("device", d.ID))
 			if hc.OnEnumerated != nil {
 				hc.OnEnumerated(d)
 			}
@@ -264,6 +298,8 @@ func (hc *HostController) Detach(dev *Device) error {
 	dev.port = 0
 	dev.Walk(func(d *Device) {
 		d.Enumerated = false
+		hc.cDetach.Inc()
+		hc.rec.Instant("usb", "hotplug-detach", hc.host, obs.L("device", d.ID))
 		if hc.OnDetached != nil {
 			hc.OnDetached(d)
 		}
