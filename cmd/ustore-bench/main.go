@@ -9,12 +9,20 @@
 //	ustore-bench -exp fig6       # one experiment by ID
 //	ustore-bench -ablate         # the design-choice ablations
 //	ustore-bench -list           # list experiment IDs
+//	ustore-bench -exp failover -trials 10 -parallel 4
 //	ustore-bench -exp failover -metrics-out m.json -trace-out t.json
+//	ustore-bench -cpuprofile cpu.out -memprofile mem.out
 //
-// -metrics-out writes the metrics collected by the simulated experiments
-// as JSON (or Prometheus text with a .prom suffix); -trace-out writes a
-// Chrome trace_event file for chrome://tracing. Only the cluster-driving
-// experiments (fig6, failover, hdfs) feed the recorder.
+// -trials sets the failover trial count; -parallel runs the multi-run
+// experiments (fig6 points, failover trials) on that many workers — every
+// run is an independent deterministic simulation, so the tables are
+// byte-identical at any worker count. -metrics-out writes the metrics
+// collected by the simulated experiments as JSON (or Prometheus text with
+// a .prom suffix); -trace-out writes a Chrome trace_event file for
+// chrome://tracing. Only the cluster-driving experiments (fig6, failover,
+// hdfs) feed the recorder, and only when running sequentially (-parallel 1):
+// one recorder cannot serve concurrent clusters. -cpuprofile / -memprofile
+// write runtime/pprof profiles like go test's flags of the same names.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"ustore/internal/bench"
 	"ustore/internal/obs"
+	"ustore/internal/prof"
 )
 
 // writeMetrics dumps the registry to path: Prometheus text for .prom files,
@@ -51,13 +60,32 @@ func writeTrace(rec *obs.Recorder, path string) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "skip slow experiments (fig6, failover, hdfs)")
 	exp := flag.String("exp", "", "run a single experiment by ID")
 	ablate := flag.Bool("ablate", false, "run the ablation studies instead")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	trials := flag.Int("trials", bench.DefaultTrials, "failover trial count")
+	parallel := flag.Int("parallel", 1, "workers for multi-run experiments (<1 = one per CPU)")
 	metricsOut := flag.String("metrics-out", "", "write collected metrics to this file (JSON, or Prometheus text if it ends in .prom)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file for chrome://tracing")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-bench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-bench: %v\n", err)
+		}
+	}()
 
 	var rec *obs.Recorder
 	if *metricsOut != "" || *traceOut != "" {
@@ -69,8 +97,8 @@ func main() {
 		"table2":   bench.TableII,
 		"fig5":     bench.Figure5,
 		"duplex":   bench.DuplexHeadline,
-		"fig6":     func() *bench.Table { return bench.Figure6(rec) },
-		"failover": func() *bench.Table { return bench.Failover(rec) },
+		"fig6":     func() *bench.Table { return bench.Figure6(rec, *parallel) },
+		"failover": func() *bench.Table { return bench.Failover(rec, *trials, *parallel) },
 		"hdfs":     func() *bench.Table { return bench.HDFSSwitch(rec) },
 		"table3":   bench.TableIII,
 		"table4":   bench.TableIV,
@@ -93,7 +121,7 @@ func main() {
 			"ablate-availability", "ablate-powercurve"} {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	switch {
@@ -101,7 +129,7 @@ func main() {
 		run, ok := runners[*exp]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Print(run().Render())
 	case *ablate:
@@ -110,7 +138,7 @@ func main() {
 			fmt.Println()
 		}
 	default:
-		for _, t := range bench.All(*quick, rec) {
+		for _, t := range bench.All(*quick, rec, *trials, *parallel) {
 			fmt.Print(t.Render())
 			fmt.Println()
 		}
@@ -119,13 +147,14 @@ func main() {
 	if *metricsOut != "" {
 		if err := writeMetrics(rec, *metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ustore-bench: writing metrics: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(rec, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ustore-bench: writing trace: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
+	return 0
 }

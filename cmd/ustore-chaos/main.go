@@ -3,12 +3,24 @@
 //
 //	ustore-chaos -seed 7 -days 100          # seeded all-fault soak
 //	ustore-chaos -seed 7 -days 2 -log       # print the event log
+//	ustore-chaos -seeds 8 -parallel 4       # sweep seeds 1..8 on 4 workers
 //	ustore-chaos -no-checksums -minimize    # shrink a violating schedule
 //	ustore-chaos -metrics-out m.json -trace-out t.json
+//	ustore-chaos -days 30 -cpuprofile cpu.out
+//
+// -seeds N runs N consecutive seeds starting at -seed; -parallel P spreads
+// independent runs over P workers (<1 = one per CPU). Every run is its own
+// deterministic simulation, so the per-seed reports are byte-identical at
+// any worker count, and -minimize speculatively probes bisection prefixes
+// in parallel while committing the exact sequential search path. With
+// -seeds > 1, -metrics-out / -trace-out write one file per seed (the seed
+// number is inserted before the extension).
 //
 // -metrics-out writes the run's metrics registry as JSON (or Prometheus
 // text with a .prom suffix); -trace-out writes a Chrome trace_event file
-// loadable in chrome://tracing or https://ui.perfetto.dev.
+// loadable in chrome://tracing or https://ui.perfetto.dev. -cpuprofile /
+// -memprofile write runtime/pprof profiles like go test's flags of the
+// same names.
 //
 // Exit status 1 means at least one invariant was violated.
 package main
@@ -22,6 +34,7 @@ import (
 
 	"ustore/internal/chaos"
 	"ustore/internal/obs"
+	"ustore/internal/prof"
 )
 
 // writeMetrics dumps the registry to path: Prometheus text for .prom files,
@@ -47,9 +60,24 @@ func writeTrace(rec *obs.Recorder, path string) error {
 	return rec.Tracer().WriteChromeTrace(f)
 }
 
+// seedPath inserts ".seed<n>" before path's extension, so a sweep's
+// per-seed outputs don't clobber each other: m.json -> m.seed7.json.
+func seedPath(path string, seed int64) string {
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		return fmt.Sprintf("%s.seed%d%s", path[:i], seed, path[i:])
+	}
+	return fmt.Sprintf("%s.seed%d", path, seed)
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		seed        = flag.Int64("seed", 1, "schedule + simulation seed")
+		seed        = flag.Int64("seed", 1, "schedule + simulation seed (first seed of a sweep)")
+		seeds       = flag.Int("seeds", 1, "number of consecutive seeds to run")
+		parallel    = flag.Int("parallel", 1, "workers for a seed sweep or -minimize probing (<1 = one per CPU)")
 		days        = flag.Float64("days", 2, "fault-phase length in simulated days")
 		noChecksums = flag.Bool("no-checksums", false, "disable per-block CRCs (silent corruption reaches clients)")
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
@@ -57,27 +85,53 @@ func main() {
 		showSched   = flag.Bool("schedule", false, "print the generated fault schedule")
 		metricsOut  = flag.String("metrics-out", "", "write end-of-run metrics to this file (JSON, or Prometheus text if it ends in .prom)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file for chrome://tracing")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *days <= 0 {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -days must be positive")
-		os.Exit(2)
+		return 2
 	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "ustore-chaos: -seeds must be >= 1")
+		return 2
+	}
+	if *seeds > 1 && *minimize {
+		fmt.Fprintln(os.Stderr, "ustore-chaos: -minimize works on a single seed (drop -seeds)")
+		return 2
+	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		}
+	}()
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
 	o.DisableChecksums = *noChecksums
+	wantRec := *metricsOut != "" || *traceOut != ""
+
+	if *seeds > 1 {
+		return runSweep(o, *seeds, *parallel, wantRec, *metricsOut, *traceOut, *showSched, *showLog)
+	}
+
 	var rec *obs.Recorder
-	if *metricsOut != "" || *traceOut != "" {
+	if wantRec {
 		rec = obs.NewRecorder()
 		o.Recorder = rec
 	}
 
 	var rep *chaos.Report
-	var err error
 	if *minimize {
 		var sched []chaos.Fault
 		var min *chaos.Report
-		sched, min, rep, err = chaos.Minimize(o)
+		sched, min, rep, err = chaos.MinimizeParallel(o, *parallel)
 		if err == nil && min != nil {
 			fmt.Printf("minimized schedule: %d of %d faults still violate\n", len(sched), len(rep.Schedule))
 			for _, f := range sched {
@@ -90,18 +144,18 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if *metricsOut != "" {
 		if werr := writeMetrics(rec, *metricsOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "ustore-chaos: writing metrics: %v\n", werr)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *traceOut != "" {
 		if werr := writeTrace(rec, *traceOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "ustore-chaos: writing trace: %v\n", werr)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -113,18 +167,61 @@ func main() {
 	if *showLog {
 		fmt.Println(rep.LogText())
 	}
-	s := rep.Stats
-	fmt.Printf("seed %d, %.3g days: %d faults applied\n", rep.Seed, *days, s.FaultsApplied)
-	fmt.Printf("  writes   %d acked, %d failed; %d remounts\n", s.WritesAcked, s.WritesFailed, s.Remounts)
-	fmt.Printf("  audits   %d reads, %d checksum detections, %d repairs\n", s.AuditReads, s.CorruptionsDetected, s.Repairs)
-	fmt.Printf("  scrubber %d scanned, %d bad, %d repaired, %d unrepaired\n", s.ScrubScanned, s.ScrubBad, s.ScrubRepaired, s.ScrubUnrepaired)
-	if len(rep.Violations) == 0 {
-		fmt.Println("  invariants: all held")
-		return
+	fmt.Print(rep.SummaryText())
+	if len(rep.Violations) > 0 {
+		return 1
 	}
-	fmt.Printf("  INVARIANT VIOLATIONS (%d):\n", len(rep.Violations))
-	for _, v := range rep.Violations {
-		fmt.Println("   ", v)
+	return 0
+}
+
+// runSweep executes a multi-seed sweep and prints each seed's summary in
+// seed order. Exit status 1 if any seed violated an invariant.
+func runSweep(base chaos.Options, seeds, parallel int, wantRec bool, metricsOut, traceOut string, showSched, showLog bool) int {
+	var recs map[int64]*obs.Recorder
+	var recFor func(seed int64) *obs.Recorder
+	if wantRec {
+		recs = make(map[int64]*obs.Recorder, seeds)
+		for s := base.Seed; s < base.Seed+int64(seeds); s++ {
+			recs[s] = obs.NewRecorder()
+		}
+		recFor = func(seed int64) *obs.Recorder { return recs[seed] }
 	}
-	os.Exit(1)
+
+	reps, err := chaos.Sweep(base, seeds, parallel, recFor)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+
+	violated := false
+	for _, rep := range reps {
+		if metricsOut != "" {
+			if werr := writeMetrics(recs[rep.Seed], seedPath(metricsOut, rep.Seed)); werr != nil {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: writing metrics: %v\n", werr)
+				return 2
+			}
+		}
+		if traceOut != "" {
+			if werr := writeTrace(recs[rep.Seed], seedPath(traceOut, rep.Seed)); werr != nil {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: writing trace: %v\n", werr)
+				return 2
+			}
+		}
+		if showSched {
+			for _, f := range rep.Schedule {
+				fmt.Printf("  %-14v %s\n", f.At, f)
+			}
+		}
+		if showLog {
+			fmt.Println(rep.LogText())
+		}
+		fmt.Print(rep.SummaryText())
+		if len(rep.Violations) > 0 {
+			violated = true
+		}
+	}
+	if violated {
+		return 1
+	}
+	return 0
 }

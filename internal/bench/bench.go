@@ -69,8 +69,11 @@ func Cell(v float64) string {
 
 // All runs every experiment in paper order. Slow experiments (fig6,
 // failover) can be skipped with quick=true. rec (optional) collects
-// metrics and traces from the simulated experiments.
-func All(quick bool, rec *obs.Recorder) []*Table {
+// metrics and traces from the simulated experiments. trials sets the
+// failover trial count (<= 0 means DefaultTrials); parallel is the worker
+// count handed to the multi-run experiments (fig6 points, failover
+// trials), whose output is byte-identical at any worker count.
+func All(quick bool, rec *obs.Recorder, trials, parallel int) []*Table {
 	out := []*Table{
 		TableI(),
 		TableII(),
@@ -81,7 +84,7 @@ func All(quick bool, rec *obs.Recorder) []*Table {
 		TableV(),
 	}
 	if !quick {
-		out = append(out, Figure6(rec), Failover(rec), HDFSSwitch(rec))
+		out = append(out, Figure6(rec, parallel), Failover(rec, trials, parallel), HDFSSwitch(rec))
 	}
 	return out
 }

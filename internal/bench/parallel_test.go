@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestFailoverParallelMatchesSequential: the failover table assembled from
+// parallel trials must render byte-identical to the sequential one — each
+// trial is its own deterministic cluster and runner.Map stores rows by
+// index. Figure6 rides the same machinery, so failover (the cheaper
+// experiment) stands in for both here.
+func TestFailoverParallelMatchesSequential(t *testing.T) {
+	seq := Failover(nil, 2, 1)
+	par := Failover(nil, 2, 4)
+	if a, b := seq.Render(), par.Render(); a != b {
+		t.Fatalf("failover tables differ:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+	if len(seq.Rows) != 2 {
+		t.Fatalf("trials not honored: %d rows", len(seq.Rows))
+	}
+}
+
+// TestFailoverDefaultTrials: a non-positive trial count falls back to the
+// historical three-trial table.
+func TestFailoverDefaultTrials(t *testing.T) {
+	tab := Failover(nil, 0, 1)
+	if len(tab.Rows) != DefaultTrials {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), DefaultTrials)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"ustore/internal/fabric"
 	"ustore/internal/hdfs"
 	"ustore/internal/obs"
+	"ustore/internal/runner"
 )
 
 // SwitchParts decomposes one switching experiment like Figure 6:
@@ -191,9 +192,12 @@ func diskOf(space core.SpaceID) string {
 	return s[first+1 : second]
 }
 
-// Figure6 regenerates the switching-time decomposition for 1..12 disks.
-// rec (optional) collects metrics and traces across the trials.
-func Figure6(rec *obs.Recorder) *Table {
+// Figure6 regenerates the switching-time decomposition for 1..12 disks,
+// measuring the five disk counts on up to parallel workers (each point is
+// its own deterministic cluster, so rows are byte-identical whatever the
+// worker count). rec follows the same rule as Failover: it only receives
+// metrics and traces when parallel <= 1.
+func Figure6(rec *obs.Recorder, parallel int) *Table {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "Switching time vs disks switched (Figure 6)",
@@ -202,20 +206,25 @@ func Figure6(rec *obs.Recorder) *Table {
 			"paper: part1 grows with disk count (serialized enumeration); parts 2 and 3 stay flat",
 		},
 	}
-	for _, n := range []int{1, 2, 4, 8, 12} {
-		parts, err := MeasureSwitch(n, int64(n), rec)
+	pointRec := rec
+	if parallel > 1 {
+		pointRec = nil
+	}
+	points := []int{1, 2, 4, 8, 12}
+	t.Rows = runner.Map(len(points), parallel, func(i int) []string {
+		n := points[i]
+		parts, err := MeasureSwitch(n, int64(n), pointRec)
 		if err != nil {
-			t.Rows = append(t.Rows, []string{fmt.Sprint(n), "err: " + err.Error(), "", "", ""})
-			continue
+			return []string{fmt.Sprint(n), "err: " + err.Error(), "", "", ""}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			parts.Part1.Truncate(time.Millisecond).String(),
 			parts.Part2.Truncate(time.Millisecond).String(),
 			parts.Part3.Truncate(time.Millisecond).String(),
 			parts.Total().Truncate(time.Millisecond).String(),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -283,23 +292,39 @@ func MeasureFailover(seed int64, rec *obs.Recorder) (time.Duration, error) {
 	return recovered.last() - crashAt, nil
 }
 
-// Failover regenerates the 5.8-second single-host-failure headline.
-// rec (optional) collects metrics and traces across the trials.
-func Failover(rec *obs.Recorder) *Table {
+// DefaultTrials is the failover trial count when the caller passes <= 0.
+const DefaultTrials = 3
+
+// Failover regenerates the 5.8-second single-host-failure headline across
+// trials independent runs (seeds 1..trials; <= 0 means DefaultTrials) on up
+// to parallel workers. Each trial builds its own cluster, so the rows are
+// byte-identical whatever the worker count.
+//
+// rec (optional) collects metrics and traces, but only when the trials run
+// sequentially (parallel <= 1): one recorder cannot serve concurrent
+// clusters — each run rebinds the recorder's clock to its own scheduler.
+func Failover(rec *obs.Recorder, trials, parallel int) *Table {
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	trialRec := rec
+	if parallel > 1 {
+		trialRec = nil
+	}
 	t := &Table{
 		ID:     "failover",
 		Title:  "Single host failure recovery (§VII headline)",
 		Header: []string{"Trial", "recovery (crash -> all IO restored)"},
 		Notes:  []string{"paper: 5.8 s"},
 	}
-	for trial := 1; trial <= 3; trial++ {
-		took, err := MeasureFailover(int64(trial), rec)
+	t.Rows = runner.Map(trials, parallel, func(i int) []string {
+		trial := i + 1
+		took, err := MeasureFailover(int64(trial), trialRec)
 		if err != nil {
-			t.Rows = append(t.Rows, []string{fmt.Sprint(trial), "err: " + err.Error()})
-			continue
+			return []string{fmt.Sprint(trial), "err: " + err.Error()}
 		}
-		t.Rows = append(t.Rows, []string{fmt.Sprint(trial), took.Truncate(10 * time.Millisecond).String()})
-	}
+		return []string{fmt.Sprint(trial), took.Truncate(10 * time.Millisecond).String()}
+	})
 	return t
 }
 

@@ -3,7 +3,6 @@ package block
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 
 	"ustore/internal/disk"
 )
@@ -58,7 +57,7 @@ func (v *ChecksumDiskVolume) WriteAt(off int64, data []byte, done func(error)) {
 			st := v.d.Store()
 			first, last := v.blockRange(off, length)
 			for b := first; b <= last; b++ {
-				st.SetBlockCRC(b, crc32.ChecksumIEEE(st.ReadAt(b*ChecksumBlockSize, ChecksumBlockSize)))
+				st.SetBlockCRC(b, st.ChunkCRC(b))
 			}
 		}
 		done(err)
@@ -81,7 +80,7 @@ func (v *ChecksumDiskVolume) ReadAt(off int64, length int, done func([]byte, err
 			if !ok {
 				continue
 			}
-			if got := crc32.ChecksumIEEE(st.ReadAt(b*ChecksumBlockSize, ChecksumBlockSize)); got != want {
+			if got := st.ChunkCRC(b); got != want {
 				done(nil, fmt.Errorf("%w: disk %s block %d (offset %d)",
 					ErrChecksum, v.d.ID(), b, b*ChecksumBlockSize))
 				return

@@ -109,62 +109,69 @@ var (
 	ErrBodyTooLarge = errors.New("block: body too large")
 )
 
-// Encode serializes m to wire bytes.
+// bodyLen returns the encoded body size of m, so Encode can size the frame
+// up front and serialize in a single allocation.
+func (m *Msg) bodyLen() int {
+	switch m.Type {
+	case MsgLogin, MsgLogout:
+		return 2 + len(m.Volume)
+	case MsgLoginResp:
+		return 8
+	case MsgRead:
+		return 2 + len(m.Volume) + 12
+	case MsgReadResp:
+		return len(m.Data)
+	case MsgWrite:
+		return 2 + len(m.Volume) + 8 + len(m.Data)
+	default:
+		return 0
+	}
+}
+
+// Encode serializes m to wire bytes. The frame is built in one allocation:
+// header and body are written directly into the output buffer, so a 64KB
+// write payload is copied exactly once on its way to the wire.
 func (m *Msg) Encode() []byte {
-	body := m.encodeBody()
-	out := make([]byte, headerLen+len(body))
+	bl := m.bodyLen()
+	out := make([]byte, headerLen+bl)
 	binary.BigEndian.PutUint32(out[0:], Magic)
 	out[4] = byte(m.Type)
 	out[5] = byte(m.Status)
 	binary.BigEndian.PutUint64(out[8:], m.Tag)
-	binary.BigEndian.PutUint32(out[16:], uint32(len(body)))
-	copy(out[headerLen:], body)
-	return out
-}
-
-func (m *Msg) encodeBody() []byte {
+	binary.BigEndian.PutUint32(out[16:], uint32(bl))
+	b := out[headerLen:]
 	switch m.Type {
-	case MsgLogin:
-		b := make([]byte, 2+len(m.Volume))
+	case MsgLogin, MsgLogout:
 		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
 		copy(b[2:], m.Volume)
-		return b
 	case MsgLoginResp:
-		b := make([]byte, 8)
 		binary.BigEndian.PutUint64(b, m.Size)
-		return b
 	case MsgRead:
-		b := make([]byte, 2+len(m.Volume)+12)
 		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
 		copy(b[2:], m.Volume)
 		p := 2 + len(m.Volume)
 		binary.BigEndian.PutUint64(b[p:], m.Offset)
 		binary.BigEndian.PutUint32(b[p+8:], m.Length)
-		return b
 	case MsgReadResp:
-		return m.Data
+		copy(b, m.Data)
 	case MsgWrite:
-		b := make([]byte, 2+len(m.Volume)+8+len(m.Data))
 		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
 		copy(b[2:], m.Volume)
 		p := 2 + len(m.Volume)
 		binary.BigEndian.PutUint64(b[p:], m.Offset)
 		copy(b[p+8:], m.Data)
-		return b
-	case MsgWriteResp:
-		return nil
-	case MsgLogout:
-		b := make([]byte, 2+len(m.Volume))
-		binary.BigEndian.PutUint16(b, uint16(len(m.Volume)))
-		copy(b[2:], m.Volume)
-		return b
-	default:
-		return nil
 	}
+	return out
 }
 
 // Decode parses one PDU from buf, returning the message and bytes consumed.
 // It returns ErrTruncated if buf does not hold a complete PDU yet.
+//
+// For payload-carrying PDUs (read-resp, write) the returned Msg.Data aliases
+// buf rather than copying it: both transports hand Decode frames whose bytes
+// are never rewritten afterwards (simnet delivers freshly encoded buffers;
+// the net.Conn framers only append past, and re-slice away from, consumed
+// frames). Callers that retain Data beyond the life of buf must copy it.
 func Decode(buf []byte) (*Msg, int, error) {
 	if len(buf) < headerLen {
 		return nil, 0, ErrTruncated
@@ -220,7 +227,7 @@ func (m *Msg) decodeBody(body []byte) error {
 		m.Offset = binary.BigEndian.Uint64(rest)
 		m.Length = binary.BigEndian.Uint32(rest[8:])
 	case MsgReadResp:
-		m.Data = append([]byte(nil), body...)
+		m.Data = body
 	case MsgWrite:
 		name, rest, err := decodeName(body)
 		if err != nil {
@@ -231,7 +238,7 @@ func (m *Msg) decodeBody(body []byte) error {
 		}
 		m.Volume = name
 		m.Offset = binary.BigEndian.Uint64(rest)
-		m.Data = append([]byte(nil), rest[8:]...)
+		m.Data = rest[8:]
 	case MsgLogout:
 		name, _, err := decodeName(body)
 		if err != nil {

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkChaosDay runs one simulated day of the all-faults chaos soak —
+// the workload the scheduler hot path exists for. One op = one full run
+// (cluster boot, workload setup, 24h fault phase, drain, final audits).
+func BenchmarkChaosDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(DefaultOptions(1, 24*time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			b.Fatalf("unexpected violations: %v", rep.Violations)
+		}
+	}
+}

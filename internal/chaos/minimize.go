@@ -1,6 +1,10 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+
+	"ustore/internal/runner"
+)
 
 // Minimize runs the seeded schedule and, if it produced violations, bisects
 // for the shortest schedule prefix that still violates. Truncated prefixes
@@ -10,6 +14,29 @@ import "fmt"
 //
 // If the full run is clean, Minimize returns (nil, nil, full, nil).
 func Minimize(o Options) (schedule []Fault, minimized, full *Report, err error) {
+	return MinimizeParallel(o, 1)
+}
+
+// MinimizeParallel is Minimize with speculative parallel bisection: instead
+// of probing one prefix length at a time, it expands the upcoming
+// binary-search decision tree — the next midpoint, then both midpoints that
+// could follow it, and so on — until it has up to parallel distinct prefix
+// lengths, probes them all concurrently, and then replays the sequential
+// bisection logic over the collected results.
+//
+// Because every probe is a self-contained deterministic run keyed only by
+// (options, prefix length), a speculated probe returns exactly what the
+// sequential probe at that length would have, so the committed search path —
+// and therefore the minimized schedule and report — is byte-identical to
+// Minimize's. Wrong-branch speculation costs only wasted work, never a
+// different answer. parallel <= 1 degenerates to the plain sequential
+// bisection.
+//
+// Probe runs never feed o.Recorder (concurrent probes would interleave its
+// trace nondeterministically, and speculated probes would pollute it with
+// runs the sequential search never performs); only the initial full run
+// records.
+func MinimizeParallel(o Options, parallel int) (schedule []Fault, minimized, full *Report, err error) {
 	h, err := newHarness(o)
 	if err != nil {
 		return nil, nil, nil, err
@@ -22,6 +49,11 @@ func Minimize(o Options) (schedule []Fault, minimized, full *Report, err error) 
 	if len(full.Violations) == 0 {
 		return nil, nil, full, nil
 	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	oProbe := o
+	oProbe.Recorder = nil
 
 	// Binary search the smallest k such that schedule[:k] violates. Fault
 	// interactions are not strictly monotone (a later fault can mask an
@@ -30,16 +62,53 @@ func Minimize(o Options) (schedule []Fault, minimized, full *Report, err error) 
 	lo, hi := 1, len(all) // invariant: all[:hi] violates (or hi == len(all))
 	best := full
 	for lo < hi {
-		mid := (lo + hi) / 2
-		rep, rerr := RunSchedule(o, all[:mid])
-		if rerr != nil {
-			return nil, nil, nil, fmt.Errorf("chaos: minimizing at prefix %d: %w", mid, rerr)
+		// Expand the decision tree breadth-first from the current (lo, hi)
+		// until we have up to parallel distinct midpoints to probe.
+		type span struct{ lo, hi int }
+		frontier := []span{{lo, hi}}
+		var mids []int
+		seen := make(map[int]bool)
+		for len(frontier) > 0 && len(mids) < parallel {
+			s := frontier[0]
+			frontier = frontier[1:]
+			if s.lo >= s.hi {
+				continue
+			}
+			mid := (s.lo + s.hi) / 2
+			if !seen[mid] {
+				seen[mid] = true
+				mids = append(mids, mid)
+			}
+			frontier = append(frontier, span{s.lo, mid}, span{mid + 1, s.hi})
 		}
-		if len(rep.Violations) > 0 {
-			hi = mid
-			best = rep
-		} else {
-			lo = mid + 1
+
+		reports, rerr := runner.MapErr(len(mids), parallel, func(i int) (*Report, error) {
+			return RunSchedule(oProbe, all[:mids[i]])
+		})
+		if rerr != nil {
+			return nil, nil, nil, fmt.Errorf("chaos: minimizing: %w", rerr)
+		}
+		byMid := make(map[int]*Report, len(mids))
+		for i, mid := range mids {
+			byMid[mid] = reports[i]
+		}
+
+		// Replay the sequential bisection over the probed results. The walk
+		// stops when it needs a midpoint outside this round's speculation
+		// (possible when the tree was cut mid-level); the next round resumes
+		// from there.
+		for lo < hi {
+			mid := (lo + hi) / 2
+			rep, ok := byMid[mid]
+			if !ok {
+				break
+			}
+			if len(rep.Violations) > 0 {
+				hi = mid
+				best = rep
+			} else {
+				lo = mid + 1
+			}
 		}
 	}
 	if lo < len(all) {

@@ -114,7 +114,31 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 // Settle runs the simulation for d.
-func (c *Cluster) Settle(d time.Duration) { c.Sched.RunFor(d) }
+func (c *Cluster) Settle(d time.Duration) {
+	c.Sched.RunFor(d)
+	c.publishSchedStats()
+}
+
+// publishSchedStats mirrors the scheduler's activity counters into the run
+// recorder as gauges, keeping internal/simtime free of any obs dependency.
+// Called after each Settle so the exported snapshot tracks the run.
+func (c *Cluster) publishSchedStats() {
+	rec := c.Cfg.Recorder
+	if rec == nil {
+		return
+	}
+	st := c.Sched.Stats()
+	rec.Gauge("simtime", "events_fired").Set(float64(st.Fired))
+	rec.Gauge("simtime", "events_allocated").Set(float64(st.Allocated))
+	rec.Gauge("simtime", "events_recycled").Set(float64(st.Recycled))
+	rec.Gauge("simtime", "events_reused").Set(float64(st.Reused))
+	rec.Gauge("simtime", "inserts_ready").Set(float64(st.ReadyInserts))
+	rec.Gauge("simtime", "inserts_wheel").Set(float64(st.WheelInserts))
+	rec.Gauge("simtime", "inserts_far").Set(float64(st.FarInserts))
+	rec.Gauge("simtime", "canceled_dropped").Set(float64(st.CanceledDropped))
+	rec.Gauge("simtime", "compactions").Set(float64(st.Compactions))
+	rec.Gauge("simtime", "max_pending").Set(float64(st.MaxPending))
+}
 
 // ActiveMaster returns the current active master replica (nil if the
 // election has not converged).

@@ -43,6 +43,10 @@ type EndPoint struct {
 
 	pm    *PowerManager
 	scrub *Scrubber
+
+	// cHeartbeats is the pre-resolved heartbeats_total handle (nil-safe),
+	// resolved once instead of per heartbeat tick.
+	cHeartbeats *obs.Counter
 }
 
 // endpointNode returns an EndPoint's RPC node name.
@@ -65,6 +69,7 @@ func NewEndPoint(net *simnet.Network, host string, cfg Config, hc *usb.HostContr
 		volumes:     make(map[SpaceID]block.Volume),
 		masters:     masters,
 		controllers: controllers,
+		cHeartbeats: cfg.Recorder.Counter("core", "heartbeats_total"),
 	}
 	ep.rpc.RegisterAsync("Export", ep.handleExport)
 	ep.rpc.Register("Unexport", ep.handleUnexport)
@@ -174,7 +179,7 @@ func (ep *EndPoint) sendHeartbeat() {
 		return
 	}
 	ep.hbSeq++
-	ep.cfg.Recorder.Counter("core", "heartbeats_total").Inc()
+	ep.cHeartbeats.Inc()
 	var infos []DiskInfo
 	for _, id := range ep.AttachedDisks() {
 		infos = append(infos, DiskInfo{ID: id, State: ep.diskState(id)})

@@ -56,11 +56,26 @@ type Scrubber struct {
 	// inFlight guards against overlapping sweeps when a verify-read plus
 	// repair round-trip outlasts the tick interval.
 	inFlight bool
+
+	// Pre-resolved progress counters (nil-safe), resolved once at
+	// construction instead of per scrub event.
+	cScanned    *obs.Counter
+	cBad        *obs.Counter
+	cRepairs    *obs.Counter
+	cUnrepaired *obs.Counter
 }
 
 // NewScrubber starts a scrubber on ep ticking every interval.
 func NewScrubber(ep *EndPoint, interval time.Duration) *Scrubber {
-	sc := &Scrubber{ep: ep, interval: interval}
+	rec := ep.cfg.Recorder
+	sc := &Scrubber{
+		ep:          ep,
+		interval:    interval,
+		cScanned:    rec.Counter("core", "scrub_scanned_total"),
+		cBad:        rec.Counter("core", "scrub_bad_blocks_total"),
+		cRepairs:    rec.Counter("core", "scrub_repairs_total"),
+		cUnrepaired: rec.Counter("core", "scrub_unrepaired_total"),
+	}
 	sc.arm()
 	return sc
 }
@@ -68,11 +83,6 @@ func NewScrubber(ep *EndPoint, interval time.Duration) *Scrubber {
 // SetRepairFunc installs the good-copy source used to fix bad blocks. With
 // no repair func, detected corruption is only counted (Unrepaired).
 func (sc *Scrubber) SetRepairFunc(fn RepairFunc) { sc.repair = fn }
-
-// count bumps one of the scrubber's progress counters in the run's recorder.
-func (sc *Scrubber) count(name string) {
-	sc.ep.cfg.Recorder.Counter("core", name).Inc()
-}
 
 // Stats returns a snapshot of the scrubber's counters.
 func (sc *Scrubber) Stats() ScrubStats { return sc.stats }
@@ -134,7 +144,7 @@ func (sc *Scrubber) step() {
 
 	sc.inFlight = true
 	sc.stats.Scanned++
-	sc.count("scrub_scanned_total")
+	sc.cScanned.Inc()
 	rec := sc.ep.cfg.Recorder
 	vol.ReadAt(off, length, func(_ []byte, err error) {
 		if err == nil || !errors.Is(err, block.ErrChecksum) {
@@ -144,12 +154,12 @@ func (sc *Scrubber) step() {
 			return
 		}
 		sc.stats.BadBlocks++
-		sc.count("scrub_bad_blocks_total")
+		sc.cBad.Inc()
 		rec.Instant("core", "scrub-corruption", sc.ep.host,
 			obs.L("space", string(sp)), obs.L("disk", ex.DiskID))
 		if sc.repair == nil {
 			sc.stats.Unrepaired++
-			sc.count("scrub_unrepaired_total")
+			sc.cUnrepaired.Inc()
 			sc.inFlight = false
 			return
 		}
@@ -157,7 +167,7 @@ func (sc *Scrubber) step() {
 		sc.repair(ex, off, length, func(data []byte, ok bool) {
 			if !ok || len(data) != length || sc.ep.down {
 				sc.stats.Unrepaired++
-				sc.count("scrub_unrepaired_total")
+				sc.cUnrepaired.Inc()
 				span.End(obs.L("status", "no-good-copy"))
 				sc.inFlight = false
 				return
@@ -165,7 +175,7 @@ func (sc *Scrubber) step() {
 			vol.WriteAt(off, data, func(werr error) {
 				if werr != nil {
 					sc.stats.Unrepaired++
-					sc.count("scrub_unrepaired_total")
+					sc.cUnrepaired.Inc()
 					span.End(obs.L("status", "write-failed"))
 					sc.inFlight = false
 					return
@@ -175,11 +185,11 @@ func (sc *Scrubber) step() {
 				vol.ReadAt(off, length, func(_ []byte, rerr error) {
 					if rerr == nil {
 						sc.stats.Repaired++
-						sc.count("scrub_repairs_total")
+						sc.cRepairs.Inc()
 						span.End(obs.L("status", "ok"))
 					} else {
 						sc.stats.Unrepaired++
-						sc.count("scrub_unrepaired_total")
+						sc.cUnrepaired.Inc()
 						span.End(obs.L("status", "verify-failed"))
 					}
 					sc.inFlight = false

@@ -97,6 +97,9 @@ type Disk struct {
 	cSwitches *obs.Counter
 	cSpinUps  *obs.Counter
 	cCorrupt  *obs.Counter
+	// cTransitions holds one pre-resolved power_transitions_total handle per
+	// state, indexed by State, so setState never rebuilds a label key.
+	cTransitions [StateActive + 1]*obs.Counter
 
 	// Silent-corruption model (Gray & van Ingen: uncorrectable read errors
 	// and latent sector errors dominate on low-cost SATA media).
@@ -158,6 +161,9 @@ func (d *Disk) SetRecorder(rec *obs.Recorder) {
 	d.cSwitches = rec.Counter("disk", "direction_switches_total")
 	d.cSpinUps = rec.Counter("disk", "spinups_total")
 	d.cCorrupt = rec.Counter("disk", "corrupt_sectors_total")
+	for s := StatePoweredOff; s <= StateActive; s++ {
+		d.cTransitions[s] = rec.Counter("disk", "power_transitions_total", obs.L("to", s.String()))
+	}
 }
 
 // OnStateChange adds a state transition observer. Observers fire in
@@ -195,7 +201,7 @@ func (d *Disk) setState(s State) {
 	}
 	old := d.state
 	d.state = s
-	d.rec.Counter("disk", "power_transitions_total", obs.L("to", s.String())).Inc()
+	d.cTransitions[s].Inc()
 	d.rec.Instant("disk", "state:"+s.String(), d.id, obs.L("from", old.String()))
 	for _, fn := range d.stateObservers {
 		fn(old, s)
@@ -233,7 +239,7 @@ func (d *Disk) SpinUp() {
 	d.spinUps++
 	d.cSpinUps.Inc()
 	sp := d.rec.Begin("disk", "spin-up", d.id)
-	d.sched.After(d.params.SpinUpTime, func() {
+	d.sched.FireAfter(d.params.SpinUpTime, func() {
 		if d.state != StateSpinningUp {
 			sp.End(obs.L("aborted", "power-off"))
 			return // powered off mid-spin-up
@@ -250,7 +256,7 @@ func (d *Disk) failQueue(err error) {
 	d.queue = nil
 	for _, r := range q {
 		r := r
-		d.sched.After(0, func() {
+		d.sched.FireAfter(0, func() {
 			if r.Done != nil {
 				r.Done(nil, err)
 			}
@@ -263,7 +269,7 @@ func (d *Disk) failQueue(err error) {
 // (cold-data access pattern: the access itself is the spin-up trigger).
 func (d *Disk) Submit(req *Request) {
 	if d.state == StatePoweredOff {
-		d.sched.After(0, func() {
+		d.sched.FireAfter(0, func() {
 			if req.Done != nil {
 				req.Done(nil, ErrPoweredOff)
 			}
@@ -271,7 +277,7 @@ func (d *Disk) Submit(req *Request) {
 		return
 	}
 	if req.Offset < 0 || req.Offset+int64(req.Op.Size) > d.params.CapacityBytes {
-		d.sched.After(0, func() {
+		d.sched.FireAfter(0, func() {
 			if req.Done != nil {
 				req.Done(nil, fmt.Errorf("%w: offset %d size %d capacity %d",
 					ErrOutOfRange, req.Offset, req.Op.Size, d.params.CapacityBytes))
@@ -405,7 +411,7 @@ func (d *Disk) pump() {
 		opName, hist = "read", d.mIORead
 	}
 	span := d.rec.Begin("disk", opName, d.id)
-	d.sched.After(svc, func() {
+	d.sched.FireAfter(svc, func() {
 		if d.state != StateActive {
 			span.End(obs.L("aborted", "power-off"))
 			return // powered off mid-IO; queue already failed

@@ -1,6 +1,9 @@
 package disk
 
-import "sort"
+import (
+	"hash/crc32"
+	"sort"
+)
 
 // Store is a sparse in-memory byte store backing a simulated disk's data
 // plane. Unwritten regions read as zero, like a fresh drive. Chunks are
@@ -92,6 +95,20 @@ func (s *Store) CorruptAt(off int64, n int, mask byte) {
 		c[co] ^= mask
 		off++
 	}
+}
+
+// zeroChunkCRC is the CRC32 of an all-zero chunk, so holes can be hashed
+// without materializing 64KB of zeros.
+var zeroChunkCRC = crc32.ChecksumIEEE(make([]byte, chunkSize))
+
+// ChunkCRC returns the CRC32 (IEEE) of the chunk-aligned block idx, computed
+// directly over the store's backing memory with no copy. Holes hash as all
+// zeros, matching what ReadAt would return for them.
+func (s *Store) ChunkCRC(idx int64) uint32 {
+	if c, ok := s.chunks[idx]; ok {
+		return crc32.ChecksumIEEE(c)
+	}
+	return zeroChunkCRC
 }
 
 // SetBlockCRC records the checksum for the chunk-aligned block with index

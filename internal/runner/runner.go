@@ -1,0 +1,95 @@
+// Package runner executes independent deterministic simulation runs on a
+// worker pool.
+//
+// Every simulation in this repo is single-threaded by design: one
+// simtime.Scheduler per run, every state change on the scheduler goroutine,
+// bit-identical output for a given seed. That guarantee makes cross-run
+// parallelism free of correctness risk — two runs share nothing, so a seed
+// sweep, a set of benchmark trials, or the speculative probes of a schedule
+// bisection can execute on as many cores as the host has while producing
+// exactly the bytes the sequential loop would.
+//
+// Map preserves that determinism at the collection point: results are stored
+// by index, so the output order never depends on goroutine completion order.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree: values < 1 mean "one per
+// available CPU" (GOMAXPROCS), anything else is returned unchanged.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Map runs fn(0) … fn(n-1) on up to parallel workers and returns the results
+// indexed by input: out[i] == fn(i) regardless of which worker computed it or
+// when it finished. parallel < 1 uses one worker per CPU. fn must be safe to
+// call concurrently with itself — true for anything that builds its own
+// scheduler per call.
+//
+// With parallel <= 1 (or n <= 1) the calls happen inline on the caller's
+// goroutine, in index order, with no synchronization — the sequential loop it
+// replaces, byte for byte.
+func Map[T any](n, parallel int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	parallel = Workers(parallel)
+	if parallel > n {
+		parallel = n
+	}
+	out := make([]T, n)
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapErr is Map for functions that can fail. It always runs every index to
+// completion, then returns the error with the lowest index (deterministic no
+// matter which worker hit it first), or nil if all succeeded.
+func MapErr[T any](n, parallel int, fn func(i int) (T, error)) ([]T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	results := Map(n, parallel, func(i int) res {
+		v, err := fn(i)
+		return res{v: v, err: err}
+	})
+	out := make([]T, n)
+	var firstErr error
+	for i, r := range results {
+		out[i] = r.v
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrdersResultsByIndex: results land at their input index no matter
+// how workers interleave. Run with -race in CI.
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, parallel := range []int{1, 2, 4, 13, 64} {
+		out := Map(100, parallel, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapRunsEveryIndexExactlyOnce guards the work-stealing counter.
+func TestMapRunsEveryIndexExactlyOnce(t *testing.T) {
+	var counts [257]atomic.Int32
+	Map(len(counts), 8, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestMapBoundsParallelism: no more than the requested number of workers run
+// fn at once.
+func TestMapBoundsParallelism(t *testing.T) {
+	const parallel = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	Map(50, parallel, func(i int) struct{} {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > parallel {
+		t.Fatalf("observed %d concurrent calls, limit %d", p, parallel)
+	}
+}
+
+// TestMapSequentialFallback: parallel<=1 must not spawn goroutines, so fn can
+// safely mutate shared state in index order.
+func TestMapSequentialFallback(t *testing.T) {
+	var order []int
+	Map(10, 1, func(i int) struct{} {
+		order = append(order, i) // unsynchronized: only safe sequentially
+		return struct{}{}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map(0) = %v, want nil", out)
+	}
+}
+
+// TestMapErrReturnsLowestIndexError: the reported error is deterministic —
+// the lowest failing index — not whichever worker failed first.
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom 3")
+	out, err := MapErr(10, 4, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Successful indexes still deliver their values.
+	if out[5] != 5 {
+		t.Fatalf("out[5] = %d, want 5", out[5])
+	}
+}
+
+func TestMapErrNil(t *testing.T) {
+	out, err := MapErr(4, 2, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("Workers must resolve non-positive to >= 1")
+	}
+}

@@ -124,17 +124,17 @@ func (r *RPCNode) instrumentCall(to, method string, done func(result any, err er
 	}
 	span := rec.Begin("simnet", "rpc:"+method, r.Name(), obs.L("to", to))
 	start := r.net.sched.Now()
-	hist := rec.Histogram("simnet", "rpc_seconds", obs.L("method", method))
+	mm := r.net.methodMetrics(method)
 	return func(result any, err error) {
 		status := "ok"
 		switch {
 		case errors.Is(err, ErrTimeout):
 			status = "timeout"
-			rec.Counter("simnet", "rpc_timeouts_total", obs.L("method", method)).Inc()
+			mm.timeouts.Inc()
 		case err != nil:
 			status = "error"
 		}
-		hist.ObserveDuration(r.net.sched.Now() - start)
+		mm.latency.ObserveDuration(r.net.sched.Now() - start)
 		span.End(obs.L("status", status))
 		if done != nil {
 			done(result, err)
@@ -214,7 +214,7 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 			return // an earlier attempt's reply already landed
 		}
 		if n > 0 {
-			r.net.rec.Counter("simnet", "rpc_retries_total", obs.L("method", method)).Inc()
+			r.net.methodMetrics(method).retries.Inc()
 			r.net.rec.Instant("simnet", "rpc-retry", r.Name(),
 				obs.L("method", method), obs.L("to", to))
 		}
@@ -262,12 +262,12 @@ func (r *RPCNode) dispatch(msg Message) {
 	case rpcRequest:
 		k := dedupKey{from: msg.From, id: p.ID}
 		if rep, ok := r.seen[k]; ok {
-			r.net.rec.Counter("simnet", "rpc_dedup_hits_total").Inc()
+			r.net.cDedup.Inc()
 			r.node.Send(msg.From, rep, 0) // duplicate of a served request
 			return
 		}
 		if r.inflight[k] {
-			r.net.rec.Counter("simnet", "rpc_dedup_hits_total").Inc()
+			r.net.cDedup.Inc()
 			return // duplicate while the async handler runs; it will reply
 		}
 		if ah, ok := r.async[p.Method]; ok {

@@ -113,9 +113,39 @@ type Network struct {
 	cBytes     *obs.Counter
 	cDups      *obs.Counter
 	cParts     *obs.Counter
+	cDedup     *obs.Counter
+	// rpcMetrics caches the per-method RPC series handles so the hot call
+	// path resolves each method's series once instead of rebuilding the
+	// label key on every call.
+	rpcMetrics map[string]*rpcMethodMetrics
 	// partSpans holds open partition-window spans, keyed by the pair or
 	// machine the window covers, so Heal/Rejoin can close them.
 	partSpans map[string]*obs.Span
+}
+
+// rpcMethodMetrics bundles the pre-resolved series for one RPC method.
+type rpcMethodMetrics struct {
+	latency  *obs.Histogram
+	timeouts *obs.Counter
+	retries  *obs.Counter
+}
+
+// methodMetrics returns (resolving on first use) the cached series handles
+// for method. Handles are nil-safe, so this works with no recorder bound.
+func (n *Network) methodMetrics(method string) *rpcMethodMetrics {
+	if m, ok := n.rpcMetrics[method]; ok {
+		return m
+	}
+	m := &rpcMethodMetrics{
+		latency:  n.rec.Histogram("simnet", "rpc_seconds", obs.L("method", method)),
+		timeouts: n.rec.Counter("simnet", "rpc_timeouts_total", obs.L("method", method)),
+		retries:  n.rec.Counter("simnet", "rpc_retries_total", obs.L("method", method)),
+	}
+	if n.rpcMetrics == nil {
+		n.rpcMetrics = make(map[string]*rpcMethodMetrics)
+	}
+	n.rpcMetrics[method] = m
+	return m
 }
 
 // SetRecorder points the network's instrumentation at a run Recorder:
@@ -130,6 +160,8 @@ func (n *Network) SetRecorder(rec *obs.Recorder) {
 	n.cBytes = rec.Counter("simnet", "bytes_total")
 	n.cDups = rec.Counter("simnet", "dup_deliveries_total")
 	n.cParts = rec.Counter("simnet", "partitions_total")
+	n.cDedup = rec.Counter("simnet", "rpc_dedup_hits_total")
+	n.rpcMetrics = make(map[string]*rpcMethodMetrics)
 }
 
 // openPartition opens (or replaces) a partition-window span.
@@ -440,7 +472,10 @@ func (n *Network) Send(msg Message) {
 }
 
 func (n *Network) deliver(msg Message, dst *Node, delay time.Duration, local bool) {
-	n.sched.After(delay, func() {
+	// FireAfter rather than After: the delivery event has no owner to cancel
+	// it, so the scheduler may pool it — deliveries are the hottest timer
+	// source in any simulation.
+	n.sched.FireAfter(delay, func() {
 		if !dst.up || dst.handler == nil {
 			n.stats.Dropped++
 			n.cDropped.Inc()

@@ -6,11 +6,45 @@
 // caller's goroutine when driven via Run/Step). Because every state change
 // happens inside an event callback, components need no locking and every run
 // with the same seed is bit-for-bit reproducible.
+//
+// # Internals
+//
+// Events are kept in a three-tier near/far structure rather than one global
+// heap, so the dominant loads — sub-millisecond message deliveries and
+// periodic tickers — cost O(1) or O(log k) for a tiny k instead of O(log n)
+// over every pending timer:
+//
+//   - ready: a small binary heap holding every event below slotEnd, the
+//     lower edge of the timer wheel. Only this heap is ever popped, so the
+//     firing order is the same (deadline, sequence) total order the old
+//     single-heap implementation had.
+//   - wheel: wheelSlotCount buckets of wheelGranularity each, a linear
+//     window [base, base+wheelSpan). Insertion is O(1): append to the slot
+//     the deadline lands in and set its bit in an occupancy bitmap. When
+//     ready drains, the next occupied slot (found by a trailing-zeros scan)
+//     is promoted wholesale into ready and slotEnd advances past it.
+//   - far: a heap for events at or beyond the wheel horizon. When both
+//     ready and wheel drain, the window rebases at the earliest far
+//     deadline and everything within one span migrates into the wheel.
+//
+// Promotion always completes before slotEnd moves past a slot, so at any pop
+// the ready heap contains every unfired event below slotEnd and its top is
+// the global minimum: the (At, seq) firing order is identical to a single
+// heap's, which TestPropertyWheelMatchesReferenceHeap verifies.
+//
+// Event structs are pooled on a free list. Only events that never escape to
+// a caller — FireAt/FireAfter, used by hot paths like simnet delivery — are
+// recycled, so a stale handle can never cancel a reused event. Tickers go
+// one step further and re-arm their own event in place, making steady-state
+// periodic load allocation-free. Cancelled events are dropped lazily when
+// popped or promoted; if they ever exceed half the pending population the
+// queue is compacted in (At, seq)-preserving order.
 package simtime
 
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -25,6 +59,29 @@ type (
 	Time = time.Duration
 )
 
+// Timer-wheel geometry: 4096 slots of 1ms cover a ~4.1s window, enough that
+// message deliveries, RPC timeouts and sub-second tickers all insert in O(1).
+// Longer timers (scrub idle windows, multi-minute heartbeats) overflow to the
+// far heap, which stays small because such timers are few.
+const (
+	wheelGranularity          = time.Millisecond
+	wheelSlotCount            = 4096
+	wheelSpan        Duration = wheelSlotCount * wheelGranularity
+)
+
+// index sentinels: a non-negative index is a position in the ready or far
+// heap; events in a wheel slot and events that have left the queue entirely
+// (fired, recycled, or dropped after cancellation) are marked instead.
+const (
+	indexFired = -1
+	indexWheel = -2
+)
+
+// compaction thresholds: sweep lazily-cancelled events out of the queue once
+// there are at least compactMinCanceled of them and they outnumber half the
+// pending population.
+const compactMinCanceled = 64
+
 // Event is a scheduled callback.
 type Event struct {
 	// At is the virtual deadline of the event.
@@ -32,8 +89,10 @@ type Event struct {
 	// Fn runs when the clock reaches At. It may schedule further events.
 	Fn func()
 
-	seq   uint64 // tie-break: FIFO among events with equal deadline
-	index int    // heap index, -1 once popped or cancelled
+	seq    uint64     // tie-break: FIFO among events with equal deadline
+	index  int        // heap position, or an index* sentinel
+	s      *Scheduler // owner, for cancellation bookkeeping
+	pooled bool       // no handle escaped; recycle through the free list
 
 	// canceled is atomic so Cancel may be called from a goroutine other
 	// than the one driving the scheduler (e.g. a test stopping a fault
@@ -48,7 +107,9 @@ func (e *Event) Cancel() {
 	if e == nil {
 		return
 	}
-	e.canceled.Store(true)
+	if e.canceled.CompareAndSwap(false, true) && e.s != nil {
+		e.s.canceledPending.Add(1)
+	}
 }
 
 // Canceled reports whether Cancel was called before the event fired.
@@ -56,7 +117,7 @@ func (e *Event) Canceled() bool { return e.canceled.Load() }
 
 // Done reports whether the event can no longer fire: it was cancelled or it
 // already left the queue (fired or discarded).
-func (e *Event) Done() bool { return e.canceled.Load() || e.index < 0 }
+func (e *Event) Done() bool { return e.canceled.Load() || e.index == indexFired }
 
 type eventQueue []*Event
 
@@ -82,9 +143,25 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
+	e.index = indexFired
 	*q = old[:n-1]
 	return e
+}
+
+// Stats is a snapshot of scheduler activity counters, for observability and
+// perf work. All counts are cumulative since NewScheduler.
+type Stats struct {
+	Fired           uint64 // events executed
+	Allocated       uint64 // Event structs taken from the Go allocator
+	Recycled        uint64 // pooled events returned to the free list
+	Reused          uint64 // events served from the free list or re-armed in place (tickers)
+	ReadyInserts    uint64 // insertions landing directly in the ready heap
+	WheelInserts    uint64 // O(1) insertions into a wheel slot
+	FarInserts      uint64 // insertions beyond the wheel horizon
+	Migrated        uint64 // far-heap events pulled into the wheel at a rebase
+	CanceledDropped uint64 // cancelled events discarded without firing
+	Compactions     uint64 // full-queue sweeps of cancelled events
+	MaxPending      int    // high-water mark of Pending()
 }
 
 // Scheduler is a discrete-event scheduler with a virtual clock and a seeded
@@ -95,13 +172,31 @@ func (q *eventQueue) Pop() any {
 // run on). This is deliberate — single-threaded event execution is what makes
 // simulations deterministic.
 type Scheduler struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	rng   *rand.Rand
+	now Time
+	seq uint64
+	rng *rand.Rand
+
+	// near/far event structure; see the package comment.
+	ready   eventQueue
+	slots   [wheelSlotCount][]*Event
+	bitmap  [wheelSlotCount / 64]uint64
+	base    Time // wheel origin; slot i covers [base+i·G, base+(i+1)·G)
+	cursor  int  // slots below cursor have been promoted
+	slotEnd Time // = base + cursor·G; every event below it is in ready (or fired)
+	wheel   int  // events currently in wheel slots
+	far     eventQueue
+
+	free []*Event // recycled pooled events
 
 	fired   uint64
 	stopped bool
+	stats   Stats
+
+	// canceledPending approximates how many cancelled events are still
+	// queued. Atomic because Cancel may run on another goroutine; the count
+	// only gates compaction, which preserves order, so the approximation
+	// never affects simulation results.
+	canceledPending atomic.Int64
 }
 
 // NewScheduler returns a scheduler whose clock reads zero and whose random
@@ -121,7 +216,226 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events waiting to fire (including cancelled
 // events that have not yet been popped).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.ready) + s.wheel + len(s.far) }
+
+// Stats returns a snapshot of the scheduler's activity counters.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.Fired = s.fired
+	return st
+}
+
+// alloc returns an Event ready for scheduling, from the free list when one
+// is available.
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.stats.Reused++
+		return e
+	}
+	s.stats.Allocated++
+	return &Event{s: s}
+}
+
+// recycle returns a pooled event to the free list. Only events whose handle
+// never escaped (FireAt/FireAfter) are recycled, so no caller can hold a
+// reference to a reused Event.
+func (s *Scheduler) recycle(e *Event) {
+	e.Fn = nil
+	e.pooled = false
+	s.free = append(s.free, e)
+	s.stats.Recycled++
+}
+
+// schedule places an armed event into the tier its deadline selects.
+func (s *Scheduler) schedule(e *Event) {
+	switch {
+	case e.At < s.slotEnd:
+		heap.Push(&s.ready, e)
+		s.stats.ReadyInserts++
+	case e.At < s.base+wheelSpan:
+		s.wheelInsert(e)
+		s.stats.WheelInserts++
+	default:
+		heap.Push(&s.far, e)
+		s.stats.FarInserts++
+	}
+	if p := s.Pending(); p > s.stats.MaxPending {
+		s.stats.MaxPending = p
+	}
+}
+
+func (s *Scheduler) wheelInsert(e *Event) {
+	idx := int((e.At - s.base) / wheelGranularity)
+	e.index = indexWheel
+	s.slots[idx] = append(s.slots[idx], e)
+	s.bitmap[idx>>6] |= 1 << uint(idx&63)
+	s.wheel++
+}
+
+// nextOccupied returns the first occupied slot at or after from. The caller
+// guarantees one exists (s.wheel > 0).
+func (s *Scheduler) nextOccupied(from int) int {
+	w := from >> 6
+	word := s.bitmap[w] &^ (1<<uint(from&63) - 1)
+	for word == 0 {
+		w++
+		word = s.bitmap[w]
+	}
+	return w<<6 + bits.TrailingZeros64(word)
+}
+
+// dropCanceled retires a cancelled event that has been removed from its
+// container.
+func (s *Scheduler) dropCanceled(e *Event) {
+	e.index = indexFired
+	s.stats.CanceledDropped++
+	if s.canceledPending.Load() > 0 {
+		s.canceledPending.Add(-1)
+	}
+}
+
+// advanceWindow moves the wheel window forward until the ready heap gains at
+// least one event. It reports false when no events remain anywhere.
+func (s *Scheduler) advanceWindow() bool {
+	for {
+		if s.wheel > 0 {
+			idx := s.nextOccupied(s.cursor)
+			bucket := s.slots[idx]
+			s.bitmap[idx>>6] &^= 1 << uint(idx&63)
+			s.cursor = idx + 1
+			s.slotEnd = s.base + Duration(idx+1)*wheelGranularity
+			s.wheel -= len(bucket)
+			for i, e := range bucket {
+				bucket[i] = nil
+				if e.canceled.Load() {
+					s.dropCanceled(e)
+					continue
+				}
+				heap.Push(&s.ready, e)
+			}
+			s.slots[idx] = bucket[:0]
+			if len(s.ready) > 0 {
+				return true
+			}
+			continue
+		}
+		if len(s.far) > 0 {
+			// Rebase the window at the earliest far deadline and pull
+			// everything within one span into the wheel. far deadlines are
+			// always at or beyond the old horizon, so base never regresses.
+			at := s.far[0].At
+			s.base = at - at%wheelGranularity
+			s.cursor = 0
+			s.slotEnd = s.base
+			horizon := s.base + wheelSpan
+			for len(s.far) > 0 && s.far[0].At < horizon {
+				e := heap.Pop(&s.far).(*Event)
+				if e.canceled.Load() {
+					s.dropCanceled(e)
+					continue
+				}
+				s.wheelInsert(e)
+				s.stats.Migrated++
+			}
+			continue
+		}
+		return false
+	}
+}
+
+// popNext removes and returns the earliest live event, or nil if none remain.
+func (s *Scheduler) popNext() *Event {
+	for {
+		for len(s.ready) > 0 {
+			e := heap.Pop(&s.ready).(*Event)
+			if e.canceled.Load() {
+				s.dropCanceled(e)
+				continue
+			}
+			return e
+		}
+		if !s.advanceWindow() {
+			return nil
+		}
+	}
+}
+
+// peekNext returns the earliest live event without removing it, or nil.
+func (s *Scheduler) peekNext() *Event {
+	for {
+		for len(s.ready) > 0 {
+			e := s.ready[0]
+			if !e.canceled.Load() {
+				return e
+			}
+			heap.Pop(&s.ready)
+			s.dropCanceled(e)
+		}
+		if !s.advanceWindow() {
+			return nil
+		}
+	}
+}
+
+// maybeCompact sweeps cancelled events out of all tiers once they are both
+// numerous and a large fraction of the queue. The sweep preserves (At, seq)
+// order, so firing results are unchanged; it only reclaims memory and keeps
+// Pending() honest under cancel-heavy loads (every RPC arms a timeout that
+// is almost always cancelled).
+func (s *Scheduler) maybeCompact() {
+	cp := s.canceledPending.Load()
+	if cp < compactMinCanceled || cp*2 < int64(s.Pending()) {
+		return
+	}
+	s.stats.Compactions++
+	filter := func(q *eventQueue) {
+		old := *q
+		keep := old[:0]
+		for _, e := range old {
+			if e.canceled.Load() {
+				s.dropCanceled(e)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		for i := len(keep); i < len(old); i++ {
+			old[i] = nil
+		}
+		*q = keep
+		for i, e := range keep {
+			e.index = i
+		}
+		heap.Init(q)
+	}
+	filter(&s.ready)
+	filter(&s.far)
+	for idx := s.cursor; idx < wheelSlotCount && s.wheel > 0; idx++ {
+		if s.bitmap[idx>>6]&(1<<uint(idx&63)) == 0 {
+			continue
+		}
+		bucket := s.slots[idx]
+		keep := bucket[:0]
+		for _, e := range bucket {
+			if e.canceled.Load() {
+				s.dropCanceled(e)
+				s.wheel--
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		for i := len(keep); i < len(bucket); i++ {
+			bucket[i] = nil
+		}
+		s.slots[idx] = keep
+		if len(keep) == 0 {
+			s.bitmap[idx>>6] &^= 1 << uint(idx&63)
+		}
+	}
+	s.canceledPending.Store(0)
+}
 
 // At schedules fn to run at absolute virtual time at. If at is in the past it
 // fires at the current time (events never run the clock backwards).
@@ -132,9 +446,10 @@ func (s *Scheduler) At(at Time, fn func()) *Event {
 	if at < s.now {
 		at = s.now
 	}
-	e := &Event{At: at, Fn: fn, seq: s.seq}
+	e := s.alloc()
+	e.At, e.Fn, e.seq, e.pooled = at, fn, s.seq, false
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.schedule(e)
 	return e
 }
 
@@ -146,6 +461,33 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// FireAt schedules fn to run at absolute virtual time at, like At, but
+// returns no handle. Because the event can never be cancelled or inspected,
+// the scheduler recycles its Event struct through a free list — hot paths
+// that fire and forget (message delivery, decay sweeps) should prefer this
+// over At to avoid one allocation per event.
+func (s *Scheduler) FireAt(at Time, fn func()) {
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	e := s.alloc()
+	e.At, e.Fn, e.seq, e.pooled = at, fn, s.seq, true
+	s.seq++
+	s.schedule(e)
+}
+
+// FireAfter schedules fn to run d from now without returning a handle; see
+// FireAt. Negative d is treated as zero.
+func (s *Scheduler) FireAfter(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.FireAt(s.now+d, fn)
+}
+
 // Every schedules fn to run every interval, starting one interval from now,
 // until the returned Ticker is stopped. interval must be positive.
 func (s *Scheduler) Every(interval Duration, fn func()) *Ticker {
@@ -153,6 +495,17 @@ func (s *Scheduler) Every(interval Duration, fn func()) *Ticker {
 		panic(fmt.Sprintf("simtime: non-positive tick interval %v", interval))
 	}
 	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		// Re-arm the same Event in place unless the callback stopped the
+		// ticker or Reset already armed a replacement.
+		if !t.stopped && t.ev.index == indexFired {
+			t.rearm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -160,19 +513,22 @@ func (s *Scheduler) Every(interval Duration, fn func()) *Ticker {
 // Step pops and executes the single earliest event. It reports false when the
 // queue is empty or the scheduler has been stopped.
 func (s *Scheduler) Step() bool {
-	for {
-		if s.stopped || len(s.queue) == 0 {
-			return false
-		}
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled.Load() {
-			continue
-		}
-		s.now = e.At
-		s.fired++
-		e.Fn()
-		return true
+	if s.stopped {
+		return false
 	}
+	s.maybeCompact()
+	e := s.popNext()
+	if e == nil {
+		return false
+	}
+	s.now = e.At
+	s.fired++
+	fn := e.Fn
+	if e.pooled {
+		s.recycle(e)
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -188,14 +544,8 @@ func (s *Scheduler) Run() Time {
 // queued.
 func (s *Scheduler) RunUntil(deadline Time) Time {
 	for !s.stopped {
-		if len(s.queue) == 0 {
-			break
-		}
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.At > deadline {
+		next := s.peekNext()
+		if next == nil || next.At > deadline {
 			break
 		}
 		s.Step()
@@ -216,36 +566,35 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Resume clears the stopped flag set by Stop.
 func (s *Scheduler) Resume() { s.stopped = false }
 
-func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.canceled.Load() {
-			return e
-		}
-		heap.Pop(&s.queue)
-	}
-	return nil
-}
-
 // Ticker fires a callback at a fixed interval of virtual time.
 type Ticker struct {
 	s        *Scheduler
 	interval Duration
 	fn       func()
 	ev       *Event
+	tick     func() // wraps fn; allocated once, shared by every re-arm
 	stopped  bool
 }
 
+// arm installs a fresh Event. Used for the first tick and after Reset, when
+// the previous event may still sit cancelled in the queue and so cannot be
+// reused.
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	e := t.s.alloc()
+	e.At, e.Fn, e.seq, e.pooled = t.s.now+t.interval, t.tick, t.s.seq, false
+	t.s.seq++
+	t.ev = e
+	t.s.schedule(e)
+}
+
+// rearm reschedules the just-fired Event in place: no allocation on the
+// steady-state tick path.
+func (t *Ticker) rearm() {
+	e := t.ev
+	e.At, e.seq = t.s.now+t.interval, t.s.seq
+	t.s.seq++
+	t.s.stats.Reused++
+	t.s.schedule(e)
 }
 
 // Stop cancels future ticks. Safe to call multiple times.
