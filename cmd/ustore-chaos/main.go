@@ -5,6 +5,7 @@
 //	ustore-chaos -seed 7 -days 2 -log       # print the event log
 //	ustore-chaos -seeds 8 -parallel 4       # sweep seeds 1..8 on 4 workers
 //	ustore-chaos -no-checksums -minimize    # shrink a violating schedule
+//	ustore-chaos -stale-lease -minimize     # model checker catches a seeded bug
 //	ustore-chaos -metrics-out m.json -trace-out t.json
 //	ustore-chaos -days 30 -cpuprofile cpu.out
 //
@@ -80,6 +81,7 @@ func run() int {
 		parallel    = flag.Int("parallel", 1, "workers for a seed sweep or -minimize probing (<1 = one per CPU)")
 		days        = flag.Float64("days", 2, "fault-phase length in simulated days")
 		noChecksums = flag.Bool("no-checksums", false, "disable per-block CRCs (silent corruption reaches clients)")
+		staleLease  = flag.Bool("stale-lease", false, "inject the stale-lease failover bug (model-checker demo; pairs with -minimize)")
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
 		showLog     = flag.Bool("log", false, "print the full event log")
 		showSched   = flag.Bool("schedule", false, "print the generated fault schedule")
@@ -115,6 +117,7 @@ func run() int {
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
 	o.DisableChecksums = *noChecksums
+	o.InjectStaleLease = *staleLease
 	wantRec := *metricsOut != "" || *traceOut != ""
 
 	if *seeds > 1 {

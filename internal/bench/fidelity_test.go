@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFidelity is the paper-fidelity golden suite: it measures every
+// headline number EXPERIMENTS.md commits to and fails if any drifts out
+// of its documented tolerance band. Because every measurement is a seeded
+// deterministic simulation, a failure here is a real behavioral change in
+// the modeled system — treat it as "EXPERIMENTS.md is now lying", and
+// either fix the regression or re-justify the number in EXPERIMENTS.md
+// and move the band.
+func TestFidelity(t *testing.T) {
+	checks := FidelityChecks()
+	if len(checks) < 8 {
+		t.Fatalf("fidelity suite shrank to %d checks (acceptance floor is 8)", len(checks))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		c := c
+		if c.ID == "" || c.Measure == nil || c.Tol <= 0 {
+			t.Fatalf("malformed check %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate check ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		t.Run(c.ID, func(t *testing.T) {
+			got, err := c.Measure()
+			if err != nil {
+				t.Fatalf("%s: %v", c.What, err)
+			}
+			band := c.Tol * math.Abs(c.Want)
+			if c.Want == 0 {
+				band = c.Tol
+			}
+			if math.Abs(got-c.Want) > band {
+				t.Errorf("%s: measured %.4g, want %.4g +/- %.4g (paper: %.4g)",
+					c.What, got, c.Want, band, c.Paper)
+			} else {
+				t.Logf("%s: measured %.4g (want %.4g +/- %.4g, paper %.4g)",
+					c.What, got, c.Want, band, c.Paper)
+			}
+		})
+	}
+}

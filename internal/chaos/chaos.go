@@ -155,6 +155,12 @@ type Options struct {
 	// injections, fault windows, and invariant-audit timings. Use a fresh
 	// Recorder per run (it scopes the per-run metric state).
 	Recorder *obs.Recorder `json:"-"`
+
+	// InjectStaleLease enables the deliberate stale-lease protocol bug
+	// (core.Config.InjectStaleLease) so the model checker's mutation
+	// self-test can prove it catches a broken failover path. Never set
+	// outside tests.
+	InjectStaleLease bool
 }
 
 // DefaultOptions returns an all-faults configuration for the given seed and

@@ -11,6 +11,7 @@ import (
 
 	"ustore/internal/block"
 	"ustore/internal/core"
+	"ustore/internal/model"
 	"ustore/internal/obs"
 	"ustore/internal/paxos"
 	"ustore/internal/simtime"
@@ -38,6 +39,12 @@ type Stats struct {
 	ScrubRepaired       int
 	ScrubUnrepaired     int
 	Remounts            uint64
+	// ModelOps and ModelPartitions report the end-of-run linearizability
+	// check: how many completed metadata operations were verified against
+	// the internal/model reference model, across how many per-space and
+	// per-disk partitions. Check failures land in Report.Violations.
+	ModelOps        int
+	ModelPartitions int
 }
 
 // Report is the outcome of a chaos run.
@@ -80,6 +87,10 @@ type harness struct {
 	opts Options
 	c    *core.Cluster
 	rng  *rand.Rand // workload randomness (schedule has its own stream)
+	// hist records every metadata operation for the end-of-run
+	// linearizability check. Owned by this harness — probe runs and sweep
+	// workers each build their own, so none can pollute another's history.
+	hist *model.History
 
 	replicas []*replica
 	bySpace  map[core.SpaceID]*replica
@@ -109,7 +120,7 @@ type harness struct {
 // leanConfig stretches the control loop's timers so a 100-simulated-day run
 // stays within a simulable event budget, while keeping every ratio (failure
 // detection < MTTR < audit cadence) intact.
-func leanConfig(o Options) core.Config {
+func leanConfig(o Options, hist *model.History) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = o.Seed
 	cfg.HeartbeatInterval = 5 * time.Minute
@@ -125,6 +136,8 @@ func leanConfig(o Options) core.Config {
 	cfg.DisableChecksums = o.DisableChecksums
 	cfg.RPCTimeout = 2 * time.Second
 	cfg.Recorder = o.Recorder
+	cfg.History = hist
+	cfg.InjectStaleLease = o.InjectStaleLease
 	return cfg
 }
 
@@ -152,13 +165,15 @@ func newHarness(o Options) (*harness, error) {
 		return nil, fmt.Errorf("chaos: bad options (pairs=%d blocks=%d duration=%s)",
 			o.Pairs, o.BlocksPerSpace, o.Duration)
 	}
-	c, err := core.NewCluster(leanConfig(o))
+	hist := model.NewHistory()
+	c, err := core.NewCluster(leanConfig(o, hist))
 	if err != nil {
 		return nil, err
 	}
 	h := &harness{
 		opts:         o,
 		c:            c,
+		hist:         hist,
 		rng:          rand.New(rand.NewSource(o.Seed ^ 0x5deece66d)),
 		bySpace:      make(map[core.SpaceID]*replica),
 		allocSeen:    make(map[string]bool),
@@ -761,6 +776,7 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 		h.violatef("final: master invariant: %d active masters", n)
 	}
 	h.checkAllocations("final")
+	h.checkHistory()
 	h.logf("run complete: %d faults, %d violations", h.stats.FaultsApplied, len(h.violations))
 
 	rep := &Report{
@@ -789,6 +805,24 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 		rep.Stats.Remounts += r.cl.Remounts
 	}
 	return rep, nil
+}
+
+// checkHistory runs the recorded metadata history through the reference
+// model's linearizability checker (internal/model). Every violating
+// partition becomes a regular harness violation, so Minimize shrinks
+// model-checked failures exactly like data-loss ones.
+func (h *harness) checkHistory() {
+	res := model.Check(h.hist.Ops())
+	h.stats.ModelOps = res.Ops
+	h.stats.ModelPartitions = res.Partitions
+	if res.BudgetExceeded > 0 {
+		h.logf("model: search budget exhausted on %d partitions (inconclusive)", res.BudgetExceeded)
+	}
+	for _, v := range res.Violations {
+		h.violatef("model: %s: %s", v.Partition, v.Msg)
+	}
+	h.logf("model: %d metadata ops across %d partitions checked against the reference model",
+		res.Ops, res.Partitions)
 }
 
 // drain force-heals everything still open so the convergence invariants can

@@ -35,7 +35,11 @@ func Minimize(o Options) (schedule []Fault, minimized, full *Report, err error) 
 // Probe runs never feed o.Recorder (concurrent probes would interleave its
 // trace nondeterministically, and speculated probes would pollute it with
 // runs the sequential search never performs); only the initial full run
-// records.
+// records. The model-checker history needs no such carve-out: each probe's
+// harness builds its own model.History (there is no history field on
+// Options to leak through), so probe metadata ops can never reach the
+// parent run's history — TestMinimizeProbesDoNotFeedParentRecorder covers
+// both isolation properties.
 func MinimizeParallel(o Options, parallel int) (schedule []Fault, minimized, full *Report, err error) {
 	h, err := newHarness(o)
 	if err != nil {

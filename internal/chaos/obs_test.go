@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,5 +100,43 @@ func TestChaosMetricsDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(prom1, prom2) {
 		t.Errorf("same-seed runs produced different Prometheus text")
+	}
+}
+
+// TestChaosSameSeedByteStability completes the determinism story beyond
+// metrics: one simulated day run twice with the same seed must yield
+// byte-identical Chrome traces, event logs, and summary blocks — every
+// artifact a chaos run can externalize. Any drift here means a
+// nondeterministic code path crept into the simulation (map iteration,
+// wall-clock reads, unseeded randomness) and replay/minimization can no
+// longer be trusted.
+func TestChaosSameSeedByteStability(t *testing.T) {
+	runOnce := func() (trace []byte, logText, summary string) {
+		rec := obs.NewRecorder()
+		o := DefaultOptions(13, 24*time.Hour)
+		o.Recorder = rec
+		rep, err := Run(o)
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		var tr bytes.Buffer
+		if err := rec.Tracer().WriteChromeTrace(&tr); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		return tr.Bytes(), rep.LogText(), rep.SummaryText()
+	}
+	tr1, log1, sum1 := runOnce()
+	tr2, log2, sum2 := runOnce()
+	if !bytes.Equal(tr1, tr2) {
+		t.Errorf("same-seed runs produced different Chrome traces (%d vs %d bytes)", len(tr1), len(tr2))
+	}
+	if log1 != log2 {
+		t.Errorf("same-seed runs produced different event logs")
+	}
+	if sum1 != sum2 {
+		t.Errorf("same-seed runs produced different summaries:\n--- run1\n%s--- run2\n%s", sum1, sum2)
+	}
+	if !strings.Contains(sum1, "model") {
+		t.Errorf("summary missing the model-check line:\n%s", sum1)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ustore/internal/block"
+	"ustore/internal/model"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
 )
@@ -113,13 +114,18 @@ func (cl *ClientLib) callMaster(method string, args any, size int, done func(any
 // Allocate requests size bytes of storage ("applying for new storage
 // space", §IV-D) and returns the allocation.
 func (cl *ClientLib) Allocate(size int64, done func(AllocateReply, error)) {
+	tok := cl.cfg.History.Invoke(model.Op{Kind: model.OpAllocate, Client: cl.name})
 	cl.callMaster("Allocate", AllocateArgs{Service: cl.service, Size: size, ClientHost: cl.locality()}, 64,
 		func(res any, err error) {
 			if err != nil {
 				done(AllocateReply{}, err)
 				return
 			}
-			done(res.(AllocateReply), nil)
+			rep := res.(AllocateReply)
+			cl.cfg.History.Return(tok, func(op *model.Op) {
+				op.Space, op.Disk, op.Offset, op.Size = string(rep.Space), rep.DiskID, rep.Offset, rep.Size
+			})
+			done(rep, nil)
 		})
 }
 
@@ -151,17 +157,28 @@ func (cl *ClientLib) locality() string {
 // Release frees an allocation.
 func (cl *ClientLib) Release(space SpaceID, done func(error)) {
 	delete(cl.mounts, space)
-	cl.callMaster("Release", ReleaseArgs{Space: space}, 64, func(_ any, err error) { done(err) })
+	tok := cl.cfg.History.Invoke(model.Op{Kind: model.OpRelease, Client: cl.name, Space: string(space)})
+	cl.callMaster("Release", ReleaseArgs{Space: space}, 64, func(_ any, err error) {
+		if err == nil {
+			cl.cfg.History.Return(tok, nil)
+		}
+		done(err)
+	})
 }
 
 // Lookup resolves a space's current host (the directory service, §IV-D).
 func (cl *ClientLib) Lookup(space SpaceID, done func(LookupReply, error)) {
+	tok := cl.cfg.History.Invoke(model.Op{Kind: model.OpLookup, Client: cl.name, Space: string(space)})
 	cl.callMaster("Lookup", LookupArgs{Space: space}, 64, func(res any, err error) {
 		if err != nil {
 			done(LookupReply{}, err)
 			return
 		}
-		done(res.(LookupReply), nil)
+		rep := res.(LookupReply)
+		cl.cfg.History.Return(tok, func(op *model.Op) {
+			op.Host, op.Disk, op.Offset, op.Size = rep.Host, rep.DiskID, rep.Offset, rep.Size
+		})
+		done(rep, nil)
 	})
 }
 
@@ -174,6 +191,7 @@ const mountBudget = 15 * time.Second
 // still being set up. After a successful mount, Read and Write retry
 // transparently across failovers.
 func (cl *ClientLib) Mount(space SpaceID, done func(error)) {
+	tok := cl.cfg.History.Invoke(model.Op{Kind: model.OpMount, Client: cl.name, Space: string(space)})
 	deadline := cl.sched.Now() + mountBudget
 	var attempt func()
 	attempt = func() {
@@ -200,6 +218,7 @@ func (cl *ClientLib) Mount(space SpaceID, done func(error)) {
 				}
 				m := &mount{space: space, host: rep.Host, size: size, mounted: true}
 				cl.mounts[space] = m
+				cl.cfg.History.Return(tok, func(op *model.Op) { op.Host = rep.Host })
 				if cl.OnMount != nil {
 					cl.OnMount(MountEvent{Space: space, Host: rep.Host})
 				}
@@ -298,6 +317,10 @@ func (cl *ClientLib) remount(m *mount, done func(error)) {
 		return
 	}
 	m.remounting = true
+	// Recorded per attempt (after the in-progress guard, so the steady
+	// 300ms retry loop doesn't flood the history with guard bounces);
+	// failed attempts stay pending and the checker drops them.
+	tok := cl.cfg.History.Invoke(model.Op{Kind: model.OpRemount, Client: cl.name, Space: string(m.space)})
 	cl.Lookup(m.space, func(rep LookupReply, err error) {
 		if err != nil || rep.Host == "" {
 			m.remounting = false
@@ -316,6 +339,7 @@ func (cl *ClientLib) remount(m *mount, done func(error)) {
 			m.host = rep.Host
 			m.mounted = true
 			cl.Remounts++
+			cl.cfg.History.Return(tok, func(op *model.Op) { op.Host = rep.Host })
 			if cl.OnMount != nil {
 				cl.OnMount(MountEvent{Space: m.space, Host: rep.Host, Remounted: true})
 			}

@@ -49,6 +49,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Recorder.BindClock(sched.Now)
 		net.SetRecorder(cfg.Recorder)
 	}
+	// History stamps (nil-safe) also read this run's virtual clock.
+	cfg.History.BindClock(sched.Now)
 	c := &Cluster{
 		Cfg:       cfg,
 		Sched:     sched,

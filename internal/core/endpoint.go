@@ -7,6 +7,7 @@ import (
 
 	"ustore/internal/block"
 	"ustore/internal/disk"
+	"ustore/internal/model"
 	"ustore/internal/obs"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
@@ -121,6 +122,7 @@ func (ep *EndPoint) DiskEnumerated(diskID string) {
 		return
 	}
 	ep.attached[diskID] = true
+	ep.cfg.History.Point(model.Op{Kind: model.OpAttach, Client: ep.host, Disk: diskID, Host: ep.host})
 	d := ep.disks[diskID]
 	if d != nil {
 		d.SetInterconnect(disk.AttachFabric)
@@ -135,12 +137,19 @@ func (ep *EndPoint) DiskDetached(diskID string) {
 		return
 	}
 	delete(ep.attached, diskID)
+	ep.cfg.History.Point(model.Op{Kind: model.OpDetach, Client: ep.host, Disk: diskID, Host: ep.host})
 	// Revoke exports living on the vanished disk (sorted for determinism).
-	for _, space := range ep.exportedSpaces() {
-		if ep.exports[space].DiskID == diskID {
-			ep.tgt.Revoke(string(space))
-			delete(ep.exports, space)
-			delete(ep.volumes, space)
+	// InjectStaleLease is the deliberate protocol bug for the model
+	// checker's mutation self-test: the revocation is skipped, so this host
+	// keeps serving spaces whose disk has physically moved away.
+	if !ep.cfg.InjectStaleLease {
+		for _, space := range ep.exportedSpaces() {
+			if ep.exports[space].DiskID == diskID {
+				ep.tgt.Revoke(string(space))
+				delete(ep.exports, space)
+				delete(ep.volumes, space)
+				ep.cfg.History.Point(model.Op{Kind: model.OpRevoke, Client: ep.host, Space: string(space), Host: ep.host})
+			}
 		}
 	}
 	ep.sendUSBReport()
@@ -278,6 +287,7 @@ func (ep *EndPoint) handleExport(from string, args any, reply func(any, error)) 
 		ep.tgt.Export(string(ex.Space), vol)
 		ep.exports[ex.Space] = ex
 		ep.volumes[ex.Space] = vol
+		ep.cfg.History.Point(model.Op{Kind: model.OpExport, Client: ep.host, Space: string(ex.Space), Disk: ex.DiskID, Host: ep.host})
 		rec.Counter("core", "exports_total").Inc()
 		span.End(obs.L("status", "ok"))
 		reply(struct{}{}, nil)
@@ -289,6 +299,7 @@ func (ep *EndPoint) handleUnexport(from string, args any) (any, error) {
 	ep.tgt.Revoke(string(u.Space))
 	delete(ep.exports, u.Space)
 	delete(ep.volumes, u.Space)
+	ep.cfg.History.Point(model.Op{Kind: model.OpRevoke, Client: ep.host, Space: string(u.Space), Host: ep.host})
 	return struct{}{}, nil
 }
 
@@ -305,6 +316,7 @@ func (ep *EndPoint) handleDiskPower(from string, args any) (any, error) {
 	} else {
 		d.SpinDown()
 	}
+	ep.cfg.History.Point(model.Op{Kind: model.OpPower, Client: ep.host, Disk: p.DiskID, Host: ep.host, Up: p.Up})
 	return struct{}{}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"ustore/internal/disk"
 	"ustore/internal/fabric"
+	"ustore/internal/model"
 	"ustore/internal/obs"
 	"ustore/internal/paxos"
 )
@@ -106,6 +107,20 @@ type Config struct {
 	// own Recorder so concurrent tests don't collide; nil disables all
 	// instrumentation.
 	Recorder *obs.Recorder
+	// History, when non-nil, records every metadata operation — client
+	// allocate/release/lookup/mount/remount plus endpoint export/revoke,
+	// disk attach/detach, and power commands — stamped with simulated time,
+	// for the internal/model linearizability checker. Like Recorder, use a
+	// fresh History per run; nil disables recording.
+	History *model.History
+	// InjectStaleLease deliberately breaks the failover protocol for
+	// checker self-tests: endpoints skip revoking exports when a disk
+	// detaches, so after a failover the old host keeps serving a stale
+	// lease alongside the new one (the classic stale-lease double-mount).
+	// Data stays intact — only the metadata history becomes illegal — which
+	// is exactly what the model checker, and nothing else, must catch.
+	// Never set outside tests.
+	InjectStaleLease bool
 }
 
 // RPCTimeoutOrDefault returns the configured RPC timeout.
