@@ -6,6 +6,9 @@
 //	ustore-chaos -seeds 8 -parallel 4       # sweep seeds 1..8 on 4 workers
 //	ustore-chaos -no-checksums -minimize    # shrink a violating schedule
 //	ustore-chaos -stale-lease -minimize     # model checker catches a seeded bug
+//	ustore-chaos -gray -mitigation          # fail-slow faults + the mitigation stack
+//	ustore-chaos -gray                      # same faults, unmitigated (tail comparison)
+//	ustore-chaos -gray -mitigation -quarantine-blind -minimize  # quarantine checker demo
 //	ustore-chaos -metrics-out m.json -trace-out t.json
 //	ustore-chaos -days 30 -cpuprofile cpu.out
 //
@@ -70,6 +73,46 @@ func seedPath(path string, seed int64) string {
 	return fmt.Sprintf("%s.seed%d", path, seed)
 }
 
+// mixHeader renders the run header: the effective fault mix and injected
+// bugs, so a pasted report is self-describing (a gray run with mitigation
+// off reads very differently from one with it on).
+func mixHeader(o chaos.Options, seeds int) string {
+	var fams []string
+	add := func(on bool, name string) {
+		if on {
+			fams = append(fams, name)
+		}
+	}
+	add(o.HostCrashes, "host-crashes")
+	add(o.DiskFaults, "disk-faults")
+	add(o.HubFaults, "hub-faults")
+	add(o.NetFaults, "net-faults")
+	add(o.Corruptions, "corruptions")
+	add(o.GrayFaults, "gray-faults")
+	if len(fams) == 0 {
+		fams = append(fams, "none")
+	}
+	var mods []string
+	add2 := func(on bool, name string) {
+		if on {
+			mods = append(mods, name)
+		}
+	}
+	add2(o.Mitigation, "mitigation")
+	add2(o.DisableChecksums, "no-checksums")
+	add2(o.InjectStaleLease, "stale-lease")
+	add2(o.InjectQuarantineBlind, "quarantine-blind")
+	h := fmt.Sprintf("ustore-chaos: seed %d", o.Seed)
+	if seeds > 1 {
+		h = fmt.Sprintf("ustore-chaos: seeds %d..%d", o.Seed, o.Seed+int64(seeds)-1)
+	}
+	h += fmt.Sprintf(", %.3g days, faults: %s", o.Duration.Hours()/24, strings.Join(fams, " "))
+	if len(mods) > 0 {
+		h += ", " + strings.Join(mods, " ")
+	}
+	return h
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -82,6 +125,9 @@ func run() int {
 		days        = flag.Float64("days", 2, "fault-phase length in simulated days")
 		noChecksums = flag.Bool("no-checksums", false, "disable per-block CRCs (silent corruption reaches clients)")
 		staleLease  = flag.Bool("stale-lease", false, "inject the stale-lease failover bug (model-checker demo; pairs with -minimize)")
+		gray        = flag.Bool("gray", false, "inject gray faults: fail-slow disks, USB link flaps/downgrades, host brownouts")
+		mitigation  = flag.Bool("mitigation", false, "enable the detect-quarantine-hedge mitigation stack (usually with -gray)")
+		quarBlind   = flag.Bool("quarantine-blind", false, "make the allocator ignore quarantine (invariant-checker demo; needs -mitigation)")
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
 		showLog     = flag.Bool("log", false, "print the full event log")
 		showSched   = flag.Bool("schedule", false, "print the generated fault schedule")
@@ -99,8 +145,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -seeds must be >= 1")
 		return 2
 	}
+	// Only genuinely incompatible combinations are rejected. In particular
+	// -stale-lease composes fine with -seeds: every seed of a sweep is an
+	// independent deterministic run, so the injected bug simply rides along
+	// in each of them.
 	if *seeds > 1 && *minimize {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -minimize works on a single seed (drop -seeds)")
+		return 2
+	}
+	if *quarBlind && !*mitigation {
+		fmt.Fprintln(os.Stderr, "ustore-chaos: -quarantine-blind needs -mitigation (without quarantine there is no allocator exclusion to ignore)")
 		return 2
 	}
 
@@ -118,6 +172,10 @@ func run() int {
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
 	o.DisableChecksums = *noChecksums
 	o.InjectStaleLease = *staleLease
+	o.GrayFaults = *gray
+	o.Mitigation = *mitigation
+	o.InjectQuarantineBlind = *quarBlind
+	fmt.Println(mixHeader(o, *seeds))
 	wantRec := *metricsOut != "" || *traceOut != ""
 
 	if *seeds > 1 {

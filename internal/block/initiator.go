@@ -26,6 +26,17 @@ type Initiator struct {
 	// Timeout bounds each request (default 2s, enough for a spun-down
 	// disk's spin-up; failover remounts retry above this layer).
 	Timeout time.Duration
+	// AdaptiveTimeout, when set, supplies a per-target base timeout that
+	// replaces Timeout (the large-IO size allowance is still added on
+	// top). The ClientLib's gray-failure mitigation derives it from
+	// observed latency so a fail-slow target times out in hundreds of
+	// milliseconds instead of the worst-case static deadline. The target
+	// is (host, volume): gray failures are per disk, so two volumes on one
+	// host must not share a deadline model.
+	AdaptiveTimeout func(host, volume string) time.Duration
+	// OnComplete, when set, observes every request's outcome (round-trip
+	// time or timeout) — the mitigation layer's latency feed.
+	OnComplete func(host, volume string, rtt time.Duration, err error)
 }
 
 type call struct {
@@ -69,8 +80,22 @@ func (ini *Initiator) onMessage(msg simnet.Message) {
 func (ini *Initiator) send(host string, m *Msg, done func(*Msg, error)) {
 	ini.nextTag++
 	m.Tag = ini.nextTag
+	if ini.OnComplete != nil {
+		start := ini.sched.Now()
+		volume := m.Volume
+		inner := done
+		done = func(reply *Msg, err error) {
+			ini.OnComplete(host, volume, ini.sched.Now()-start, err)
+			inner(reply, err)
+		}
+	}
 	c := &call{done: done}
 	timeout := ini.Timeout
+	if ini.AdaptiveTimeout != nil {
+		if t := ini.AdaptiveTimeout(host, m.Volume); t > 0 {
+			timeout = t
+		}
+	}
 	// Large IOs get proportionally more time on a 1GbE link.
 	if n := len(m.Data); n > 0 {
 		timeout += time.Duration(float64(n) / 50e6 * float64(time.Second))

@@ -8,7 +8,15 @@
 //   - no acknowledged write is ever lost or silently corrupted;
 //   - clients re-converge (remount) after host failover;
 //   - exactly one active master exists once the quorum is quiet;
-//   - allocation records never double-assign disk extents.
+//   - allocation records never double-assign disk extents;
+//   - (gray runs) the allocator never places new space on a quarantined
+//     disk, and hedged probe reads always return the acknowledged bytes.
+//
+// Gray (fail-slow) faults — disk degradation, USB link flaps and
+// downgrades, host brownouts — are opt-in via Options.GrayFaults, with the
+// detect-quarantine-hedge mitigation stack toggled independently by
+// Options.Mitigation so mitigated and unmitigated runs of the same seed can
+// be compared head to head.
 //
 // Every run is seeded and replayable: the same Options produce a
 // byte-identical event log. Minimize re-runs a violating schedule's prefixes
@@ -46,6 +54,14 @@ const (
 	FaultIsolate
 	FaultRejoin
 	FaultCorrupt
+	// Gray (fail-slow) faults: the component keeps answering, just badly.
+	FaultDiskDegrade
+	FaultDiskRecover
+	FaultLinkFlap
+	FaultLinkDowngrade
+	FaultLinkRestore
+	FaultBrownout
+	FaultBrownoutEnd
 )
 
 // String names the kind.
@@ -81,6 +97,20 @@ func (k FaultKind) String() string {
 		return "rejoin"
 	case FaultCorrupt:
 		return "corrupt"
+	case FaultDiskDegrade:
+		return "disk-degrade"
+	case FaultDiskRecover:
+		return "disk-recover"
+	case FaultLinkFlap:
+		return "link-flap"
+	case FaultLinkDowngrade:
+		return "link-downgrade"
+	case FaultLinkRestore:
+		return "link-restore"
+	case FaultBrownout:
+		return "brownout"
+	case FaultBrownoutEnd:
+		return "brownout-end"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -91,14 +121,20 @@ func (k FaultKind) String() string {
 type Fault struct {
 	At   time.Duration
 	Kind FaultKind
-	// A is the primary target: a host, disk, hub, or machine name.
+	// A is the primary target: a host, disk, hub, or machine name. Gray
+	// disk faults (degrade/downgrade and their closers) with A == ""
+	// resolve the target at apply time to the disk holding workload replica
+	// Copy — letting hand-written test schedules target "the disk under
+	// copy N" without knowing the seed's placement.
 	A string
 	// B is the second machine of a link fault.
 	B string
-	// Rate is the loss/duplication probability of a link fault window.
+	// Rate is the loss/duplication probability of a link fault window, or
+	// the severity in (0,1] of a gray fault (degrade/downgrade/brownout).
 	Rate float64
 	// Copy and Block select the workload replica and block a FaultCorrupt
-	// event damages (replicas are indexed in allocation order).
+	// event damages (replicas are indexed in allocation order). For
+	// FaultLinkFlap, Copy is the retry-storm count instead.
 	Copy  int
 	Block int
 }
@@ -114,9 +150,24 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%s %s<->%s", f.Kind, f.A, f.B)
 	case FaultCorrupt:
 		return fmt.Sprintf("corrupt copy%d/block%d", f.Copy, f.Block)
+	case FaultDiskDegrade, FaultLinkDowngrade, FaultBrownout:
+		return fmt.Sprintf("%s %s sev=%.2f", f.Kind, f.grayTarget(), f.Rate)
+	case FaultLinkFlap:
+		return fmt.Sprintf("%s %s storms=%d", f.Kind, f.A, f.Copy)
+	case FaultDiskRecover, FaultLinkRestore:
+		return fmt.Sprintf("%s %s", f.Kind, f.grayTarget())
 	default:
 		return fmt.Sprintf("%s %s", f.Kind, f.A)
 	}
+}
+
+// grayTarget renders a gray disk fault's target: the named disk, or the
+// copy-relative placeholder when resolution happens at apply time.
+func (f Fault) grayTarget() string {
+	if f.A == "" {
+		return fmt.Sprintf("disk(copy%d)", f.Copy)
+	}
+	return f.A
 }
 
 // Options parameterizes a chaos run. The zero value is not useful; start
@@ -133,6 +184,19 @@ type Options struct {
 	HubFaults   bool
 	NetFaults   bool
 	Corruptions bool
+	// GrayFaults enables fail-slow injection: disk degradation windows
+	// (inflated service time, capped bandwidth, intermittent EIO), USB link
+	// flap storms and USB3->USB2 downgrades, and host brownouts. Off by
+	// default: gray runs additionally start a hedged-read prober workload,
+	// so existing seeds stay byte-identical unless opted in.
+	GrayFaults bool
+	// Mitigation turns on the detect-quarantine-hedge stack against gray
+	// faults: master-side disk health scoring and quarantine, harness-side
+	// proactive migration off quarantined disks, and client-side adaptive
+	// timeouts + hedged reads + circuit breakers on the prober workload.
+	// With GrayFaults on and Mitigation off, the run measures the
+	// unmitigated cost of gray failures under the same seed.
+	Mitigation bool
 
 	// DisableChecksums turns off the per-block CRC export wrapper, so
 	// injected media corruption reaches clients silently. Used to prove the
@@ -161,6 +225,12 @@ type Options struct {
 	// self-test can prove it catches a broken failover path. Never set
 	// outside tests.
 	InjectStaleLease bool
+
+	// InjectQuarantineBlind makes the master's allocator ignore quarantine
+	// (core.Config.InjectQuarantineBlind) so the quarantine invariant
+	// checker's mutation self-test can prove ValidateQuarantine catches a
+	// broken allocator. Never set outside tests.
+	InjectQuarantineBlind bool
 }
 
 // DefaultOptions returns an all-faults configuration for the given seed and
@@ -335,6 +405,62 @@ func genSchedule(o Options, hosts, disks, hubs, machines []string) []Fault {
 				Copy:  rng.Intn(2 * o.Pairs),
 				Block: rng.Intn(o.BlocksPerSpace),
 			})
+		}
+	}
+	if o.GrayFaults {
+		// Fail-slow disk windows: the disk keeps serving, just badly.
+		for i, disk := range disks {
+			n := count(90*24*time.Hour, 0)
+			if i == 0 && n == 0 {
+				n = 1 // short runs still gray at least one disk
+			}
+			if n == 0 {
+				continue
+			}
+			for _, w := range windows(n, time.Hour, 12*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultDiskDegrade, A: disk, Rate: 0.3 + 0.6*rng.Float64()},
+					Fault{At: w[1], Kind: FaultDiskRecover, A: disk})
+			}
+		}
+		// USB link flap storms: point events, the device re-enumerates.
+		for i, n := 0, count(20*24*time.Hour, 1); i < n; i++ {
+			out = append(out, Fault{
+				At:   time.Duration(rng.Int63n(int64(d))),
+				Kind: FaultLinkFlap,
+				A:    disks[rng.Intn(len(disks))],
+				Copy: 1 + rng.Intn(3),
+			})
+		}
+		// USB3 -> USB2 downgrade windows: the link renegotiates slow.
+		for i, disk := range disks {
+			n := count(150*24*time.Hour, 0)
+			if i == 1 && n == 0 {
+				n = 1
+			}
+			if n == 0 {
+				continue
+			}
+			for _, w := range windows(n, 2*time.Hour, 8*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultLinkDowngrade, A: disk, Rate: 0.2 + 0.6*rng.Float64()},
+					Fault{At: w[1], Kind: FaultLinkRestore, A: disk})
+			}
+		}
+		// Host brownout windows: RPC service-time inflation on one host.
+		for i, host := range hosts {
+			n := count(120*24*time.Hour, 0)
+			if i == 0 && n == 0 {
+				n = 1
+			}
+			if n == 0 {
+				continue
+			}
+			for _, w := range windows(n, 30*time.Minute, 4*time.Hour) {
+				out = append(out,
+					Fault{At: w[0], Kind: FaultBrownout, A: host, Rate: 0.2 + 0.5*rng.Float64()},
+					Fault{At: w[1], Kind: FaultBrownoutEnd, A: host})
+			}
 		}
 	}
 

@@ -45,6 +45,21 @@ type Stats struct {
 	// per-disk partitions. Check failures land in Report.Violations.
 	ModelOps        int
 	ModelPartitions int
+	// Gray-failure run outcomes (zero unless Options.GrayFaults or
+	// Options.Mitigation is set). Probe latencies are split by whether any
+	// gray fault window was open when the read was issued, so mitigated and
+	// unmitigated runs of one seed can compare tails directly.
+	GrayQuarantines  int // disks the master quarantined
+	GrayMigrations   int // replicas proactively migrated off quarantined disks
+	ProbeReads       int
+	ProbeErrors      int
+	ProbeHealthyP99  time.Duration
+	ProbeDegradedP99 time.Duration
+	Hedges           uint64
+	HedgeWins        uint64
+	BreakerOpens     uint64
+	Redirects        uint64
+	FastFails        uint64
 }
 
 // Report is the outcome of a chaos run.
@@ -71,14 +86,15 @@ type replicaBlock struct {
 
 // replica is one copy of a replicated workload space.
 type replica struct {
-	name     string
-	cl       *core.ClientLib
-	space    core.SpaceID
-	diskID   string
-	offset   int64 // on-disk base offset of the space
-	blocks   []replicaBlock
-	streak   int // consecutive audits where every read failed
-	auditing bool
+	name      string
+	cl        *core.ClientLib
+	space     core.SpaceID
+	diskID    string
+	offset    int64 // on-disk base offset of the space
+	blocks    []replicaBlock
+	streak    int // consecutive audits where every read failed
+	auditing  bool
+	migrating bool // a quarantine-drain migration is in flight
 }
 
 type pairKey struct{ a, b string }
@@ -110,6 +126,15 @@ type harness struct {
 	isolated     map[string]bool
 	lastNetFault simtime.Time
 
+	// Open gray fault windows (for drain and probe-latency classification),
+	// plus the per-pair hedged-read probers of a gray/mitigation run.
+	degradedDisks   map[string]bool
+	downgradedLinks map[string]bool
+	brownedHosts    map[string]bool
+	probers         []*core.ClientLib
+	probeHealthy    []time.Duration
+	probeDegraded   []time.Duration
+
 	// windowSpans holds the open trace span of each active fault window,
 	// keyed by kind+target, so the closing fault ends the matching span.
 	windowSpans map[string]*obs.Span
@@ -138,6 +163,11 @@ func leanConfig(o Options, hist *model.History) core.Config {
 	cfg.Recorder = o.Recorder
 	cfg.History = hist
 	cfg.InjectStaleLease = o.InjectStaleLease
+	// The detect-quarantine side of the mitigation stack lives in the
+	// master; unmitigated gray runs leave it off so the same seed measures
+	// the raw cost of fail-slow hardware.
+	cfg.HealthQuarantine = o.Mitigation
+	cfg.InjectQuarantineBlind = o.InjectQuarantineBlind
 	return cfg
 }
 
@@ -185,6 +215,19 @@ func newHarness(o Options) (*harness, error) {
 		openDup:      make(map[pairKey]bool),
 		isolated:     make(map[string]bool),
 		windowSpans:  make(map[string]*obs.Span),
+
+		degradedDisks:   make(map[string]bool),
+		downgradedLinks: make(map[string]bool),
+		brownedHosts:    make(map[string]bool),
+	}
+	if o.Mitigation {
+		// Quarantine's proactive-migration side: when the master fences a
+		// gray disk, the harness drains the workload replicas off it (the
+		// role a replica/EC re-placement plays in a real deployment).
+		for _, m := range c.Masters {
+			m.OnDiskQuarantined = func(diskID, host string) { h.onQuarantine(diskID, host) }
+			m.OnDiskReleased = func(diskID string) { h.logf("quarantine released: disk %s", diskID) }
+		}
 	}
 	// Boot: rolling spin-up, USB enumeration, paxos + coord + master
 	// election all need to converge before the workload starts.
@@ -193,6 +236,9 @@ func newHarness(o Options) (*harness, error) {
 		return nil, fmt.Errorf("chaos: no active master after boot settle")
 	}
 	if err := h.setupWorkload(); err != nil {
+		return nil, err
+	}
+	if err := h.setupProbers(); err != nil {
 		return nil, err
 	}
 	h.installScrubRepair()
@@ -296,6 +342,191 @@ func (h *harness) setupWorkload() error {
 }
 
 var errPending = errors.New("chaos: pending")
+
+// Gray-run probe workload: every grayProbeEvery, each pair's prober issues a
+// chained burst of reads and records the round trips. Bursts (rather than
+// single spaced reads) let the per-target circuit breaker engage within a
+// tick the way a real request stream would.
+const (
+	grayProbeEvery = 15 * time.Minute
+	grayProbeBurst = 40
+)
+
+// setupProbers creates one extra client per pair that mounts both copies and
+// — in mitigated runs — hedges reads between them. Gated on the gray-run
+// options so default runs stay byte-identical.
+func (h *harness) setupProbers() error {
+	if !h.opts.GrayFaults && !h.opts.Mitigation {
+		return nil
+	}
+	for i := 0; i < h.opts.Pairs; i++ {
+		cl := h.c.Client(fmt.Sprintf("probe%d", i), fmt.Sprintf("probe-svc%d", i))
+		for j := 0; j < 2; j++ {
+			r := h.replicas[2*i+j]
+			err := errPending
+			cl.Mount(r.space, func(e error) { err = e })
+			h.settleUntil(func() bool { return !errors.Is(err, errPending) }, 2*time.Minute)
+			if err != nil {
+				return fmt.Errorf("chaos: prober %d mounting %s: %w", i, r.name, err)
+			}
+		}
+		if h.opts.Mitigation {
+			mit := cl.EnableMitigation()
+			mit.SetMirror(h.replicas[2*i].space, h.replicas[2*i+1].space)
+		}
+		h.probers = append(h.probers, cl)
+	}
+	return nil
+}
+
+// grayOpen reports whether any gray fault window is currently open (probe
+// reads issued now are classified as degraded-phase samples).
+func (h *harness) grayOpen() bool {
+	return len(h.degradedDisks)+len(h.downgradedLinks)+len(h.brownedHosts) > 0
+}
+
+func (h *harness) probeAll() {
+	for pair := range h.probers {
+		h.probePair(pair, grayProbeBurst)
+	}
+}
+
+// probePair runs one chained read burst against a pair, alternating between
+// the two copies — hedged in mitigated runs, plain otherwise. Reading both
+// copies keeps every pair disk's health history warm, which the master's
+// cohort-median gray scoring needs. A read that races a concurrent write or
+// migration is skipped for verification, but a completed read of stable
+// acknowledged data must return those bytes (a hedge or redirect serving
+// stale/wrong data would surface here).
+func (h *harness) probePair(pair, remaining int) {
+	if remaining == 0 {
+		return
+	}
+	cl := h.probers[pair]
+	ra, rb := h.replicas[2*pair], h.replicas[2*pair+1]
+	r := h.replicas[2*pair+remaining%2]
+	blk := h.rng.Intn(h.opts.BlocksPerSpace)
+	// A hedged read may be served by either copy, and the copies legally
+	// diverge when one side's write failed. So verification snapshots both
+	// copies' block state and flags only a read that matches neither stable
+	// acknowledged copy — that data came from nowhere.
+	ba, bb := &ra.blocks[blk], &rb.blocks[blk]
+	va, vb := ba.version, bb.version
+	stable := func(b *replicaBlock, v int) bool {
+		return b.version == v && !b.uncertain && b.inflight == 0 && b.data != nil
+	}
+	degraded := h.grayOpen()
+	start := h.c.Sched.Now()
+	done := func(data []byte, err error) {
+		rtt := h.c.Sched.Now() - start
+		h.stats.ProbeReads++
+		if degraded {
+			h.probeDegraded = append(h.probeDegraded, rtt)
+		} else {
+			h.probeHealthy = append(h.probeHealthy, rtt)
+		}
+		h.opts.Recorder.Histogram("chaos", "probe_read_seconds").ObserveDuration(rtt)
+		if err != nil {
+			h.stats.ProbeErrors++ // may race a migration or fault window; not a violation
+		} else if stable(ba, va) && stable(bb, vb) &&
+			!bytes.Equal(data, ba.data) && !bytes.Equal(data, bb.data) {
+			h.violatef("probe: %s block %d returned bytes matching neither copy", r.name, blk)
+		}
+		h.probePair(pair, remaining-1)
+	}
+	if h.opts.Mitigation {
+		cl.ReadHedged(r.space, int64(blk)*BlockSize, BlockSize, done)
+	} else {
+		cl.Read(r.space, int64(blk)*BlockSize, BlockSize, done)
+	}
+}
+
+// onQuarantine drains a quarantined disk: every workload replica on it is
+// migrated to a fresh allocation (the master's allocator now excludes the
+// gray disk, so the new space lands elsewhere).
+func (h *harness) onQuarantine(diskID, host string) {
+	h.stats.GrayQuarantines++
+	h.logf("quarantine: disk %s on %s — draining", diskID, host)
+	for _, r := range h.replicas {
+		if r.diskID == diskID {
+			h.migrateReplica(r)
+		}
+	}
+}
+
+// migrateReplica moves one replica to a new allocation: allocate, mount,
+// switch the harness's expectations over, rewrite every acknowledged block
+// into the new space, and release the old one. In-flight writes to the old
+// space are dropped by the per-block version bump, exactly like a media
+// wipe.
+func (h *harness) migrateReplica(r *replica) {
+	if r.migrating {
+		return
+	}
+	r.migrating = true
+	size := int64(h.opts.BlocksPerSpace) * BlockSize
+	r.cl.Allocate(size, func(rep core.AllocateReply, err error) {
+		if err != nil {
+			r.migrating = false
+			h.logf("quarantine drain: allocating for %s: %v", r.name, err)
+			return
+		}
+		r.cl.Mount(rep.Space, func(err error) {
+			if err != nil {
+				r.migrating = false
+				h.logf("quarantine drain: mounting %s for %s: %v", rep.Space, r.name, err)
+				return
+			}
+			old, oldDisk := r.space, r.diskID
+			delete(h.bySpace, old)
+			r.space, r.diskID, r.offset = rep.Space, rep.DiskID, rep.Offset
+			h.bySpace[r.space] = r
+			for blk := range r.blocks {
+				b := &r.blocks[blk]
+				b.version++ // writes still in flight to the old space no longer count
+				if b.data != nil {
+					h.writeReplicaData(r, blk, b.data)
+				}
+			}
+			r.cl.Release(old, func(err error) {
+				if err != nil {
+					h.logf("quarantine drain: releasing %s: %v", old, err)
+				}
+			})
+			h.stats.GrayMigrations++
+			r.migrating = false
+			h.logf("quarantine drain: %s migrated %s (disk %s) -> %s (disk %s)",
+				r.name, old, oldDisk, r.space, r.diskID)
+			h.remountProber(r)
+		})
+	})
+}
+
+// remountProber points a pair's prober at a replica's post-migration space
+// and refreshes the hedging mirror registration.
+func (h *harness) remountProber(r *replica) {
+	if len(h.probers) == 0 {
+		return
+	}
+	for i, rr := range h.replicas {
+		if rr != r {
+			continue
+		}
+		pair := i / 2
+		cl := h.probers[pair]
+		space := r.space
+		cl.Mount(space, func(err error) {
+			if err != nil {
+				h.logf("prober %d: remounting %s: %v", pair, space, err)
+				return
+			}
+			if m := cl.Mitigation(); m != nil {
+				m.SetMirror(h.replicas[2*pair].space, h.replicas[2*pair+1].space)
+			}
+		})
+		return
+	}
+}
 
 // installScrubRepair points every endpoint scrubber at the harness's
 // known-good copies (standing in for the replica/EC read a service-level
@@ -433,6 +664,18 @@ func faultWindow(f Fault) (key, name string, opens bool) {
 		return "isolate:" + f.A, "isolated", true
 	case FaultRejoin:
 		return "isolate:" + f.A, "", false
+	case FaultDiskDegrade:
+		return "degrade:" + f.A, "disk-degraded", true
+	case FaultDiskRecover:
+		return "degrade:" + f.A, "", false
+	case FaultLinkDowngrade:
+		return "linkdown:" + f.A, "link-downgraded", true
+	case FaultLinkRestore:
+		return "linkdown:" + f.A, "", false
+	case FaultBrownout:
+		return "brownout:" + f.A, "host-brownout", true
+	case FaultBrownoutEnd:
+		return "brownout:" + f.A, "", false
 	}
 	return "", "", false
 }
@@ -478,6 +721,14 @@ func (h *harness) closeWindowSpans() {
 }
 
 func (h *harness) apply(f Fault) {
+	// Copy-relative gray disk faults resolve their target now, against the
+	// replica's current placement.
+	switch f.Kind {
+	case FaultDiskDegrade, FaultDiskRecover, FaultLinkDowngrade, FaultLinkRestore:
+		if f.A == "" && len(h.replicas) > 0 {
+			f.A = h.replicas[f.Copy%len(h.replicas)].diskID
+		}
+	}
 	h.stats.FaultsApplied++
 	h.logf("fault: %s", f)
 	h.recordFault(f)
@@ -547,6 +798,36 @@ func (h *harness) apply(f Fault) {
 		blk := f.Block % len(r.blocks)
 		off := r.offset + int64(blk)*BlockSize
 		h.c.Disks[r.diskID].CorruptSector(off)
+	case FaultDiskDegrade:
+		h.degradedDisks[f.A] = true
+		if err := h.c.DegradeDisk(f.A, f.Rate); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultDiskRecover:
+		delete(h.degradedDisks, f.A)
+		if err := h.c.RecoverDisk(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultLinkFlap:
+		if err := h.c.FlapLink(f.A, f.Copy); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultLinkDowngrade:
+		h.downgradedLinks[f.A] = true
+		if err := h.c.DowngradeLink(f.A, f.Rate); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultLinkRestore:
+		delete(h.downgradedLinks, f.A)
+		if err := h.c.RestoreLink(f.A); err != nil {
+			h.logf("fault error: %v", err)
+		}
+	case FaultBrownout:
+		h.brownedHosts[f.A] = true
+		h.c.BrownoutHost(f.A, f.Rate)
+	case FaultBrownoutEnd:
+		delete(h.brownedHosts, f.A)
+		h.c.EndBrownout(f.A)
 	}
 }
 
@@ -630,9 +911,26 @@ func (h *harness) checkQuietMasters() {
 	}
 }
 
+// checkQuarantine verifies the allocator never handed out space on a
+// quarantined disk (core.Master.ValidateQuarantine — only ever violated by
+// the InjectQuarantineBlind mutation self-test).
+func (h *harness) checkQuarantine(stage string) {
+	m := h.c.ActiveMaster()
+	if m == nil {
+		return
+	}
+	if err := m.ValidateQuarantine(); err != nil {
+		if !h.allocSeen[err.Error()] {
+			h.allocSeen[err.Error()] = true
+			h.violatef("%s: quarantine invariant: %v", stage, err)
+		}
+	}
+}
+
 func (h *harness) audit() {
 	h.opts.Recorder.Instant("chaos", "audit-tick", "auditor")
 	h.checkAllocations("audit")
+	h.checkQuarantine("audit")
 	h.checkQuietMasters()
 	for _, r := range h.replicas {
 		h.auditReplica(r)
@@ -757,6 +1055,10 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 	if o.AuditEvery > 0 {
 		auditTick = h.c.Sched.Every(o.AuditEvery, h.audit)
 	}
+	var probeTick *simtime.Ticker
+	if len(h.probers) > 0 {
+		probeTick = h.c.Sched.Every(grayProbeEvery, h.probeAll)
+	}
 
 	h.lastNetFault = start
 	h.c.Settle(o.Duration)
@@ -769,6 +1071,9 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 	if auditTick != nil {
 		auditTick.Stop()
 	}
+	if probeTick != nil {
+		probeTick.Stop()
+	}
 
 	h.finalAudit()
 	h.finalWritePass()
@@ -776,6 +1081,7 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 		h.violatef("final: master invariant: %d active masters", n)
 	}
 	h.checkAllocations("final")
+	h.checkQuarantine("final")
 	h.checkHistory()
 	h.logf("run complete: %d faults, %d violations", h.stats.FaultsApplied, len(h.violations))
 
@@ -804,7 +1110,28 @@ func (h *harness) execute(schedule []Fault) (*Report, error) {
 	for _, r := range h.replicas {
 		rep.Stats.Remounts += r.cl.Remounts
 	}
+	rep.Stats.ProbeHealthyP99 = p99(h.probeHealthy)
+	rep.Stats.ProbeDegradedP99 = p99(h.probeDegraded)
+	for _, cl := range h.probers {
+		if m := cl.Mitigation(); m != nil {
+			rep.Stats.Hedges += m.Hedges
+			rep.Stats.HedgeWins += m.HedgeWins
+			rep.Stats.BreakerOpens += m.BreakerOpens
+			rep.Stats.Redirects += m.Redirects
+			rep.Stats.FastFails += m.FastFails
+		}
+	}
 	return rep, nil
+}
+
+// p99 returns the 99th-percentile of a latency sample set (0 if empty).
+func p99(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)*99/100]
 }
 
 // checkHistory runs the recorded metadata history through the reference
@@ -864,6 +1191,22 @@ func (h *harness) drain() {
 		h.c.Net.RejoinMachine(m)
 	}
 	h.isolated = make(map[string]bool)
+	for _, d := range sortedKeys(h.degradedDisks) {
+		if err := h.c.RecoverDisk(d); err != nil {
+			h.logf("drain error: %v", err)
+		}
+	}
+	h.degradedDisks = make(map[string]bool)
+	for _, d := range sortedKeys(h.downgradedLinks) {
+		if err := h.c.RestoreLink(d); err != nil {
+			h.logf("drain error: %v", err)
+		}
+	}
+	h.downgradedLinks = make(map[string]bool)
+	for _, host := range sortedKeys(h.brownedHosts) {
+		h.c.EndBrownout(host)
+	}
+	h.brownedHosts = make(map[string]bool)
 	h.netEvent()
 }
 

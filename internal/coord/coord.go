@@ -113,6 +113,14 @@ type (
 	pingMsg struct {
 		Session string
 	}
+	// pingAck confirms receipt of a pingMsg back to the sender. A session
+	// holder that can send but not receive keeps refreshing its session on
+	// the leader while its acks vanish — the asymmetry Election uses to
+	// self-demote instead of wedging the cluster behind an unreachable
+	// leader.
+	pingAck struct {
+		Session string
+	}
 )
 
 type sessionState struct {
@@ -133,6 +141,9 @@ type Store struct {
 
 	// Leader-local liveness tracking.
 	lastSeen map[string]simtime.Time
+	// Replica-local ping-ack tracking (sender side): when the leader last
+	// confirmed one of our session pings.
+	ackSeen map[string]simtime.Time
 
 	watches map[string][]func(Event)
 	// childWatches fire on create/delete of direct children of a path.
@@ -164,6 +175,7 @@ func NewStore(net *simnet.Network, name string, peers []string, cfg paxos.Config
 		root:         &znode{children: map[string]*znode{}},
 		sessions:     map[string]*sessionState{},
 		lastSeen:     map[string]simtime.Time{},
+		ackSeen:      map[string]simtime.Time{},
 		watches:      map[string][]func(Event){},
 		childWatches: map[string][]func(Event){},
 		pending:      map[string]func(error){},
@@ -346,9 +358,21 @@ func (s *Store) onMessage(msg simnet.Message) {
 	if s.stopped {
 		return
 	}
-	if p, ok := msg.Payload.(pingMsg); ok {
+	switch p := msg.Payload.(type) {
+	case pingMsg:
 		s.lastSeen[p.Session] = s.sched.Now()
+		s.node.Send(msg.From, pingAck{Session: p.Session}, 16)
+	case pingAck:
+		s.ackSeen[p.Session] = s.sched.Now()
 	}
+}
+
+// LastPingAck returns when the paxos leader last acknowledged one of this
+// replica's pings for session (sender-side view), and whether any ack has
+// arrived at all.
+func (s *Store) LastPingAck(session string) (simtime.Time, bool) {
+	t, ok := s.ackSeen[session]
+	return t, ok
 }
 
 // SetSweepInterval changes the session-expiry scan period (default 250ms).

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"time"
+
+	"ustore/internal/simtime"
 )
 
 // Election implements the active/standby master election the prototype runs
@@ -25,6 +27,16 @@ type Election struct {
 	leading bool
 	stopped bool
 	ticker  interface{ Stop() }
+
+	// electedAt and the store's ping-ack log detect asymmetric partitions:
+	// a leader whose pings still reach the paxos leader (send path works)
+	// but whose acks never come back (receive path dead) would otherwise
+	// keep its session alive forever while being unreachable to everyone.
+	electedAt simtime.Time
+	// demoted marks a self-deposed leader: it stops pinging (so the session
+	// expires and a reachable candidate takes over) and stops campaigning
+	// until an applied event proves the receive path works again.
+	demoted bool
 }
 
 // NewElection creates a candidate for leadership of path on the given
@@ -62,6 +74,9 @@ func (e *Election) Run() {
 		}
 		switch ev.Type {
 		case EventDeleted:
+			// An applied deletion reached us, so the receive path works:
+			// a self-demoted candidate may campaign again.
+			e.demoted = false
 			if e.leading {
 				e.leading = false
 				if e.OnDeposed != nil {
@@ -93,7 +108,7 @@ func (e *Election) Run() {
 // The leader check is a local applied-state read, so the steady state (a
 // leader exists) costs no proposals.
 func (e *Election) ensure() {
-	if e.stopped || e.leading {
+	if e.stopped || e.leading || e.demoted {
 		return
 	}
 	if _, err := e.store.Get(e.path); err != nil {
@@ -111,13 +126,34 @@ func (e *Election) keepAlive() {
 	if e.stopped {
 		return
 	}
-	e.store.Ping(e.session)
+	if e.leading {
+		// Gray-failure guard: our pings may still be refreshing the session
+		// on the paxos leader (outbound path alive) while nothing reaches us
+		// back. Without this check an unreachable leader holds the znode
+		// forever and the cluster wedges. If no ack has confirmed
+		// leadership within a full TTL, step down and go silent so the
+		// session expires and a reachable candidate can take over.
+		confirmed := e.electedAt
+		if ack, ok := e.store.LastPingAck(e.session); ok && ack > confirmed {
+			confirmed = ack
+		}
+		if e.store.sched.Now()-confirmed > e.ttl {
+			e.leading = false
+			e.demoted = true
+			if e.OnDeposed != nil {
+				e.OnDeposed()
+			}
+		}
+	}
+	if !e.demoted {
+		e.store.Ping(e.session)
+	}
 	e.ensure()
 	e.store.sched.After(e.ttl/3, e.keepAlive)
 }
 
 func (e *Election) tryAcquire() {
-	if e.stopped || e.leading {
+	if e.stopped || e.leading || e.demoted {
 		return
 	}
 	e.store.Create(e.path, []byte(e.candidate), e.session, func(err error) {
@@ -126,6 +162,7 @@ func (e *Election) tryAcquire() {
 		}
 		if err == nil {
 			e.leading = true
+			e.electedAt = e.store.sched.Now()
 			if e.OnElected != nil {
 				e.OnElected()
 			}

@@ -50,6 +50,7 @@ type ClientLib struct {
 
 	mounts map[SpaceID]*mount
 	active string // believed active master replica name
+	mit    *Mitigation
 
 	// OnMount receives mount and remount notifications.
 	OnMount func(MountEvent)

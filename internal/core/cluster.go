@@ -9,6 +9,7 @@ import (
 	"ustore/internal/fabric"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
+	"ustore/internal/usb"
 )
 
 // Cluster assembles a complete UStore deployment on one simulation
@@ -284,6 +285,133 @@ func (c *Cluster) ReplaceHub(id string) error {
 	}
 	rig.Binding.Resync()
 	return nil
+}
+
+// --- Gray-failure injection (fail-slow, not fail-stop) ---
+
+// DegradeDisk makes a disk fail-slow with the given severity in (0, 1]:
+// inflated service time, added latency, a throttled media rate, and (at
+// high severity) intermittent EIO. The disk stays attached and keeps
+// answering — the failure mode quarantine exists for.
+func (c *Cluster) DegradeDisk(id string, severity float64) error {
+	d := c.Disks[id]
+	if d == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	if severity <= 0 {
+		severity = 0.5
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	p := disk.DegradeParams{
+		ServiceFactor: 1 + 9*severity,
+		ExtraLatency:  time.Duration(severity * float64(200*time.Millisecond)),
+		BandwidthCap:  (1 - 0.8*severity) * c.Cfg.DiskParams.MediaRate,
+	}
+	if severity >= 0.7 {
+		p.IOErrorRate = 0.02 * severity
+	}
+	d.Degrade(p)
+	return nil
+}
+
+// RecoverDisk clears a disk's fail-slow degradation (the media recovered;
+// any link-level throttle is separate, see RestoreLink).
+func (c *Cluster) RecoverDisk(id string) error {
+	d := c.Disks[id]
+	if d == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	d.ClearDegrade()
+	return nil
+}
+
+// FlapLink bounces a disk's USB link: the device detaches, stays dark for a
+// link-down window, then re-enumerates — with the given number of retry
+// storms inflating the host's enumeration backlog (§V-B's flaky-cable
+// symptom). The disk's data is untouched.
+func (c *Cluster) FlapLink(id string, storms int) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	dev := rig.Binding.Device(fabric.NodeID(id))
+	host := rig.Binding.HostOf(fabric.NodeID(id))
+	if dev == nil || host == "" {
+		return fmt.Errorf("core: disk %s not attached", id)
+	}
+	hc := rig.Binding.HostController(host)
+	if hc == nil {
+		return fmt.Errorf("core: no host controller for %s", host)
+	}
+	return hc.FlapDevice(dev, 750*time.Millisecond, storms)
+}
+
+// DowngradeLink renegotiates a disk's USB link down to high-speed (a bad
+// cable or connector dropping SuperSpeed lanes): the device-level link cap
+// throttles transfers to USB 2.0 rates plus a severity-scaled turnaround
+// penalty per IO.
+func (c *Cluster) DowngradeLink(id string, severity float64) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	dev := rig.Binding.Device(fabric.NodeID(id))
+	host := rig.Binding.HostOf(fabric.NodeID(id))
+	if dev == nil || host == "" {
+		return fmt.Errorf("core: disk %s not attached", id)
+	}
+	if hc := rig.Binding.HostController(host); hc != nil {
+		hc.SetLinkSpeed(dev, usb.LinkHigh)
+	}
+	if severity < 0 {
+		severity = 0
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	if d := c.Disks[id]; d != nil {
+		d.SetLinkCap(usb.HighSpeedBytesPerSec, time.Duration(severity*float64(10*time.Millisecond)))
+	}
+	return nil
+}
+
+// RestoreLink returns a downgraded link to SuperSpeed and removes the cap.
+func (c *Cluster) RestoreLink(id string) error {
+	rig := c.rigOfNode(id)
+	if rig == nil {
+		return fmt.Errorf("core: unknown disk %s", id)
+	}
+	if dev := rig.Binding.Device(fabric.NodeID(id)); dev != nil {
+		if host := rig.Binding.HostOf(fabric.NodeID(id)); host != "" {
+			if hc := rig.Binding.HostController(host); hc != nil {
+				hc.SetLinkSpeed(dev, usb.LinkSuper)
+			}
+		}
+	}
+	if d := c.Disks[id]; d != nil {
+		d.SetLinkCap(0, 0)
+	}
+	return nil
+}
+
+// BrownoutHost inflates every RPC and block transfer to and from a host's
+// machine by a severity-scaled delay (CPU starvation, memory pressure, a
+// saturated NIC — the host equivalent of a fail-slow disk).
+func (c *Cluster) BrownoutHost(host string, severity float64) {
+	if severity <= 0 {
+		severity = 0.5
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	c.Net.SetMachineBrownout(host, time.Duration(severity*float64(100*time.Millisecond)))
+}
+
+// EndBrownout clears a host brownout.
+func (c *Cluster) EndBrownout(host string) {
+	c.Net.SetMachineBrownout(host, 0)
 }
 
 // DiskCountOn returns how many disks SysStat places on host (via the

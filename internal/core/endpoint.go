@@ -191,7 +191,11 @@ func (ep *EndPoint) sendHeartbeat() {
 	ep.cHeartbeats.Inc()
 	var infos []DiskInfo
 	for _, id := range ep.AttachedDisks() {
-		infos = append(infos, DiskInfo{ID: id, State: ep.diskState(id)})
+		info := DiskInfo{ID: id, State: ep.diskState(id)}
+		if d := ep.disks[id]; d != nil {
+			info.Health = d.Health()
+		}
+		infos = append(infos, info)
 	}
 	hb := HeartbeatArgs{Host: ep.host, Seq: ep.hbSeq, Disks: infos}
 	// Send to the believed active master first, falling back to all. Each

@@ -80,11 +80,20 @@ type Master struct {
 	// exported tracks which spaces each host was told to export.
 	exported map[SpaceID]string
 
+	// health is the gray-failure detector's state (see health.go).
+	health *healthTracker
+
 	// OnHostDead fires when failure detection declares a host dead.
 	OnHostDead func(host string)
 	// OnFailoverDone fires when a dead host's disks are re-homed and
 	// re-exported.
 	OnFailoverDone func(host string, took time.Duration)
+	// OnDiskQuarantined fires when the gray-failure detector quarantines a
+	// disk (host is its current attachment, "" if unknown). The harness
+	// uses it to start proactive migration off the gray disk.
+	OnDiskQuarantined func(diskID, host string)
+	// OnDiskReleased fires when a quarantined disk completes probation.
+	OnDiskReleased func(diskID string)
 }
 
 // masterNode returns the RPC node name of a master replica.
@@ -115,6 +124,7 @@ func NewMaster(net *simnet.Network, name string, store *coord.Store, cfg Config,
 		failingOver: make(map[string]bool),
 		diskGroup:   make(map[string]int),
 		exported:    make(map[SpaceID]string),
+		health:      newHealthTracker(cfg.Recorder),
 	}
 	m.SetUnits([]UnitInfo{{
 		ID:          cfg.UnitID,
@@ -213,6 +223,9 @@ func (m *Master) handleHeartbeat(from string, args any) (any, error) {
 	for _, di := range hb.Disks {
 		seen[di.ID] = true
 		hs.diskState[di.ID] = di.State
+		if m.cfg.HealthQuarantine {
+			m.health.observe(di.ID, di.Health)
+		}
 		if m.diskHost[di.ID] != hb.Host {
 			m.diskHost[di.ID] = hb.Host
 			appeared = append(appeared, di.ID)
@@ -295,6 +308,7 @@ func (m *Master) detectLoop() {
 					m.hostDead(host)
 				}
 			}
+			m.scorePass()
 		}
 		m.detectLoop()
 	})
@@ -489,6 +503,12 @@ func (m *Master) handleAllocate(from string, args any) (any, error) {
 		span.End(obs.L("status", "no-space"))
 		return nil, ErrNoSpace
 	}
+	if m.health.excluded(diskID) {
+		// Only reachable under InjectQuarantineBlind; record the breach so
+		// ValidateQuarantine (and the chaos invariant built on it) trips.
+		m.health.violations = append(m.health.violations,
+			fmt.Sprintf("%s (service %s, state %s)", diskID, a.Service, m.DiskHealthState(diskID)))
+	}
 	offset := int64(0)
 	for _, rec := range m.diskAllocs[diskID] {
 		if end := rec.Offset + rec.Size; end > offset {
@@ -546,6 +566,9 @@ func (m *Master) pickDisk(a AllocateArgs) string {
 			continue
 		}
 		if hs.diskState[diskID] == DiskPoweredOff {
+			continue
+		}
+		if m.health.excluded(diskID) && !m.cfg.InjectQuarantineBlind {
 			continue
 		}
 		if free(diskID) < a.Size {

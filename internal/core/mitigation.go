@@ -1,0 +1,369 @@
+package core
+
+import (
+	"time"
+
+	"ustore/internal/obs"
+	"ustore/internal/simtime"
+)
+
+// Client-side gray-failure mitigation. Quarantine (health.go) protects NEW
+// allocations, but a client already mounted on a fail-slow target would
+// still eat every inflated service time until the drain finishes. Three
+// standard techniques cut that tail without waiting for the control plane:
+//
+//   - adaptive timeouts: the static 2s initiator deadline is replaced by
+//     EWMA + 4*deviation of observed round trips (Jacobson-style, like a
+//     TCP RTO — including the exponential backoff on timeout), so a
+//     request to a target that has gone slow fails in hundreds of
+//     milliseconds;
+//   - hedged reads: when a read has a registered mirror copy and the
+//     primary hasn't answered within the hedge delay, a second read is
+//     issued to the mirror and the first reply wins (Dean & Barroso's
+//     "tail at scale" hedging);
+//   - circuit breaker: a target whose requests keep failing OR keep
+//     completing anomalously slowly (fail-slow is still a failure) is
+//     marked open, and reads go straight to the mirror with zero hedge
+//     delay; a single half-open probe per cool-down tests recovery.
+//
+// State is keyed per block target — (host, volume) — not per host: gray
+// failures are per disk, and a healthy mirror on the same host must not
+// share the gray primary's model or breaker.
+//
+// Everything is deterministic — no RNG — so mitigation on/off comparisons
+// under the same seed are exact.
+
+// Adaptive-timeout and hedging tuning.
+const (
+	// mitMinSamples is how many clean round trips a target needs before
+	// its latency model is trusted.
+	mitMinSamples = 8
+	// mitMinTimeout floors the adaptive timeout (and the slow-success
+	// gate): below this, scheduler quantization and queueing noise
+	// dominate.
+	mitMinTimeout = 100 * time.Millisecond
+	// mitMinHedge floors the hedge delay so a healthy fast pair doesn't
+	// hedge every read (hedges should fire on tail requests only).
+	mitMinHedge = 20 * time.Millisecond
+	// mitDefaultHedge is used while both targets' models are warming up.
+	mitDefaultHedge = 250 * time.Millisecond
+	// mitBreakerFails consecutive failures (or slow completions) open the
+	// breaker.
+	mitBreakerFails = 3
+	// mitBreakerOpenFor is the cool-down before a half-open probe.
+	mitBreakerOpenFor = 5 * time.Second
+	// mitMaxRTOShift caps the timeout backoff at 16x the model's deadline
+	// (further capped by the static Timeout), preserving liveness if the
+	// whole cluster legitimately slows down.
+	mitMaxRTOShift = 4
+)
+
+// targetLatency is the per-target round-trip model: an EWMA of the RTT and
+// an EWMA of its absolute deviation. Only clean samples — successes within
+// the slow gate — update it: a fail-slow target's inflated round trips are
+// the anomaly being detected and must not be allowed to redefine "normal".
+type targetLatency struct {
+	ewma    time.Duration
+	dev     time.Duration
+	samples uint64
+	// rtoShift backs the adaptive deadline off exponentially after
+	// timeouts (a timeout says nothing about the true RTT except "longer
+	// than the deadline"); any completion resets it.
+	rtoShift uint
+}
+
+func (tl *targetLatency) observe(rtt time.Duration) {
+	if tl.samples == 0 {
+		tl.ewma = rtt
+		tl.dev = rtt / 2
+	} else {
+		diff := rtt - tl.ewma
+		if diff < 0 {
+			diff = -diff
+		}
+		tl.ewma += (rtt - tl.ewma) / 8
+		tl.dev += (diff - tl.dev) / 4
+	}
+	tl.samples++
+}
+
+func (tl *targetLatency) warm() bool { return tl != nil && tl.samples >= mitMinSamples }
+
+// deadline is the model's base timeout / slow gate: EWMA + 4*dev, floored.
+func (tl *targetLatency) deadline() time.Duration {
+	d := tl.ewma + 4*tl.dev
+	if d < mitMinTimeout {
+		d = mitMinTimeout
+	}
+	return d
+}
+
+// targetBreaker is a per-target circuit breaker with half-open probing.
+type targetBreaker struct {
+	fails     int
+	openUntil simtime.Time
+	probing   bool
+}
+
+// Mitigation is a ClientLib's gray-failure mitigation state. Obtain one
+// with EnableMitigation; all methods run on the scheduler goroutine.
+type Mitigation struct {
+	cl      *ClientLib
+	lat     map[string]*targetLatency
+	brk     map[string]*targetBreaker
+	mirrors map[SpaceID]SpaceID
+
+	cHedges *obs.Counter
+	cWins   *obs.Counter
+	cOpens  *obs.Counter
+	cRedir  *obs.Counter
+	cFast   *obs.Counter
+
+	// Counters for tests and experiment reports.
+	Hedges       uint64 // hedge legs fired
+	HedgeWins    uint64 // hedge legs that beat the primary
+	BreakerOpens uint64 // breaker open transitions
+	Redirects    uint64 // reads sent straight to the mirror (breaker open)
+	FastFails    uint64 // requests failed by the adaptive timeout
+}
+
+// targetKey identifies one block target session.
+func targetKey(host, volume string) string { return host + "|" + volume }
+
+// EnableMitigation turns on adaptive timeouts and latency observation for
+// this client and returns the mitigation handle for hedging and breaker
+// control. Calling it twice returns the same handle.
+func (cl *ClientLib) EnableMitigation() *Mitigation {
+	if cl.mit != nil {
+		return cl.mit
+	}
+	rec := cl.cfg.Recorder
+	mit := &Mitigation{
+		cl:      cl,
+		lat:     make(map[string]*targetLatency),
+		brk:     make(map[string]*targetBreaker),
+		mirrors: make(map[SpaceID]SpaceID),
+		cHedges: rec.Counter("core", "hedge_reads_total"),
+		cWins:   rec.Counter("core", "hedge_wins_total"),
+		cOpens:  rec.Counter("core", "hedge_breaker_opens_total"),
+		cRedir:  rec.Counter("core", "hedge_redirects_total"),
+		cFast:   rec.Counter("core", "hedge_fast_fails_total"),
+	}
+	cl.mit = mit
+	cl.ini.AdaptiveTimeout = mit.adaptiveTimeout
+	cl.ini.OnComplete = mit.observe
+	return mit
+}
+
+// Mitigation returns the handle installed by EnableMitigation (nil if off).
+func (cl *ClientLib) Mitigation() *Mitigation { return cl.mit }
+
+// SetMirror registers b as a mirror copy of a (and vice versa): ReadHedged
+// on either space may serve from the other. The caller is responsible for
+// keeping the contents identical.
+func (m *Mitigation) SetMirror(a, b SpaceID) {
+	m.mirrors[a] = b
+	m.mirrors[b] = a
+}
+
+// observe is the Initiator's OnComplete feed: it maintains the latency
+// model and drives the breaker. A successful completion that took longer
+// than the slow gate counts AGAINST the target — a disk that answers every
+// request in 20x its normal time is failing, whatever its status codes say.
+func (m *Mitigation) observe(host, volume string, rtt time.Duration, err error) {
+	k := targetKey(host, volume)
+	tl := m.lat[k]
+	if tl == nil {
+		tl = &targetLatency{}
+		m.lat[k] = tl
+	}
+	br := m.brk[k]
+	if br == nil {
+		br = &targetBreaker{}
+		m.brk[k] = br
+	}
+	slow := err == nil && tl.warm() && rtt > tl.deadline()
+	if err == nil {
+		tl.rtoShift = 0 // the deadline was adequate; stop backing off
+		if !slow {
+			tl.observe(rtt)
+			br.fails = 0
+			br.openUntil = 0
+			br.probing = false
+			return
+		}
+	} else {
+		if tl.warm() {
+			m.FastFails++
+			m.cFast.Inc()
+		}
+		if tl.rtoShift < mitMaxRTOShift {
+			tl.rtoShift++
+		}
+	}
+	br.fails++
+	br.probing = false
+	if br.fails >= mitBreakerFails && br.openUntil <= m.cl.sched.Now() {
+		br.openUntil = m.cl.sched.Now() + mitBreakerOpenFor
+		m.BreakerOpens++
+		m.cOpens.Inc()
+		m.cl.cfg.Recorder.Instant("core", "breaker-open", m.cl.name,
+			obs.L("host", host), obs.L("volume", volume))
+	}
+}
+
+// adaptiveTimeout is the Initiator's per-target deadline: the model's
+// EWMA + 4*dev, backed off exponentially after timeouts, clamped to the
+// static Timeout.
+func (m *Mitigation) adaptiveTimeout(host, volume string) time.Duration {
+	tl := m.lat[targetKey(host, volume)]
+	if !tl.warm() {
+		return 0 // static default
+	}
+	t := tl.deadline() << tl.rtoShift
+	if max := m.cl.ini.Timeout; t > max {
+		t = max
+	}
+	return t
+}
+
+// hedgeDelay is how long a read waits on the primary before the mirror leg
+// fires: EWMA + 2*dev (roughly the p95-p99) of the FASTER of the two
+// targets. Using the pair minimum matters: if the primary itself has gone
+// gray, its own inflated model would push the hedge trigger out to exactly
+// the latency hedging is meant to cut, while the healthy mirror's model
+// keeps the delay anchored to what a good replica can do.
+func (m *Mitigation) hedgeDelay(primary, mirror string) time.Duration {
+	best := time.Duration(0)
+	for _, k := range [2]string{primary, mirror} {
+		tl := m.lat[k]
+		if !tl.warm() {
+			continue
+		}
+		if d := tl.ewma + 2*tl.dev; best == 0 || d < best {
+			best = d
+		}
+	}
+	if best == 0 {
+		return mitDefaultHedge
+	}
+	if best < mitMinHedge {
+		best = mitMinHedge
+	}
+	return best
+}
+
+// breakerOpen reports whether the target is refusing traffic right now. At
+// most one request per cool-down is let through as a half-open probe (the
+// caller sees "closed" for that request; its outcome decides the breaker's
+// fate).
+func (m *Mitigation) breakerOpen(host, volume string) bool {
+	br := m.brk[targetKey(host, volume)]
+	if br == nil || br.openUntil == 0 {
+		return false
+	}
+	now := m.cl.sched.Now()
+	if now < br.openUntil {
+		return true
+	}
+	if !br.probing {
+		br.probing = true // this request is the half-open probe
+		return false
+	}
+	return true
+}
+
+// ReadHedged reads from a mounted space with tail-latency hedging: if a
+// mirror is registered and the primary doesn't answer within the hedge
+// delay, a second read goes to the mirror and the first reply wins. With
+// the primary's breaker open, the read skips straight to the mirror. If
+// both fast paths fail, it falls back to the ClientLib's full retry/remount
+// path so correctness never regresses below plain Read.
+func (cl *ClientLib) ReadHedged(space SpaceID, off int64, length int, done func([]byte, error)) {
+	m := cl.mit
+	if m == nil {
+		cl.Read(space, off, length, done)
+		return
+	}
+	mirror, ok := m.mirrors[space]
+	pm := cl.mounts[space]
+	mm := cl.mounts[mirror]
+	if !ok || pm == nil || !pm.mounted || mm == nil || !mm.mounted {
+		cl.Read(space, off, length, done)
+		return
+	}
+	finished := false
+	finish := func(data []byte, err error) {
+		if finished {
+			return
+		}
+		finished = true
+		done(data, err)
+	}
+	fallback := func() {
+		if finished {
+			return
+		}
+		cl.Read(space, off, length, finish)
+	}
+	if m.breakerOpen(pm.host, string(space)) {
+		m.Redirects++
+		m.cRedir.Inc()
+		cl.ini.Read(mm.host, string(mirror), off, length, func(data []byte, err error) {
+			if err != nil {
+				fallback()
+				return
+			}
+			finish(data, nil)
+		})
+		return
+	}
+	legsDown := 0
+	legFailed := func() {
+		if legsDown++; legsDown == 2 {
+			fallback()
+		}
+	}
+	fireMirror := func() {
+		m.Hedges++
+		m.cHedges.Inc()
+		cl.ini.Read(mm.host, string(mirror), off, length, func(data []byte, err error) {
+			if err != nil {
+				legFailed()
+				return
+			}
+			if !finished {
+				m.HedgeWins++
+				m.cWins.Inc()
+			}
+			finish(data, nil)
+		})
+	}
+	hedged := false
+	hedge := cl.sched.After(m.hedgeDelay(targetKey(pm.host, string(space)), targetKey(mm.host, string(mirror))), func() {
+		if finished {
+			return
+		}
+		hedged = true
+		fireMirror()
+	})
+	cl.ini.Read(pm.host, string(space), off, length, func(data []byte, err error) {
+		if err != nil {
+			if !hedged {
+				hedge.Cancel()
+				// Primary failed before the hedge timer: fire the mirror
+				// leg immediately rather than waiting out the delay.
+				legsDown++ // the primary leg is down
+				hedged = true
+				fireMirror()
+				return
+			}
+			legFailed()
+			return
+		}
+		if !hedged {
+			hedge.Cancel()
+		}
+		finish(data, nil)
+	})
+}

@@ -121,6 +121,27 @@ type Config struct {
 	// is exactly what the model checker, and nothing else, must catch.
 	// Never set outside tests.
 	InjectStaleLease bool
+	// HealthQuarantine enables the Master's gray-disk detector: per-disk
+	// health shipped in heartbeats is compared against the cohort, and
+	// disks whose tail latency diverges (fail-slow, not fail-stop) are
+	// quarantined — excluded from new allocations and flagged for
+	// proactive migration — until they recover.
+	HealthQuarantine bool
+	// QuarantineTailFactor is how far above the cohort median a disk's
+	// tail-latency EWMA must sit to count as gray (0 = 3x).
+	QuarantineTailFactor float64
+	// QuarantineSuspectBeats is how many consecutive gray-scoring
+	// heartbeats promote Suspect to Quarantined (0 = 3).
+	QuarantineSuspectBeats int
+	// QuarantineProbationBeats is how many consecutive clean heartbeats a
+	// quarantined disk must show before release (0 = 6).
+	QuarantineProbationBeats int
+	// InjectQuarantineBlind deliberately breaks quarantine enforcement for
+	// checker self-tests: the allocator ignores quarantine state, so
+	// allocations land on known-gray disks. ValidateQuarantine (and the
+	// chaos harness invariant built on it) must catch this, proving the
+	// quarantine invariant checker is not vacuous. Never set outside tests.
+	InjectQuarantineBlind bool
 }
 
 // RPCTimeoutOrDefault returns the configured RPC timeout.
@@ -137,6 +158,31 @@ func (c Config) ElectionTTLOrDefault() time.Duration {
 		return c.ElectionTTL
 	}
 	return 2 * time.Second
+}
+
+// QuarantineTailFactorOrDefault returns the gray-scoring tail divergence
+// threshold.
+func (c Config) QuarantineTailFactorOrDefault() float64 {
+	if c.QuarantineTailFactor > 0 {
+		return c.QuarantineTailFactor
+	}
+	return 3
+}
+
+// QuarantineSuspectBeatsOrDefault returns the Suspect->Quarantined streak.
+func (c Config) QuarantineSuspectBeatsOrDefault() int {
+	if c.QuarantineSuspectBeats > 0 {
+		return c.QuarantineSuspectBeats
+	}
+	return 3
+}
+
+// QuarantineProbationBeatsOrDefault returns the release streak.
+func (c Config) QuarantineProbationBeatsOrDefault() int {
+	if c.QuarantineProbationBeats > 0 {
+		return c.QuarantineProbationBeats
+	}
+	return 6
 }
 
 // PaxosOrDefault returns the consensus timing (DefaultConfig if unset).
@@ -168,10 +214,14 @@ func DefaultConfig() Config {
 
 // --- Wire types (simnet RPC payloads) ---
 
-// DiskInfo is one disk's row in a heartbeat.
+// DiskInfo is one disk's row in a heartbeat. Health carries the EndPoint's
+// SMART-style per-disk counters (latency EWMAs, error counts) so the Master
+// can do cohort comparison without extra RPCs (§IV-B: "healthiness ...
+// information of both the hosts and the disks").
 type DiskInfo struct {
-	ID    string
-	State DiskState
+	ID     string
+	State  DiskState
+	Health disk.HealthStats
 }
 
 // HeartbeatArgs is the EndPoint's periodic report to the Master (§IV-B:

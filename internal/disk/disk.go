@@ -49,7 +49,46 @@ var (
 	ErrPoweredOff = errors.New("disk: powered off")
 	// ErrOutOfRange is returned for IO beyond the disk capacity.
 	ErrOutOfRange = errors.New("disk: offset+size out of range")
+	// ErrIO is a transient medium/controller error (Gray & van Ingen's
+	// "controller stall" class): the command was accepted, service time was
+	// paid, and the completion reports failure. Retrying may succeed.
+	ErrIO = errors.New("disk: I/O error")
 )
+
+// DegradeParams describes a fail-slow (gray) regime for the disk mechanism:
+// the drive still answers, but slower and less reliably. Zero values mean
+// "no effect" for each dimension, so partial degradations compose naturally.
+type DegradeParams struct {
+	// ServiceFactor multiplies the calibrated service time (values < 1 are
+	// treated as 1 — degradation never speeds a disk up).
+	ServiceFactor float64
+	// ExtraLatency is a fixed per-IO addition (firmware retries, repeated
+	// seeks on a marginal head).
+	ExtraLatency time.Duration
+	// BandwidthCap caps the media transfer rate in bytes/sec (0 = uncapped).
+	// Only the transfer portion of the service time inflates.
+	BandwidthCap float64
+	// IOErrorRate is the per-IO probability of an ErrIO completion after
+	// full service time — intermittent EIO bursts per the measured SATA
+	// error rates. Zero consumes no RNG.
+	IOErrorRate float64
+}
+
+// HealthStats is the SMART-style health block an EndPoint samples and ships
+// in heartbeats. EWMAs are maintained at IO completion on the disk itself so
+// the numbers reflect what the mechanism actually delivered, queueing
+// excluded — exactly what peer comparison across a cohort needs.
+type HealthStats struct {
+	// ServiceEWMA tracks mean per-IO service time (alpha 0.2).
+	ServiceEWMA time.Duration
+	// TailEWMA is peak-biased: it jumps toward slow IOs quickly and decays
+	// slowly, approximating a rolling high percentile without a window.
+	TailEWMA time.Duration
+	// IOs and Errors are lifetime completion/ErrIO counters; the detector
+	// works on deltas between heartbeats.
+	IOs    uint64
+	Errors uint64
+}
 
 // Request is a queued IO with its completion callback.
 type Request struct {
@@ -107,6 +146,18 @@ type Disk struct {
 	latentErrors int
 	decayMean    time.Duration
 	decayEvent   *simtime.Event
+
+	// Gray-failure model. degr is the media/mechanism regime (DiskDegrade
+	// faults); linkCapBps/linkExtra is a separate transport regime
+	// (LinkDowngrade renegotiations) so the two compose when their fault
+	// windows overlap instead of clobbering each other.
+	degr       DegradeParams
+	degraded   bool
+	linkCapBps float64
+	linkExtra  time.Duration
+
+	health HealthStats
+	cIOErr *obs.Counter
 }
 
 // SectorSize is the granularity of the corruption model: URE draws are per
@@ -161,6 +212,7 @@ func (d *Disk) SetRecorder(rec *obs.Recorder) {
 	d.cSwitches = rec.Counter("disk", "direction_switches_total")
 	d.cSpinUps = rec.Counter("disk", "spinups_total")
 	d.cCorrupt = rec.Counter("disk", "corrupt_sectors_total")
+	d.cIOErr = rec.Counter("disk", "io_errors_total")
 	for s := StatePoweredOff; s <= StateActive; s++ {
 		d.cTransitions[s] = rec.Counter("disk", "power_transitions_total", obs.L("to", s.String()))
 	}
@@ -379,6 +431,74 @@ func (d *Disk) armDecay() {
 	})
 }
 
+// Degrade puts the disk mechanism into the given fail-slow regime. A second
+// call replaces the first (the chaos scheduler closes one window before it
+// opens another on the same disk).
+func (d *Disk) Degrade(p DegradeParams) {
+	if p.ServiceFactor < 1 {
+		p.ServiceFactor = 1
+	}
+	d.degr = p
+	d.degraded = true
+	d.rec.Instant("disk", "degrade", d.id)
+}
+
+// ClearDegrade restores healthy media/mechanism behaviour.
+func (d *Disk) ClearDegrade() {
+	d.degr = DegradeParams{}
+	d.degraded = false
+	d.rec.Instant("disk", "degrade-clear", d.id)
+}
+
+// Degraded reports the active fail-slow regime, if any.
+func (d *Disk) Degraded() (DegradeParams, bool) { return d.degr, d.degraded }
+
+// SetLinkCap caps the transport path independently of the mechanism: a USB
+// link renegotiated down to HighSpeed moves ~35 MB/s no matter how healthy
+// the platters are, and every transaction pays extra turnarounds. Zero cap
+// and zero extra restore the native link.
+func (d *Disk) SetLinkCap(bytesPerSec float64, extra time.Duration) {
+	d.linkCapBps = bytesPerSec
+	d.linkExtra = extra
+}
+
+// LinkCap returns the transport cap (0 = native link speed).
+func (d *Disk) LinkCap() (float64, time.Duration) { return d.linkCapBps, d.linkExtra }
+
+// Health returns the current SMART-style health block.
+func (d *Disk) Health() HealthStats { return d.health }
+
+// capPenalty is the extra transfer time from capping the media rate at
+// capBps: op.Size moved at capBps instead of mediaRate.
+func capPenalty(size int, capBps, mediaRate float64) time.Duration {
+	if capBps <= 0 || capBps >= mediaRate || size <= 0 {
+		return 0
+	}
+	sec := float64(size)/capBps - float64(size)/mediaRate
+	return time.Duration(sec * float64(time.Second))
+}
+
+// observeHealth folds one completed IO into the SMART block. The tail EWMA
+// is peak-biased: slow completions pull it up at alpha 1/2, fast ones bleed
+// it down at alpha 1/64, approximating a rolling p9x.
+func (d *Disk) observeHealth(svc time.Duration, failed bool) {
+	d.health.IOs++
+	if failed {
+		d.health.Errors++
+	}
+	const alpha = 0.2
+	if d.health.ServiceEWMA == 0 {
+		d.health.ServiceEWMA = svc
+	} else {
+		d.health.ServiceEWMA += time.Duration(alpha * float64(svc-d.health.ServiceEWMA))
+	}
+	if svc > d.health.TailEWMA {
+		d.health.TailEWMA += (svc - d.health.TailEWMA) / 2
+	} else {
+		d.health.TailEWMA -= (d.health.TailEWMA - svc) / 64
+	}
+}
+
 // ReplaceMedia swaps in a blank platter stack, modelling an operator
 // swapping the failed drive for a fresh unit of the same model. All data
 // and checksums are gone; latent-error history resets; the URE/decay
@@ -406,6 +526,20 @@ func (d *Disk) pump() {
 	d.lastRead = op.Read
 	d.setState(StateActive)
 	svc := d.params.ServiceTime(d.ic, op)
+	// Transport regime (link downgrade): every IO pays the extra turnaround,
+	// transfers pay the capped rate.
+	svc += d.linkExtra + capPenalty(op.Size, d.linkCapBps, d.params.MediaRate)
+	// Mechanism regime (fail-slow media). Drawn-out service first, then the
+	// EIO draw — only when a nonzero rate is configured, so healthy runs
+	// consume no RNG and replay byte-identically.
+	failIO := false
+	if d.degraded {
+		svc = time.Duration(float64(svc) * d.degr.ServiceFactor)
+		svc += d.degr.ExtraLatency + capPenalty(op.Size, d.degr.BandwidthCap, d.params.MediaRate)
+		if d.degr.IOErrorRate > 0 {
+			failIO = d.sched.Rand().Float64() < d.degr.IOErrorRate
+		}
+	}
 	opName, hist := "write", d.mIOWrite
 	if op.Read {
 		opName, hist = "read", d.mIORead
@@ -416,12 +550,26 @@ func (d *Disk) pump() {
 			span.End(obs.L("aborted", "power-off"))
 			return // powered off mid-IO; queue already failed
 		}
-		span.End()
-		hist.ObserveDuration(svc)
 		d.queue = d.queue[1:]
 		d.busy += svc
 		d.completed++
 		d.lastActive = d.sched.Now()
+		d.observeHealth(svc, failIO)
+		if failIO {
+			// The command occupied the mechanism for its full service time
+			// and then failed — the fail-slow pattern the health monitor's
+			// error counters exist to catch.
+			span.End(obs.L("error", "eio"))
+			d.cIOErr.Inc()
+			d.setState(StateIdle)
+			if req.Done != nil {
+				req.Done(nil, ErrIO)
+			}
+			d.pump()
+			return
+		}
+		span.End()
+		hist.ObserveDuration(svc)
 
 		var data []byte
 		if op.Read {

@@ -43,6 +43,19 @@ const (
 	// a failed unit, arriving one MTTR after the corresponding failure.
 	KindDiskReplace
 	KindHubReplace
+	// Gray (fail-slow) kinds: the component keeps answering, just badly.
+	// KindDiskDegrade/KindDiskRecover bracket a fail-slow disk window;
+	// KindLinkFlap is a point event (USB surprise-remove + retry-storm
+	// re-enumeration); KindLinkDowngrade/KindLinkRestore bracket a USB3→USB2
+	// renegotiation; KindHostBrownout/KindBrownoutEnd bracket RPC
+	// service-time inflation on one machine.
+	KindDiskDegrade
+	KindDiskRecover
+	KindLinkFlap
+	KindLinkDowngrade
+	KindLinkRestore
+	KindHostBrownout
+	KindBrownoutEnd
 )
 
 // String names the kind.
@@ -60,6 +73,20 @@ func (k Kind) String() string {
 		return "disk-replace"
 	case KindHubReplace:
 		return "hub-replace"
+	case KindDiskDegrade:
+		return "disk-degrade"
+	case KindDiskRecover:
+		return "disk-recover"
+	case KindLinkFlap:
+		return "link-flap"
+	case KindLinkDowngrade:
+		return "link-downgrade"
+	case KindLinkRestore:
+		return "link-restore"
+	case KindHostBrownout:
+		return "host-brownout"
+	case KindBrownoutEnd:
+		return "brownout-end"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,6 +97,10 @@ type Event struct {
 	At     simtime.Time
 	Kind   Kind
 	Target string
+	// Severity scales gray windows ([0,1]; ignored by fail-stop kinds).
+	Severity float64
+	// Storms is the enumeration-retry count of a KindLinkFlap.
+	Storms int
 }
 
 // Actions connects the injector to the system under test.
@@ -82,6 +113,16 @@ type Actions struct {
 	// (fresh media for disks — data recovery is the upper layer's job).
 	ReplaceDisk func(disk string)
 	ReplaceHub  func(hub string)
+	// Gray-failure actions. Severity in [0,1] scales how bad the window is
+	// (the system under test maps it onto concrete degrade parameters).
+	// Storms is the number of failed enumeration attempts a flap burns.
+	DegradeDisk   func(disk string, severity float64)
+	RecoverDisk   func(disk string)
+	FlapLink      func(disk string, storms int)
+	DowngradeLink func(disk string, severity float64)
+	RestoreLink   func(disk string)
+	BrownoutHost  func(host string, severity float64)
+	EndBrownout   func(host string)
 }
 
 // Injector drives MTTF-based failure injection.
@@ -316,6 +357,34 @@ func (s *Schedule) Add(ev Event) {
 		case KindHubReplace:
 			if s.act.ReplaceHub != nil {
 				s.act.ReplaceHub(ev.Target)
+			}
+		case KindDiskDegrade:
+			if s.act.DegradeDisk != nil {
+				s.act.DegradeDisk(ev.Target, ev.Severity)
+			}
+		case KindDiskRecover:
+			if s.act.RecoverDisk != nil {
+				s.act.RecoverDisk(ev.Target)
+			}
+		case KindLinkFlap:
+			if s.act.FlapLink != nil {
+				s.act.FlapLink(ev.Target, ev.Storms)
+			}
+		case KindLinkDowngrade:
+			if s.act.DowngradeLink != nil {
+				s.act.DowngradeLink(ev.Target, ev.Severity)
+			}
+		case KindLinkRestore:
+			if s.act.RestoreLink != nil {
+				s.act.RestoreLink(ev.Target)
+			}
+		case KindHostBrownout:
+			if s.act.BrownoutHost != nil {
+				s.act.BrownoutHost(ev.Target, ev.Severity)
+			}
+		case KindBrownoutEnd:
+			if s.act.EndBrownout != nil {
+				s.act.EndBrownout(ev.Target)
 			}
 		}
 	})

@@ -18,6 +18,17 @@ func TestPrometheusGolden(t *testing.T) {
 	rec.Counter("simnet", "msgs_dropped_total", L("reason", "partition")).Add(3)
 	rec.Counter("simnet", "msgs_dropped_total", L("reason", "loss")).Add(1)
 	rec.Gauge("usb", "link_utilization_ratio", L("link", "root:h1")).Set(0.625)
+	// Gray-failure instrumentation: the detector's quarantine counters and
+	// the client mitigation stack's hedging counters, exactly as core emits
+	// them, so exposition of the gray metric family is pinned too.
+	rec.Counter("core", "health_quarantines_total").Add(2)
+	rec.Counter("core", "health_releases_total").Add(1)
+	rec.Gauge("core", "health_gray_disks").Set(1)
+	rec.Counter("core", "hedge_reads_total").Add(7)
+	rec.Counter("core", "hedge_wins_total").Add(5)
+	rec.Counter("core", "hedge_breaker_opens_total").Add(2)
+	rec.Counter("core", "hedge_redirects_total").Add(3)
+	rec.Counter("core", "hedge_fast_fails_total").Add(4)
 	h := rec.Histogram("disk", "io_seconds", L("op", "read"))
 	h.Observe(0.5e-6) // bucket 0
 	h.Observe(1e-6)   // bucket 0 (inclusive bound)

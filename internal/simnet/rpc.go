@@ -172,9 +172,12 @@ type RetryOpts struct {
 	Attempts int
 	// Timeout is the per-attempt reply deadline.
 	Timeout time.Duration
-	// Backoff is the extra wait before the second send; it doubles each
-	// further attempt and carries deterministic jitter from the scheduler
-	// RNG (up to half the backoff).
+	// Backoff is the ceiling of the wait before the second send; it doubles
+	// each further attempt. The actual wait is drawn uniformly from
+	// (0, ceiling] ("full jitter", seeded from the scheduler RNG): after a
+	// partition heals, every blocked client's retry clock fires at once, and
+	// anything short of full-range jitter re-synchronizes the fleet into
+	// retry storms against the recovering server.
 	Backoff time.Duration
 }
 
@@ -231,8 +234,8 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 				return
 			}
 			backoff := o.Backoff << uint(n)
-			jitter := time.Duration(r.net.sched.Rand().Int63n(int64(backoff)/2 + 1))
-			r.net.sched.After(backoff+jitter, func() { attempt(n + 1) })
+			wait := time.Duration(1 + r.net.sched.Rand().Int63n(int64(backoff)))
+			r.net.sched.After(wait, func() { attempt(n + 1) })
 		})
 		pc.timeout = &eventRef{cancel: ev.Cancel}
 	}

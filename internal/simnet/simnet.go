@@ -99,6 +99,16 @@ type Network struct {
 	// isolatedMach marks machines whose uplink is unplugged: every message
 	// in or out is dropped, loopback traffic still flows.
 	isolatedMach map[string]bool
+	// oneWayCuts holds DIRECTED machine cuts: {from, to} present means
+	// traffic from machine `from` to machine `to` is dropped while the
+	// reverse direction still flows — the asymmetric (gray) partition shape
+	// that wedges naive lease protocols.
+	oneWayCuts map[linkKey]bool
+	// brownout is per-machine extra processing delay: a browned-out host
+	// still answers everything, just slowly (CPU starvation, thermal
+	// throttling, a noisy co-tenant). Applied to every non-loopback message
+	// into or out of the machine.
+	brownout map[string]time.Duration
 
 	defaultLatency   time.Duration
 	defaultBandwidth float64
@@ -212,6 +222,8 @@ func New(sched *simtime.Scheduler, opts ...Option) *Network {
 		machines:         make(map[string]string),
 		machLinks:        make(map[linkKey]*machLink),
 		isolatedMach:     make(map[string]bool),
+		oneWayCuts:       make(map[linkKey]bool),
+		brownout:         make(map[string]time.Duration),
 		defaultLatency:   200 * time.Microsecond,
 		defaultBandwidth: 125e6,
 	}
@@ -375,6 +387,37 @@ func (n *Network) SetMachineDupRate(a, b string, p float64) {
 	n.machLink(a, b).dupRate = p
 }
 
+// CutMachinesOneWay drops traffic from machine `from` to machine `to` while
+// leaving the reverse direction intact — an asymmetric partition. A host
+// behind such a cut can still push heartbeats out (or receive them) without
+// the return path working, which is exactly the failure mode symmetric
+// Cut/CutMachines can never produce.
+func (n *Network) CutMachinesOneWay(from, to string) {
+	n.oneWayCuts[linkKey{from, to}] = true
+	n.openPartition(from+">"+to, "one-way-partition")
+}
+
+// HealMachinesOneWay restores the directed cut.
+func (n *Network) HealMachinesOneWay(from, to string) {
+	delete(n.oneWayCuts, linkKey{from, to})
+	n.closePartition(from + ">" + to)
+}
+
+// SetMachineBrownout inflates every non-loopback message into or out of the
+// machine by extra (0 clears it): RPC service-time inflation without any
+// drop, the host-brownout gray failure. Both endpoints browned out pay both
+// penalties.
+func (n *Network) SetMachineBrownout(machine string, extra time.Duration) {
+	if extra <= 0 {
+		delete(n.brownout, machine)
+		return
+	}
+	n.brownout[machine] = extra
+}
+
+// MachineBrownout returns the machine's current brownout penalty.
+func (n *Network) MachineBrownout(machine string) time.Duration { return n.brownout[machine] }
+
 // IsolateMachine unplugs a machine's uplink: all messages to or from any
 // node on it are dropped. Loopback traffic between its own nodes still
 // flows, so colocated processes (a master and its coord replica) keep
@@ -428,6 +471,11 @@ func (n *Network) Send(msg Message) {
 			n.cDropped.Inc()
 			return
 		}
+		if ma != "" && mb != "" && n.oneWayCuts[linkKey{ma, mb}] {
+			n.stats.Dropped++
+			n.cDropped.Inc()
+			return
+		}
 		if ml := n.lookupMachLink(ma, mb); ml != nil {
 			if ml.cut {
 				n.stats.Dropped++
@@ -460,6 +508,12 @@ func (n *Network) Send(msg Message) {
 		delay = l.latency
 		if l.bandwidth > 0 && msg.Size > 0 {
 			delay += time.Duration(float64(msg.Size) / l.bandwidth * float64(time.Second))
+		}
+		if ma != "" {
+			delay += n.brownout[ma]
+		}
+		if mb != "" {
+			delay += n.brownout[mb]
 		}
 	}
 	if dup {

@@ -52,7 +52,40 @@ const (
 	// dispatch rate. Eight disks at ~5.4k sequential 4KB IO/s saturate the
 	// tree in the paper's Figure 5, giving ~43.5k cmds/s.
 	RootPortCmdsPerSec = 43500
+
+	// HighSpeedBytesPerSec is the usable throughput of a link that lost
+	// SuperSpeed training and renegotiated down to USB 2.0 HighSpeed
+	// (480 Mb/s wire, ~35 MB/s after protocol overhead) — the gray-failure
+	// mode cheap cables and marginal hub silicon exhibit in deployment.
+	HighSpeedBytesPerSec = 35e6
 )
+
+// LinkSpeed is the negotiated signalling rate of a device's upstream link.
+type LinkSpeed int
+
+const (
+	// LinkSuper is a healthy USB 3.0 SuperSpeed link (the default).
+	LinkSuper LinkSpeed = iota
+	// LinkHigh is a link that fell back to USB 2.0 HighSpeed after failed
+	// SuperSpeed training.
+	LinkHigh
+)
+
+// String returns the speed name as the kernel's usb core logs it.
+func (s LinkSpeed) String() string {
+	if s == LinkHigh {
+		return "high-speed"
+	}
+	return "super-speed"
+}
+
+// BytesPerSec returns the usable per-direction throughput at this speed.
+func (s LinkSpeed) BytesPerSec() float64 {
+	if s == LinkHigh {
+		return HighSpeedBytesPerSec
+	}
+	return LinkBytesPerSec
+}
 
 // Enumeration timing. Hot-plugged devices are detected after a debounce and
 // then enumerated serially per controller.
@@ -92,8 +125,11 @@ type Device struct {
 	Children map[int]*Device
 	// Enumerated is false between physical attach and driver enumeration.
 	Enumerated bool
-	parent     *Device
-	port       int
+	// Speed is the negotiated upstream link speed (LinkSuper unless a
+	// downgrade fault renegotiated it).
+	Speed  LinkSpeed
+	parent *Device
+	port   int
 }
 
 // NewHub returns an unattached hub device with the given fan-in.
@@ -159,11 +195,16 @@ type HostController struct {
 	OnDetached func(dev *Device)
 
 	// Observability handles (nil-safe; SetRecorder fills them in).
-	rec     *obs.Recorder
-	mEnum   *obs.Histogram
-	cAttach *obs.Counter
-	cDetach *obs.Counter
-	cEnum   *obs.Counter
+	rec        *obs.Recorder
+	mEnum      *obs.Histogram
+	cAttach    *obs.Counter
+	cDetach    *obs.Counter
+	cEnum      *obs.Counter
+	cFlap      *obs.Counter
+	cDowngrade *obs.Counter
+
+	flaps      int
+	downgrades int
 }
 
 // SetRecorder points the controller's instrumentation at a run Recorder.
@@ -177,6 +218,8 @@ func (hc *HostController) SetRecorder(rec *obs.Recorder) {
 	hc.cAttach = rec.Counter("usb", "hotplug_attach_total")
 	hc.cDetach = rec.Counter("usb", "hotplug_detach_total")
 	hc.cEnum = rec.Counter("usb", "enumerations_total")
+	hc.cFlap = rec.Counter("usb", "link_flaps_total")
+	hc.cDowngrade = rec.Counter("usb", "link_downgrades_total")
 }
 
 // NewHostController creates a controller for host with the given root port
@@ -306,6 +349,67 @@ func (hc *HostController) Detach(dev *Device) error {
 	})
 	return nil
 }
+
+// SetLinkSpeed renegotiates dev's upstream link: a downgrade to LinkHigh
+// models the USB3→USB2 fallback marginal cables exhibit, a later LinkSuper
+// call models the link retraining cleanly. The device stays enumerated — the
+// kernel keeps the device node across a speed change — but everything behind
+// the link now moves at the new rate (callers propagate that to the disk's
+// transport cap).
+func (hc *HostController) SetLinkSpeed(dev *Device, s LinkSpeed) {
+	if dev.Speed == s {
+		return
+	}
+	dev.Speed = s
+	if s == LinkHigh {
+		hc.downgrades++
+		hc.cDowngrade.Inc()
+	}
+	hc.rec.Instant("usb", "link-speed", hc.host,
+		obs.L("device", dev.ID), obs.L("speed", s.String()))
+}
+
+// FlapDevice surprise-removes dev and schedules its re-attach to the same
+// port after linkDownFor. The re-attach pays the normal detect + serialized
+// enumeration cost, inflated by retryStorms failed enumeration attempts
+// (each burning one EnumPerDevice slot of the controller's serial queue) —
+// the retry-storm pattern flaky links produce in dmesg. If something else
+// claimed the port while the link was down, the re-attach is abandoned and
+// the device stays detached (exactly what a real fabric reconfiguration
+// racing a flap would do).
+func (hc *HostController) FlapDevice(dev *Device, linkDownFor time.Duration, retryStorms int) error {
+	parent, port := dev.parent, dev.port
+	if parent == nil {
+		return fmt.Errorf("%w: %s", ErrNotAttached, dev.ID)
+	}
+	if err := hc.Detach(dev); err != nil {
+		return err
+	}
+	hc.flaps++
+	hc.cFlap.Inc()
+	hc.rec.Instant("usb", "link-flap", hc.host,
+		obs.L("device", dev.ID), obs.L("storms", fmt.Sprint(retryStorms)))
+	hc.schedule(linkDownFor, func() {
+		if _, busy := parent.Children[port]; busy {
+			return
+		}
+		if !hc.contains(parent) && parent != hc.root {
+			return // parent hub itself was removed while the link was down
+		}
+		if retryStorms > 0 {
+			busyTill := hc.clock() + time.Duration(retryStorms)*EnumPerDevice
+			if busyTill > hc.enumBusyTill {
+				hc.enumBusyTill = busyTill
+			}
+		}
+		_ = hc.Attach(parent, port, dev)
+	})
+	return nil
+}
+
+// Flaps and Downgrades return lifetime gray-event counts for this controller.
+func (hc *HostController) Flaps() int      { return hc.flaps }
+func (hc *HostController) Downgrades() int { return hc.downgrades }
 
 func (hc *HostController) contains(dev *Device) bool {
 	found := false
