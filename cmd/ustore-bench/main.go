@@ -11,6 +11,7 @@
 //	ustore-bench -list           # list experiment IDs
 //	ustore-bench -exp failover -trials 10 -parallel 4
 //	ustore-bench -exp failover -metrics-out m.json -trace-out t.json
+//	ustore-bench -exp hdfs -latency
 //	ustore-bench -cpuprofile cpu.out -memprofile mem.out
 //
 // -trials sets the failover trial count; -parallel runs the multi-run
@@ -29,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"ustore/internal/bench"
 	"ustore/internal/obs"
@@ -48,6 +51,53 @@ func writeMetrics(rec *obs.Recorder, path string) error {
 		return rec.Registry().WritePrometheus(f)
 	}
 	return rec.Registry().WriteJSON(f)
+}
+
+// printLatencySummary renders p50/p99/p999 for every histogram the
+// cluster-driving experiments recorded, via the registry's
+// bucket-interpolated quantile extraction (error bounds are documented on
+// obs.Histogram.Quantile: exact at bucket boundaries, otherwise within the
+// bucket's width). Series order follows the registry snapshot, so the
+// table is byte-stable for a given run.
+func printLatencySummary(rec *obs.Recorder) {
+	snap := rec.Registry().Snapshot()
+	fmt.Println("latency quantiles (bucket-interpolated seconds histograms):")
+	fmt.Printf("  %-52s %9s %11s %11s %11s\n", "series", "count", "p50", "p99", "p999")
+	rows := 0
+	for _, s := range snap.Metrics {
+		if s.Type != "histogram" || s.Count == 0 {
+			continue
+		}
+		name := strings.TrimPrefix(s.Name, s.Component+"_")
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		labels := make([]obs.Label, 0, len(keys))
+		suffix := ""
+		for i, k := range keys {
+			labels = append(labels, obs.L(k, s.Labels[k]))
+			if i == 0 {
+				suffix = "{"
+			} else {
+				suffix += ","
+			}
+			suffix += k + "=" + s.Labels[k]
+		}
+		if suffix != "" {
+			suffix += "}"
+		}
+		h := rec.Histogram(s.Component, name, labels...)
+		q := func(p float64) string {
+			return fmt.Sprintf("%.2fms", float64(h.QuantileDuration(p))/float64(time.Millisecond))
+		}
+		fmt.Printf("  %-52s %9d %11s %11s %11s\n", s.Name+suffix, s.Count, q(0.50), q(0.99), q(0.999))
+		rows++
+	}
+	if rows == 0 {
+		fmt.Println("  (no histogram samples recorded — only fig6, failover, and hdfs feed the recorder)")
+	}
 }
 
 func writeTrace(rec *obs.Recorder, path string) error {
@@ -70,6 +120,7 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	trials := flag.Int("trials", bench.DefaultTrials, "failover trial count")
 	parallel := flag.Int("parallel", 1, "workers for multi-run experiments (<1 = one per CPU)")
+	latency := flag.Bool("latency", false, "print p50/p99/p999 for every recorded latency histogram after the tables")
 	metricsOut := flag.String("metrics-out", "", "write collected metrics to this file (JSON, or Prometheus text if it ends in .prom)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file for chrome://tracing")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -88,7 +139,7 @@ func run() int {
 	}()
 
 	var rec *obs.Recorder
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *latency {
 		rec = obs.NewRecorder()
 	}
 
@@ -144,6 +195,9 @@ func run() int {
 		}
 	}
 
+	if *latency {
+		printLatencySummary(rec)
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(rec, *metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ustore-bench: writing metrics: %v\n", err)

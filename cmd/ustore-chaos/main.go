@@ -102,6 +102,9 @@ func mixHeader(o chaos.Options, seeds int) string {
 	add2(o.DisableChecksums, "no-checksums")
 	add2(o.InjectStaleLease, "stale-lease")
 	add2(o.InjectQuarantineBlind, "quarantine-blind")
+	add2(o.Tenants, "tenants")
+	add2(o.Storm, "storm")
+	add2(o.Protect, "protect")
 	h := fmt.Sprintf("ustore-chaos: seed %d", o.Seed)
 	if seeds > 1 {
 		h = fmt.Sprintf("ustore-chaos: seeds %d..%d", o.Seed, o.Seed+int64(seeds)-1)
@@ -128,6 +131,10 @@ func run() int {
 		gray        = flag.Bool("gray", false, "inject gray faults: fail-slow disks, USB link flaps/downgrades, host brownouts")
 		mitigation  = flag.Bool("mitigation", false, "enable the detect-quarantine-hedge mitigation stack (usually with -gray)")
 		quarBlind   = flag.Bool("quarantine-blind", false, "make the allocator ignore quarantine (invariant-checker demo; needs -mitigation)")
+		tenants     = flag.Bool("tenants", false, "run the multi-tenant traffic engine instead of a fault schedule (per-class SLO report)")
+		storm       = flag.Bool("storm", false, "add the restore-storm waves to a -tenants run")
+		protect     = flag.Bool("protect", false, "arm the admission/throttle/autoscale protection stack in a -tenants run")
+		sloOut      = flag.String("slo-out", "", "write the -tenants run's SLO report to this file")
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
 		showLog     = flag.Bool("log", false, "print the full event log")
 		showSched   = flag.Bool("schedule", false, "print the generated fault schedule")
@@ -157,6 +164,32 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -quarantine-blind needs -mitigation (without quarantine there is no allocator exclusion to ignore)")
 		return 2
 	}
+	// Traffic-mode flag dependencies: -storm/-protect/-slo-out shape a
+	// tenant traffic run, and traffic mode replaces the fault schedule, so
+	// it cannot combine with the fault-run-only modes.
+	if !*tenants {
+		for _, dep := range []struct {
+			set  bool
+			name string
+		}{{*storm, "-storm"}, {*protect, "-protect"}, {*sloOut != "", "-slo-out"}} {
+			if dep.set {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: %s needs -tenants (it shapes the traffic run)\n", dep.name)
+				return 2
+			}
+		}
+	} else {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{{*gray, "-gray"}, {*mitigation, "-mitigation"}, {*minimize, "-minimize"},
+			{*staleLease, "-stale-lease"}, {*quarBlind, "-quarantine-blind"},
+			{*noChecksums, "-no-checksums"}} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: %s is a fault-run mode and cannot combine with -tenants\n", bad.name)
+				return 2
+			}
+		}
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -175,11 +208,18 @@ func run() int {
 	o.GrayFaults = *gray
 	o.Mitigation = *mitigation
 	o.InjectQuarantineBlind = *quarBlind
+	o.Tenants = *tenants
+	o.Storm = *storm
+	o.Protect = *protect
+	if *tenants {
+		// Traffic mode replaces the fault schedule entirely.
+		o.HostCrashes, o.DiskFaults, o.HubFaults, o.NetFaults, o.Corruptions = false, false, false, false, false
+	}
 	fmt.Println(mixHeader(o, *seeds))
 	wantRec := *metricsOut != "" || *traceOut != ""
 
 	if *seeds > 1 {
-		return runSweep(o, *seeds, *parallel, wantRec, *metricsOut, *traceOut, *showSched, *showLog)
+		return runSweep(o, *seeds, *parallel, wantRec, *metricsOut, *traceOut, *showSched, *showLog, *sloOut)
 	}
 
 	var rec *obs.Recorder
@@ -220,6 +260,13 @@ func run() int {
 		}
 	}
 
+	if *sloOut != "" {
+		if werr := writeSLO(rep, *sloOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: writing SLO report: %v\n", werr)
+			return 2
+		}
+	}
+
 	if *showSched {
 		for _, f := range rep.Schedule {
 			fmt.Printf("  %-14v %s\n", f.At, f)
@@ -235,9 +282,17 @@ func run() int {
 	return 0
 }
 
+// writeSLO writes a traffic run's SLO report text to path.
+func writeSLO(rep *chaos.Report, path string) error {
+	if rep.SLO == nil {
+		return fmt.Errorf("run produced no SLO report")
+	}
+	return os.WriteFile(path, []byte(rep.SLO.Text()), 0o644)
+}
+
 // runSweep executes a multi-seed sweep and prints each seed's summary in
 // seed order. Exit status 1 if any seed violated an invariant.
-func runSweep(base chaos.Options, seeds, parallel int, wantRec bool, metricsOut, traceOut string, showSched, showLog bool) int {
+func runSweep(base chaos.Options, seeds, parallel int, wantRec bool, metricsOut, traceOut string, showSched, showLog bool, sloOut string) int {
 	var recs map[int64]*obs.Recorder
 	var recFor func(seed int64) *obs.Recorder
 	if wantRec {
@@ -265,6 +320,12 @@ func runSweep(base chaos.Options, seeds, parallel int, wantRec bool, metricsOut,
 		if traceOut != "" {
 			if werr := writeTrace(recs[rep.Seed], seedPath(traceOut, rep.Seed)); werr != nil {
 				fmt.Fprintf(os.Stderr, "ustore-chaos: writing trace: %v\n", werr)
+				return 2
+			}
+		}
+		if sloOut != "" {
+			if werr := writeSLO(rep, seedPath(sloOut, rep.Seed)); werr != nil {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: writing SLO report: %v\n", werr)
 				return 2
 			}
 		}

@@ -198,6 +198,16 @@ type Options struct {
 	// unmitigated cost of gray failures under the same seed.
 	Mitigation bool
 
+	// Tenants switches the run to traffic mode: instead of a fault
+	// schedule, the multi-tenant open-loop traffic engine
+	// (internal/workload) drives the cluster and the report carries
+	// per-class SLOs (Report.SLO). Storm adds the restore-storm waves;
+	// Protect arms the admission/throttle/autoscale protection stack.
+	// Fault-family switches are ignored in traffic mode.
+	Tenants bool
+	Storm   bool
+	Protect bool
+
 	// DisableChecksums turns off the per-block CRC export wrapper, so
 	// injected media corruption reaches clients silently. Used to prove the
 	// invariant checker detects real corruption.

@@ -15,6 +15,7 @@ import (
 	"ustore/internal/obs"
 	"ustore/internal/paxos"
 	"ustore/internal/simtime"
+	"ustore/internal/workload"
 )
 
 // BlockSize is the workload's write/verify granularity — one checksum block.
@@ -70,6 +71,9 @@ type Report struct {
 	Log        []string
 	Violations []string
 	Stats      Stats
+	// SLO is set by traffic-mode runs (Options.Tenants): the per-class SLO
+	// outcome of the multi-tenant traffic engine.
+	SLO *workload.SLOReport
 }
 
 // LogText renders the event log as one string (replay comparisons).
@@ -171,8 +175,13 @@ func leanConfig(o Options, hist *model.History) core.Config {
 	return cfg
 }
 
-// Run generates the seeded fault schedule and executes it.
+// Run generates the seeded fault schedule and executes it. Traffic-mode
+// runs (Options.Tenants) execute the tenant traffic engine instead of a
+// fault schedule.
 func Run(o Options) (*Report, error) {
+	if o.Tenants {
+		return runTraffic(o)
+	}
 	h, err := newHarness(o)
 	if err != nil {
 		return nil, err

@@ -35,6 +35,18 @@ func Sweep(base Options, n, parallel int, recFor func(seed int64) *obs.Recorder)
 // parallel sweep emits byte-identical summaries to a sequential one.
 func (r *Report) SummaryText() string {
 	var b strings.Builder
+	if r.SLO != nil {
+		b.WriteString(r.SLO.Text())
+		if len(r.Violations) == 0 {
+			b.WriteString("  invariants: all held\n")
+			return b.String()
+		}
+		fmt.Fprintf(&b, "  INVARIANT VIOLATIONS (%d):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+		return b.String()
+	}
 	s := r.Stats
 	days := r.Opts.Duration.Hours() / 24
 	fmt.Fprintf(&b, "seed %d, %.3g days: %d faults applied\n", r.Seed, days, s.FaultsApplied)

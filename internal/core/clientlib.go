@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"ustore/internal/block"
@@ -106,10 +107,25 @@ func (cl *ClientLib) callMaster(method string, args any, size int, done func(any
 				done(res, nil)
 				return
 			}
+			if IsThrottled(err) {
+				// The active master deliberately shed this request; retrying
+				// against standbys (who would just redirect) or re-sending is
+				// exactly the retry amplification overload protection exists
+				// to stop. Fail fast to the caller.
+				done(nil, err)
+				return
+			}
 			try(i+1, err)
 		})
 	}
 	try(0, nil)
+}
+
+// IsThrottled reports whether err is the Master's ErrThrottled rejection.
+// Errors cross the RPC boundary as re-wrapped strings, so this matches on
+// text rather than errors.Is.
+func IsThrottled(err error) bool {
+	return err != nil && strings.Contains(err.Error(), ErrThrottled.Error())
 }
 
 // Allocate requests size bytes of storage ("applying for new storage

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"ustore/internal/policy"
 )
 
 // grayBoot boots a cluster with the gray-failure detector on and fast
@@ -324,7 +326,7 @@ func TestBreakerOpensAndHalfOpenProbes(t *testing.T) {
 	if mit.breakerOpen(host, vol) {
 		t.Fatal("breaker open with no history")
 	}
-	for i := 0; i < mitBreakerFails; i++ {
+	for i := 0; i < policy.DefaultBreakerFails; i++ {
 		mit.observe(host, vol, time.Second, errors.New("timeout"))
 	}
 	if !mit.breakerOpen(host, vol) {
@@ -335,7 +337,7 @@ func TestBreakerOpensAndHalfOpenProbes(t *testing.T) {
 	}
 
 	// Cool-down elapses: exactly one half-open probe slips through.
-	c.Settle(mitBreakerOpenFor + time.Second)
+	c.Settle(policy.DefaultBreakerOpenFor + time.Second)
 	if mit.breakerOpen(host, vol) {
 		t.Fatal("half-open probe not admitted after cool-down")
 	}
@@ -350,7 +352,7 @@ func TestBreakerOpensAndHalfOpenProbes(t *testing.T) {
 	}
 
 	// Next probe succeeds: breaker closes fully.
-	c.Settle(mitBreakerOpenFor + time.Second)
+	c.Settle(policy.DefaultBreakerOpenFor + time.Second)
 	if mit.breakerOpen(host, vol) {
 		t.Fatal("probe not admitted after second cool-down")
 	}
@@ -371,7 +373,7 @@ func TestSlowSuccessTripsBreaker(t *testing.T) {
 	for i := 0; i < mitMinSamples; i++ {
 		mit.observe(host, vol, 10*time.Millisecond, nil)
 	}
-	for i := 0; i < mitBreakerFails; i++ {
+	for i := 0; i < policy.DefaultBreakerFails; i++ {
 		if mit.breakerOpen(host, vol) {
 			t.Fatalf("breaker open after %d slow successes", i)
 		}

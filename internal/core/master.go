@@ -10,6 +10,7 @@ import (
 	"ustore/internal/coord"
 	"ustore/internal/fabric"
 	"ustore/internal/obs"
+	"ustore/internal/policy"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
 )
@@ -25,6 +26,11 @@ var (
 	// ErrNotOwner is returned when a service manipulates another
 	// service's disk.
 	ErrNotOwner = errors.New("core: disk not owned by service")
+	// ErrThrottled is returned when a caller exceeds the Master's
+	// per-caller metadata-RPC rate (Config.Protection). Clients must not
+	// retry a throttled request against other replicas — see
+	// ClientLib.callMaster's short-circuit.
+	ErrThrottled = errors.New("core: request throttled")
 )
 
 // allocRecord is the persistent StorAlloc entry, JSON-encoded into coord.
@@ -83,6 +89,13 @@ type Master struct {
 	// health is the gray-failure detector's state (see health.go).
 	health *healthTracker
 
+	// limiters are the per-caller metadata-RPC token buckets, armed by
+	// Config.Protection (nil map = throttling off). Heartbeats are never
+	// throttled — starving failure detection to shed load would turn an
+	// overload into a false host death.
+	limiters   map[string]*policy.TokenBucket
+	cThrottled *obs.Counter
+
 	// OnHostDead fires when failure detection declares a host dead.
 	OnHostDead func(host string)
 	// OnFailoverDone fires when a dead host's disks are re-homed and
@@ -125,6 +138,10 @@ func NewMaster(net *simnet.Network, name string, store *coord.Store, cfg Config,
 		diskGroup:   make(map[string]int),
 		exported:    make(map[SpaceID]string),
 		health:      newHealthTracker(cfg.Recorder),
+	}
+	if cfg.Protection != nil && cfg.Protection.MasterRate > 0 {
+		m.limiters = make(map[string]*policy.TokenBucket)
+		m.cThrottled = cfg.Recorder.Counter("core", "master_throttled_total")
 	}
 	m.SetUnits([]UnitInfo{{
 		ID:          cfg.UnitID,
@@ -484,11 +501,35 @@ func (m *Master) executeOnController(unit, idx int, args ExecuteArgs, done func(
 		func(_ any, err error) { done(err) })
 }
 
+// throttled charges one metadata RPC against the caller's token bucket
+// and reports whether it must be rejected. Only armed by
+// Config.Protection with MasterRate > 0; buckets are per caller node
+// (one tenant's storm cannot spend another's tokens).
+func (m *Master) throttled(from string) bool {
+	if m.limiters == nil {
+		return false
+	}
+	tb := m.limiters[from]
+	if tb == nil {
+		pc := m.cfg.Protection
+		tb = &policy.TokenBucket{Rate: pc.MasterRate, Burst: pc.MasterBurst}
+		m.limiters[from] = tb
+	}
+	if tb.Allow(m.sched.Now()) {
+		return false
+	}
+	m.cThrottled.Inc()
+	return true
+}
+
 // --- Allocation (§IV-A) ---
 
 func (m *Master) handleAllocate(from string, args any) (any, error) {
 	if !m.Active() {
 		return nil, ErrNotActive
+	}
+	if m.throttled(from) {
+		return nil, ErrThrottled
 	}
 	a := args.(AllocateArgs)
 	if a.Size <= 0 {
@@ -621,6 +662,9 @@ func (m *Master) handleRelease(from string, args any) (any, error) {
 	if !m.Active() {
 		return nil, ErrNotActive
 	}
+	if m.throttled(from) {
+		return nil, ErrThrottled
+	}
 	r := args.(ReleaseArgs)
 	rec, ok := m.allocs[r.Space]
 	if !ok {
@@ -650,6 +694,9 @@ func (m *Master) handleLookup(from string, args any) (any, error) {
 	if !m.Active() {
 		return nil, ErrNotActive
 	}
+	if m.throttled(from) {
+		return nil, ErrThrottled
+	}
 	l := args.(LookupArgs)
 	rec, ok := m.allocs[l.Space]
 	if !ok {
@@ -670,6 +717,9 @@ func (m *Master) handleLookup(from string, args any) (any, error) {
 func (m *Master) handleDiskPower(from string, args any) (any, error) {
 	if !m.Active() {
 		return nil, ErrNotActive
+	}
+	if m.throttled(from) {
+		return nil, ErrThrottled
 	}
 	p := args.(DiskPowerArgs)
 	if owner := m.diskOwner[p.DiskID]; owner != p.Service {

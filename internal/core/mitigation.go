@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"ustore/internal/obs"
-	"ustore/internal/simtime"
+	"ustore/internal/policy"
 )
 
 // Client-side gray-failure mitigation. Quarantine (health.go) protects NEW
@@ -47,11 +47,6 @@ const (
 	mitMinHedge = 20 * time.Millisecond
 	// mitDefaultHedge is used while both targets' models are warming up.
 	mitDefaultHedge = 250 * time.Millisecond
-	// mitBreakerFails consecutive failures (or slow completions) open the
-	// breaker.
-	mitBreakerFails = 3
-	// mitBreakerOpenFor is the cool-down before a half-open probe.
-	mitBreakerOpenFor = 5 * time.Second
 	// mitMaxRTOShift caps the timeout backoff at 16x the model's deadline
 	// (further capped by the static Timeout), preserving liveness if the
 	// whole cluster legitimately slows down.
@@ -98,19 +93,16 @@ func (tl *targetLatency) deadline() time.Duration {
 	return d
 }
 
-// targetBreaker is a per-target circuit breaker with half-open probing.
-type targetBreaker struct {
-	fails     int
-	openUntil simtime.Time
-	probing   bool
-}
-
 // Mitigation is a ClientLib's gray-failure mitigation state. Obtain one
-// with EnableMitigation; all methods run on the scheduler goroutine.
+// with EnableMitigation; all methods run on the scheduler goroutine. The
+// per-target circuit breaker is policy.Breaker (this stack's original
+// breaker, extracted so core's server-side protection runs the same state
+// machine per disk); its zero value keeps the historical 3-failure / 5s
+// tuning.
 type Mitigation struct {
 	cl      *ClientLib
 	lat     map[string]*targetLatency
-	brk     map[string]*targetBreaker
+	brk     map[string]*policy.Breaker
 	mirrors map[SpaceID]SpaceID
 
 	cHedges *obs.Counter
@@ -141,7 +133,7 @@ func (cl *ClientLib) EnableMitigation() *Mitigation {
 	mit := &Mitigation{
 		cl:      cl,
 		lat:     make(map[string]*targetLatency),
-		brk:     make(map[string]*targetBreaker),
+		brk:     make(map[string]*policy.Breaker),
 		mirrors: make(map[SpaceID]SpaceID),
 		cHedges: rec.Counter("core", "hedge_reads_total"),
 		cWins:   rec.Counter("core", "hedge_wins_total"),
@@ -179,7 +171,7 @@ func (m *Mitigation) observe(host, volume string, rtt time.Duration, err error) 
 	}
 	br := m.brk[k]
 	if br == nil {
-		br = &targetBreaker{}
+		br = &policy.Breaker{}
 		m.brk[k] = br
 	}
 	slow := err == nil && tl.warm() && rtt > tl.deadline()
@@ -187,9 +179,7 @@ func (m *Mitigation) observe(host, volume string, rtt time.Duration, err error) 
 		tl.rtoShift = 0 // the deadline was adequate; stop backing off
 		if !slow {
 			tl.observe(rtt)
-			br.fails = 0
-			br.openUntil = 0
-			br.probing = false
+			br.OnSuccess()
 			return
 		}
 	} else {
@@ -201,10 +191,7 @@ func (m *Mitigation) observe(host, volume string, rtt time.Duration, err error) 
 			tl.rtoShift++
 		}
 	}
-	br.fails++
-	br.probing = false
-	if br.fails >= mitBreakerFails && br.openUntil <= m.cl.sched.Now() {
-		br.openUntil = m.cl.sched.Now() + mitBreakerOpenFor
+	if br.OnFailure(m.cl.sched.Now()) {
 		m.BreakerOpens++
 		m.cOpens.Inc()
 		m.cl.cfg.Recorder.Instant("core", "breaker-open", m.cl.name,
@@ -259,18 +246,10 @@ func (m *Mitigation) hedgeDelay(primary, mirror string) time.Duration {
 // fate).
 func (m *Mitigation) breakerOpen(host, volume string) bool {
 	br := m.brk[targetKey(host, volume)]
-	if br == nil || br.openUntil == 0 {
+	if br == nil {
 		return false
 	}
-	now := m.cl.sched.Now()
-	if now < br.openUntil {
-		return true
-	}
-	if !br.probing {
-		br.probing = true // this request is the half-open probe
-		return false
-	}
-	return true
+	return br.Open(m.cl.sched.Now())
 }
 
 // ReadHedged reads from a mounted space with tail-latency hedging: if a

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ustore/internal/disk"
+	"ustore/internal/obs"
+	"ustore/internal/policy"
+	"ustore/internal/simtime"
+)
+
+// Server-side overload protection: the policy package's primitives wired
+// into a cluster. PR 5's mitigation stack protects a CLIENT from a gray
+// server; this protects the SERVER from its clients — the restore-storm
+// scenario where an incident makes every tenant recall archived data at
+// once and the handful of spinning disks would otherwise drown.
+//
+// The stack has three gates in front of every data request:
+//
+//  1. per-tenant token buckets (rate + burst per tenant identity) — the
+//     noisy tenant is clipped before it reaches shared queues;
+//  2. a per-disk server-side circuit breaker (policy.Breaker, the same
+//     state machine the client mitigation uses per target) — a disk whose
+//     requests keep failing fast-fails new arrivals for a cool-down;
+//  3. class-priority admission control (policy.Admission) with bounded
+//     queues, deadline shedding, and one-IO-per-disk slots, so the
+//     backlog lives where the shedder can see it instead of in disk
+//     queues.
+//
+// Behind the gates a spin-up-aware autoscaler (policy.AutoScaler) watches
+// per-disk demand and trades queue depth against the paper's power
+// budget: cold disks with backlog spin up (bounded by the budget and an
+// inrush cap), scaler-spun disks idle past the window spin back down.
+//
+// Independently, Config.Protection arms a per-caller token bucket at the
+// Master's metadata RPC entry points (see master.go): recall storms hammer
+// Lookup/Allocate too, and a throttled caller gets ErrThrottled instead of
+// a seat in the run queue. A nil Config.Protection disables every piece,
+// keeping default runs byte-identical.
+
+// ProtectionConfig parameterizes the protection stack. The zero value of
+// any field disables that piece.
+type ProtectionConfig struct {
+	// Classes are the admission classes (tenant tiers), best first.
+	Classes []policy.ClassConfig
+	// SlotsPerDisk caps in-flight requests per disk (0 = 1).
+	SlotsPerDisk int
+	// TenantRate / TenantBurst parameterize each tenant's token bucket
+	// (requests/sec and bucket size). TenantRate 0 disables per-tenant
+	// limiting.
+	TenantRate  float64
+	TenantBurst float64
+	// MasterRate / MasterBurst parameterize the Master's per-caller
+	// metadata-RPC bucket. MasterRate 0 disables master throttling.
+	MasterRate  float64
+	MasterBurst float64
+	// Scale bounds the autoscaler. Scale.MaxSpinning 0 disables
+	// autoscaling (readiness then just mirrors actual disk state).
+	Scale policy.AutoScalerConfig
+	// BreakerDisks arms the per-disk server-side breaker.
+	BreakerDisks bool
+}
+
+// Protector is the cluster-level protection stack. Create one with
+// NewProtector after the cluster boots; all methods run on the scheduler
+// goroutine.
+type Protector struct {
+	c     *Cluster
+	pc    ProtectionConfig
+	sched *simtime.Scheduler
+	adm   *policy.Admission
+	scale *policy.AutoScaler
+
+	tenants map[string]*policy.TokenBucket
+	brk     map[string]*policy.Breaker
+	// managed marks disks the autoscaler spun up (its spin-down
+	// candidates); the baseline active set is never scaled down.
+	managed map[string]bool
+	// idleSince records when a managed disk's demand last hit zero.
+	idleSince map[string]simtime.Time
+
+	cAdmitted  map[string]*obs.Counter
+	cThrottled map[string]*obs.Counter
+	cShed      map[string]map[string]*obs.Counter
+	cSpinUps   *obs.Counter
+	cSpinDowns *obs.Counter
+	cOpens     *obs.Counter
+	gDepth     *obs.Gauge
+	gActive    *obs.Gauge
+
+	// Counters for reports and tests.
+	Throttled    map[string]uint64 // per class
+	BreakerTrips map[string]uint64 // per class (fast-fails at an open breaker)
+	SpinUps      uint64
+	SpinDowns    uint64
+	BreakerOpens uint64
+
+	ticker *simtime.Ticker
+}
+
+// protTickInterval is the autoscale/deadline poll period: fine enough to
+// shed on time against second-scale deadlines, coarse enough not to
+// dominate the event budget.
+const protTickInterval = 250 * time.Millisecond
+
+// Reject reasons reported to Admit's reject callback (the admission
+// sheds reuse policy's reason strings).
+const (
+	RejectThrottled = "throttled"
+	RejectBreaker   = "breaker-open"
+)
+
+// NewProtector wires the protection stack over the cluster's disks and
+// starts the autoscale/poll ticker. Disks currently spinning form the
+// baseline active set: they are ready immediately and never scaled down.
+func NewProtector(c *Cluster, pc ProtectionConfig) *Protector {
+	rec := c.Cfg.Recorder
+	p := &Protector{
+		c:          c,
+		pc:         pc,
+		sched:      c.Sched,
+		adm:        policy.NewAdmission(pc.Classes, pc.SlotsPerDisk),
+		tenants:    make(map[string]*policy.TokenBucket),
+		brk:        make(map[string]*policy.Breaker),
+		managed:    make(map[string]bool),
+		idleSince:  make(map[string]simtime.Time),
+		cAdmitted:  make(map[string]*obs.Counter),
+		cThrottled: make(map[string]*obs.Counter),
+		cShed:      make(map[string]map[string]*obs.Counter),
+		cSpinUps:   rec.Counter("policy", "spinups_total"),
+		cSpinDowns: rec.Counter("policy", "spindowns_total"),
+		cOpens:     rec.Counter("policy", "breaker_opens_total"),
+		gDepth:     rec.Gauge("policy", "queue_depth"),
+		gActive:    rec.Gauge("policy", "active_disks"),
+
+		Throttled:    make(map[string]uint64),
+		BreakerTrips: make(map[string]uint64),
+	}
+	for _, cc := range pc.Classes {
+		p.cAdmitted[cc.Name] = rec.Counter("policy", "admitted_total", obs.L("class", cc.Name))
+		p.cThrottled[cc.Name] = rec.Counter("policy", "throttled_total", obs.L("class", cc.Name))
+		p.cShed[cc.Name] = map[string]*obs.Counter{
+			string(policy.ShedQueueFull): rec.Counter("policy", "shed_total",
+				obs.L("class", cc.Name), obs.L("reason", string(policy.ShedQueueFull))),
+			string(policy.ShedDeadline): rec.Counter("policy", "shed_total",
+				obs.L("class", cc.Name), obs.L("reason", string(policy.ShedDeadline))),
+		}
+	}
+	if pc.Scale.MaxSpinning > 0 {
+		p.scale = policy.NewAutoScaler(pc.Scale)
+	}
+	now := p.sched.Now()
+	for _, id := range p.diskIDs() {
+		d := c.Disks[id]
+		p.adm.SetReady(now, id, diskReady(d.State()))
+		id := id
+		d.OnStateChange(func(_, newState disk.State) {
+			p.adm.SetReady(p.sched.Now(), id, diskReady(newState))
+		})
+	}
+	p.ticker = p.sched.Every(protTickInterval, p.tick)
+	return p
+}
+
+// diskReady: a disk can accept grants while spinning with the motor up.
+func diskReady(s disk.State) bool {
+	return s == disk.StateIdle || s == disk.StateActive
+}
+
+// diskIDs returns the cluster's disk IDs sorted (map-order independence).
+func (p *Protector) diskIDs() []string {
+	ids := make([]string, 0, len(p.c.Disks))
+	for id := range p.c.Disks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Stop halts the autoscale ticker (end of run).
+func (p *Protector) Stop() { p.ticker.Stop() }
+
+// Admit gates one request for the given tenant/class against diskID.
+// Exactly one of grant or reject fires, possibly synchronously: reject
+// with RejectThrottled (tenant over rate), RejectBreaker (disk breaker
+// open), or a policy shed reason; grant when the disk has a free slot
+// (callers MUST call Done when the granted work finishes). Requests for
+// cold disks queue — the autoscaler sees their demand and spins the disk
+// up — until the class deadline sheds them.
+func (p *Protector) Admit(class, tenant, diskID string, grant func(), reject func(reason string)) {
+	now := p.sched.Now()
+	if p.pc.TenantRate > 0 {
+		tb := p.tenants[tenant]
+		if tb == nil {
+			tb = &policy.TokenBucket{Rate: p.pc.TenantRate, Burst: p.pc.TenantBurst}
+			p.tenants[tenant] = tb
+		}
+		if !tb.Allow(now) {
+			p.Throttled[class]++
+			p.cThrottled[class].Inc()
+			reject(RejectThrottled)
+			return
+		}
+	}
+	if p.pc.BreakerDisks {
+		if br := p.brk[diskID]; br != nil && br.Open(now) {
+			p.BreakerTrips[class]++
+			p.cShedFor(class, RejectBreaker).Inc()
+			reject(RejectBreaker)
+			return
+		}
+	}
+	p.adm.Submit(now, class, diskID,
+		func() {
+			p.cAdmitted[class].Inc()
+			grant()
+		},
+		func(r policy.ShedReason) {
+			p.cShedFor(class, string(r)).Inc()
+			reject(string(r))
+		})
+}
+
+// cShedFor resolves (lazily for non-preregistered reasons) the shed
+// counter for a class/reason pair.
+func (p *Protector) cShedFor(class, reason string) *obs.Counter {
+	m := p.cShed[class]
+	if m == nil {
+		m = make(map[string]*obs.Counter)
+		p.cShed[class] = m
+	}
+	c, ok := m[reason]
+	if !ok {
+		c = p.c.Cfg.Recorder.Counter("policy", "shed_total",
+			obs.L("class", class), obs.L("reason", reason))
+		m[reason] = c
+	}
+	return c
+}
+
+// Done releases a granted request's disk slot and feeds the disk's
+// breaker with the outcome.
+func (p *Protector) Done(diskID string, err error) {
+	now := p.sched.Now()
+	if p.pc.BreakerDisks {
+		br := p.brk[diskID]
+		if br == nil {
+			br = &policy.Breaker{}
+			p.brk[diskID] = br
+		}
+		if err != nil {
+			if br.OnFailure(now) {
+				p.BreakerOpens++
+				p.cOpens.Inc()
+				p.c.Cfg.Recorder.Instant("policy", "breaker-open", "protector",
+					obs.L("disk", diskID))
+			}
+		} else {
+			br.OnSuccess()
+		}
+	}
+	p.adm.Release(now, diskID)
+}
+
+// Stats returns the admission controller's per-class outcomes.
+func (p *Protector) Stats() []policy.ClassStats { return p.adm.Stats() }
+
+// QueueDepth returns the current admission backlog.
+func (p *Protector) QueueDepth() int { return p.adm.QueueDepth() }
+
+// tick runs deadline shedding, refreshes gauges, and executes one
+// autoscale plan.
+func (p *Protector) tick() {
+	now := p.sched.Now()
+	p.adm.Poll(now)
+	p.gDepth.Set(float64(p.adm.QueueDepth()))
+
+	demand := p.adm.Demand()
+	active := 0
+	var states []policy.DiskState
+	for _, id := range p.diskIDs() {
+		d := p.c.Disks[id]
+		st := d.State()
+		spinning := st == disk.StateIdle || st == disk.StateActive || st == disk.StateSpinningUp
+		if spinning {
+			active++
+		}
+		dem := demand[id] + d.QueueDepth()
+		if p.managed[id] && dem == 0 {
+			if _, ok := p.idleSince[id]; !ok {
+				p.idleSince[id] = now
+			}
+		} else {
+			delete(p.idleSince, id)
+		}
+		states = append(states, policy.DiskState{
+			Name:               id,
+			Spinning:           spinning,
+			SpinningUp:         st == disk.StateSpinningUp,
+			Demand:             dem,
+			ScaleDownCandidate: p.managed[id],
+			IdleSince:          p.idleSince[id],
+		})
+	}
+	p.gActive.Set(float64(active))
+	if p.scale == nil {
+		return
+	}
+	up, down := p.scale.Plan(now, states)
+	for _, id := range up {
+		p.managed[id] = true
+		p.SpinUps++
+		p.cSpinUps.Inc()
+		p.c.Cfg.Recorder.Instant("policy", "scale-up", "protector", obs.L("disk", id))
+		p.c.Disks[id].SpinUp()
+	}
+	for _, id := range down {
+		d := p.c.Disks[id]
+		d.SpinDown()
+		if d.State() == disk.StateSpunDown {
+			delete(p.managed, id)
+			delete(p.idleSince, id)
+			p.SpinDowns++
+			p.cSpinDowns.Inc()
+			p.c.Cfg.Recorder.Instant("policy", "scale-down", "protector", obs.L("disk", id))
+		}
+	}
+}

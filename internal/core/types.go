@@ -142,6 +142,13 @@ type Config struct {
 	// chaos harness invariant built on it) must catch this, proving the
 	// quarantine invariant checker is not vacuous. Never set outside tests.
 	InjectQuarantineBlind bool
+
+	// Protection, when non-nil, arms the overload-protection stack: the
+	// Master's per-caller metadata-RPC throttle (MasterRate > 0) and the
+	// parameters NewProtector wires over the cluster's disks (admission
+	// control, per-tenant rate limits, per-disk breakers, autoscaling —
+	// see protection.go). nil keeps every default run byte-identical.
+	Protection *ProtectionConfig
 }
 
 // RPCTimeoutOrDefault returns the configured RPC timeout.

@@ -29,6 +29,18 @@ func TestPrometheusGolden(t *testing.T) {
 	rec.Counter("core", "hedge_breaker_opens_total").Add(2)
 	rec.Counter("core", "hedge_redirects_total").Add(3)
 	rec.Counter("core", "hedge_fast_fails_total").Add(4)
+	// Multi-tenant protection instrumentation: the admission stack's
+	// per-class counters and the traffic engine's per-phase request
+	// histogram, exactly as internal/policy and internal/workload emit
+	// them, so the overload metric family's exposition is pinned too.
+	rec.Counter("policy", "admitted_total", L("class", "premium")).Add(120)
+	rec.Counter("policy", "throttled_total", L("class", "batch")).Add(9)
+	rec.Counter("policy", "shed_total", L("class", "batch"), L("reason", "queue_full")).Add(4)
+	rec.Counter("policy", "spinups_total").Add(6)
+	rec.Gauge("policy", "active_disks").Set(5)
+	wh := rec.Histogram("workload", "request_seconds", L("class", "premium"), L("phase", "storm"))
+	wh.Observe(0.009) // in-SLO premium read
+	wh.Observe(0.072) // storm-tail premium read
 	h := rec.Histogram("disk", "io_seconds", L("op", "read"))
 	h.Observe(0.5e-6) // bucket 0
 	h.Observe(1e-6)   // bucket 0 (inclusive bound)

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty: an empty (or nil) histogram reports 0 for every
+// quantile rather than NaN or a panic.
+func TestQuantileEmpty(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Fatalf("nil Quantile = %g, want 0", got)
+	}
+	h := &Histogram{}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if got := h.QuantileDuration(0.99); got != 0 {
+		t.Fatalf("empty QuantileDuration = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket: with all mass in one bucket, every quantile is
+// that bucket's upper bound.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(3e-6) // bucket 2, bound 4e-6
+	}
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 4e-6 {
+			t.Fatalf("Quantile(%g) = %g, want 4e-6", q, got)
+		}
+	}
+}
+
+// TestQuantileRanks pins exact rank arithmetic at bucket edges: 100
+// observations split 50/49/1 across three buckets, so p50 must resolve to
+// the first bucket's bound, p99 to the second's, p999 to the third's.
+func TestQuantileRanks(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h.Observe(1e-6) // bucket 0, bound 1e-6
+	}
+	for i := 0; i < 49; i++ {
+		h.Observe(3e-6) // bucket 2, bound 4e-6
+	}
+	h.Observe(100e-6) // bucket 7, bound 128e-6
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 1e-6},     // rank ceil(0.5*100)=50: last of bucket 0
+		{0.51, 4e-6},    // rank 51: first of bucket 2
+		{0.99, 4e-6},    // rank 99: last of bucket 2
+		{0.999, 128e-6}, // rank 100: the straggler
+		{1, 128e-6},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileErrorBound: for log-uniform values the bucket upper bound
+// must bracket the exact quantile within the documented (1x, 2x] window.
+func TestQuantileErrorBound(t *testing.T) {
+	h := &Histogram{}
+	var exact []float64
+	v := 1e-4
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+		exact = append(exact, v)
+		v *= 1.005
+	}
+	// exact is already sorted ascending.
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(exact))))
+		truth := exact[rank-1]
+		got := h.Quantile(q)
+		if got < truth || got > 2*truth {
+			t.Errorf("Quantile(%g) = %g outside [truth, 2*truth] for truth %g", q, got, truth)
+		}
+	}
+}
+
+// TestQuantileOverflow: ranks landing in the +Inf bucket report +Inf, and
+// QuantileDuration clamps instead of overflowing.
+func TestQuantileOverflow(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1e-3)
+	h.Observe(1e12) // +Inf bucket
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("Quantile(1) = %g, want +Inf", got)
+	}
+	if got := h.QuantileDuration(1); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("QuantileDuration(1) = %v, want max duration", got)
+	}
+	if got := h.QuantileDuration(0.5); got != 1024*time.Microsecond {
+		t.Fatalf("QuantileDuration(0.5) = %v, want 1.024ms (bucket bound above 1ms)", got)
+	}
+}

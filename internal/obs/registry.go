@@ -272,3 +272,54 @@ func (h *Histogram) Sum() float64 {
 	}
 	return math.Float64frombits(atomic.LoadUint64(&h.sumBits))
 }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed values: the upper bound of the first bucket whose cumulative
+// count reaches rank ceil(q*n).
+//
+// Error bound: bucket i covers (HistMinBound*2^(i-1), HistMinBound*2^i]
+// (bucket 0 covers everything at or below HistMinBound), so the true
+// quantile lies in (bound/2, bound] — the returned value overestimates by
+// at most 2x and never underestimates. That is the price of fixed
+// power-of-two buckets; for exact percentiles keep raw samples.
+//
+// Returns 0 when the histogram is empty and +Inf when the rank falls in
+// the overflow bucket. A concurrent Observe may skew the result by one
+// observation; snapshots taken between runs are exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.Count()
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	cum := uint64(0)
+	bound := HistMinBound
+	for i := 0; i < HistBuckets; i++ {
+		cum += atomic.LoadUint64(&h.buckets[i])
+		if cum >= rank {
+			return bound
+		}
+		bound *= 2
+	}
+	return math.Inf(1)
+}
+
+// QuantileDuration is Quantile for histograms observed in seconds,
+// returned as a duration. An overflow-bucket (+Inf) result clamps to the
+// maximum representable duration.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v * float64(time.Second))
+}

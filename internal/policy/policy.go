@@ -1,0 +1,45 @@
+// Package policy implements the server-side overload-protection primitives
+// that keep a cold-storage cluster alive under multi-tenant traffic storms:
+// token-bucket rate limiting (per tenant or per caller), admission control
+// with bounded per-class queues and deadline-aware load shedding, a
+// circuit breaker with half-open probing (shared with the client-side
+// mitigation stack in core), and a spin-up-aware autoscaler that trades
+// queue depth against the paper's power budget.
+//
+// The package is deliberately free of RPC, disk, and observability
+// dependencies: every type is a deterministic state machine fed the
+// current simulated time by its caller, so core can wire the pieces into
+// the Master, the data path, and the power plane without import cycles,
+// and unit tests can drive every edge without a cluster. Nothing here
+// consumes randomness — same call sequence, same decisions.
+package policy
+
+import (
+	"ustore/internal/simtime"
+)
+
+// ShedReason says why an admission request was rejected.
+type ShedReason string
+
+const (
+	// ShedQueueFull: the class queue was at its limit on arrival.
+	ShedQueueFull ShedReason = "queue-full"
+	// ShedDeadline: the request waited longer than the class MaxWait.
+	ShedDeadline ShedReason = "deadline"
+)
+
+// ClassConfig describes one admission class (a tenant tier).
+type ClassConfig struct {
+	// Name labels the class in reports ("premium", "batch", ...).
+	Name string
+	// Priority orders dispatch: lower numbers are served first whenever a
+	// resource slot frees up. Ties dispatch in configuration order.
+	Priority int
+	// QueueLimit bounds how many requests of this class may wait; arrivals
+	// beyond it are shed immediately (ShedQueueFull).
+	QueueLimit int
+	// MaxWait is the class's queueing deadline: a request still queued
+	// after this long is shed (ShedDeadline) rather than served uselessly
+	// late. Zero means no deadline.
+	MaxWait simtime.Time
+}

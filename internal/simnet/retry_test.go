@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ustore/internal/obs"
 	"ustore/internal/simtime"
 )
 
@@ -92,6 +93,61 @@ func TestRetryResendIsDeduplicatedNotReExecuted(t *testing.T) {
 	}
 	if got != 1 {
 		t.Fatalf("result = %v, want 1 (the cached first execution)", got)
+	}
+}
+
+func TestRetryMaxElapsedBudget(t *testing.T) {
+	// With a total-retry budget shorter than the per-attempt schedule, the
+	// call gives up at the first timeout past the budget even though
+	// Attempts would allow many more sends.
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	NewRPCNode(n, "srv")
+	cli := NewRPCNode(n, "cli")
+	n.Cut("cli", "srv")
+
+	var gerr error
+	fired := 0
+	cli.CallWithRetry("srv", "nope", nil, 0,
+		RetryOpts{Attempts: 100, Timeout: 50 * time.Millisecond,
+			Backoff: 10 * time.Millisecond, MaxElapsed: 120 * time.Millisecond},
+		func(_ any, err error) { fired++; gerr = err })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want exactly 1", fired)
+	}
+	if !errors.Is(gerr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", gerr)
+	}
+	// 100 attempts at ~60ms each would run ~6 simulated seconds; the budget
+	// must have cut that to under a second.
+	if s.Now() > time.Second {
+		t.Fatalf("retries ran until %v despite a 120ms budget", s.Now())
+	}
+}
+
+func TestRetryCountersVisible(t *testing.T) {
+	// Storm observability: retry attempts and exhaustion are counted per
+	// method in the registry.
+	s := simtime.NewScheduler(1)
+	n := New(s)
+	rec := obs.NewRecorder()
+	n.SetRecorder(rec)
+	NewRPCNode(n, "srv")
+	cli := NewRPCNode(n, "cli")
+	n.Cut("cli", "srv")
+
+	cli.CallWithRetry("srv", "nope", nil, 0,
+		RetryOpts{Attempts: 3, Timeout: 50 * time.Millisecond, Backoff: 10 * time.Millisecond},
+		func(any, error) {})
+	s.Run()
+
+	reg := rec.Registry()
+	if got := reg.Counter("simnet", "rpc_retry_attempts_total", obs.L("method", "nope")).Value(); got != 2 {
+		t.Fatalf("retry_attempts = %d, want 2 (attempts 2 and 3)", got)
+	}
+	if got := reg.Counter("simnet", "rpc_retry_exhausted_total", obs.L("method", "nope")).Value(); got != 1 {
+		t.Fatalf("retry_exhausted = %d, want 1", got)
 	}
 }
 

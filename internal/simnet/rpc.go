@@ -179,6 +179,13 @@ type RetryOpts struct {
 	// anything short of full-range jitter re-synchronizes the fleet into
 	// retry storms against the recovering server.
 	Backoff time.Duration
+	// MaxElapsed caps the total time spent retrying: once this much time has
+	// passed since the first send, a timed-out attempt fails the call instead
+	// of re-sending, even with attempts left. Zero means no cap (attempts
+	// alone bound the call). Under overload this is the difference between a
+	// bounded retry budget and open-loop retry amplification feeding the
+	// storm that caused the timeouts.
+	MaxElapsed time.Duration
 }
 
 // Defaults for RetryOpts zero values.
@@ -211,6 +218,7 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 	pc := &pendingCall{done: done}
 	r.pending[id] = pc
 	req := rpcRequest{ID: id, Method: method, Args: args}
+	start := r.net.sched.Now()
 	var attempt func(n int)
 	attempt = func(n int) {
 		if _, ok := r.pending[id]; !ok {
@@ -226,8 +234,10 @@ func (r *RPCNode) CallWithRetry(to, method string, args any, size int, o RetryOp
 			if _, ok := r.pending[id]; !ok {
 				return
 			}
-			if n+1 >= o.Attempts {
+			overBudget := o.MaxElapsed > 0 && r.net.sched.Now()-start >= o.MaxElapsed
+			if n+1 >= o.Attempts || overBudget {
 				delete(r.pending, id)
+				r.net.methodMetrics(method).exhausted.Inc()
 				if done != nil {
 					done(nil, ErrTimeout)
 				}

@@ -135,9 +135,10 @@ type Network struct {
 
 // rpcMethodMetrics bundles the pre-resolved series for one RPC method.
 type rpcMethodMetrics struct {
-	latency  *obs.Histogram
-	timeouts *obs.Counter
-	retries  *obs.Counter
+	latency   *obs.Histogram
+	timeouts  *obs.Counter
+	retries   *obs.Counter
+	exhausted *obs.Counter
 }
 
 // methodMetrics returns (resolving on first use) the cached series handles
@@ -147,9 +148,10 @@ func (n *Network) methodMetrics(method string) *rpcMethodMetrics {
 		return m
 	}
 	m := &rpcMethodMetrics{
-		latency:  n.rec.Histogram("simnet", "rpc_seconds", obs.L("method", method)),
-		timeouts: n.rec.Counter("simnet", "rpc_timeouts_total", obs.L("method", method)),
-		retries:  n.rec.Counter("simnet", "rpc_retries_total", obs.L("method", method)),
+		latency:   n.rec.Histogram("simnet", "rpc_seconds", obs.L("method", method)),
+		timeouts:  n.rec.Counter("simnet", "rpc_timeouts_total", obs.L("method", method)),
+		retries:   n.rec.Counter("simnet", "rpc_retry_attempts_total", obs.L("method", method)),
+		exhausted: n.rec.Counter("simnet", "rpc_retry_exhausted_total", obs.L("method", method)),
 	}
 	if n.rpcMetrics == nil {
 		n.rpcMetrics = make(map[string]*rpcMethodMetrics)
