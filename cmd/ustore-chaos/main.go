@@ -11,6 +11,8 @@
 //	ustore-chaos -gray -mitigation -quarantine-blind -minimize  # quarantine checker demo
 //	ustore-chaos -metrics-out m.json -trace-out t.json
 //	ustore-chaos -days 30 -cpuprofile cpu.out
+//	ustore-chaos -fleet -units 8 -shards 2 -unit-loss   # fleet-scale unit-loss run
+//	ustore-chaos -fleet -units 48 -fleet-bench 1,4,16   # shard-scaling throughput sweep
 //
 // -seeds N runs N consecutive seeds starting at -seed; -parallel P spreads
 // independent runs over P workers (<1 = one per CPU). Every run is its own
@@ -30,9 +32,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -131,6 +135,12 @@ func run() int {
 		gray        = flag.Bool("gray", false, "inject gray faults: fail-slow disks, USB link flaps/downgrades, host brownouts")
 		mitigation  = flag.Bool("mitigation", false, "enable the detect-quarantine-hedge mitigation stack (usually with -gray)")
 		quarBlind   = flag.Bool("quarantine-blind", false, "make the allocator ignore quarantine (invariant-checker demo; needs -mitigation)")
+		fleetMode   = flag.Bool("fleet", false, "run the fleet-scale harness (sharded metadata control plane) instead of a fault schedule")
+		units       = flag.Int("units", 8, "fleet mode: deploy units (64 disks each at defaults)")
+		shards      = flag.Int("shards", 1, "fleet mode: metadata shards")
+		unitLoss    = flag.Bool("unit-loss", false, "fleet mode: kill unit u000 after the load phase and require the repair schedulers to drain it")
+		fleetBench  = flag.String("fleet-bench", "", "fleet mode: comma-separated shard counts to measure allocation throughput for (e.g. 1,4,16)")
+		benchOut    = flag.String("bench-out", "", "fleet mode: write the -fleet-bench JSON to this file (default stdout)")
 		tenants     = flag.Bool("tenants", false, "run the multi-tenant traffic engine instead of a fault schedule (per-class SLO report)")
 		storm       = flag.Bool("storm", false, "add the restore-storm waves to a -tenants run")
 		protect     = flag.Bool("protect", false, "arm the admission/throttle/autoscale protection stack in a -tenants run")
@@ -164,6 +174,34 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -quarantine-blind needs -mitigation (without quarantine there is no allocator exclusion to ignore)")
 		return 2
 	}
+	// Fleet-mode flag dependencies: the fleet harness replaces both the
+	// fault schedule and the traffic engine, so its shaping flags need
+	// -fleet and -fleet can't combine with the other run modes.
+	if !*fleetMode {
+		for _, dep := range []struct {
+			set  bool
+			name string
+		}{{*unitLoss, "-unit-loss"}, {*fleetBench != "", "-fleet-bench"}, {*benchOut != "", "-bench-out"}} {
+			if dep.set {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: %s needs -fleet (it shapes the fleet run)\n", dep.name)
+				return 2
+			}
+		}
+	} else {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{{*tenants, "-tenants"}, {*gray, "-gray"}, {*mitigation, "-mitigation"},
+			{*minimize, "-minimize"}, {*staleLease, "-stale-lease"},
+			{*quarBlind, "-quarantine-blind"}, {*noChecksums, "-no-checksums"},
+			{*traceOut != "", "-trace-out"}} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: %s cannot combine with -fleet\n", bad.name)
+				return 2
+			}
+		}
+	}
+
 	// Traffic-mode flag dependencies: -storm/-protect/-slo-out shape a
 	// tenant traffic run, and traffic mode replaces the fault schedule, so
 	// it cannot combine with the fault-run-only modes.
@@ -201,6 +239,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
 		}
 	}()
+
+	if *fleetMode {
+		return runFleetMode(*seed, *seeds, *parallel, *units, *shards, *unitLoss,
+			*fleetBench, *benchOut, *showLog, *metricsOut)
+	}
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
 	o.DisableChecksums = *noChecksums
@@ -278,6 +321,129 @@ func run() int {
 	fmt.Print(rep.SummaryText())
 	if len(rep.Violations) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// runFleetMode executes the fleet-scale harness: a bench sweep when
+// -fleet-bench is set, otherwise one unit-loss/load run per seed.
+func runFleetMode(seed int64, seeds, parallel, units, shards int, unitLoss bool,
+	benchList, benchOut string, showLog bool, metricsOut string) int {
+	if benchList != "" {
+		return runFleetBench(seed, units, benchList, benchOut)
+	}
+	base := chaos.FleetOptions{Seed: seed, Units: units, Shards: shards, UnitLoss: unitLoss}
+	header := fmt.Sprintf("ustore-chaos: fleet seed %d", seed)
+	if seeds > 1 {
+		header = fmt.Sprintf("ustore-chaos: fleet seeds %d..%d", seed, seed+int64(seeds)-1)
+	}
+	fmt.Printf("%s, %d units, %d shards, unit-loss=%v\n", header, units, shards, unitLoss)
+
+	var reps []*chaos.FleetReport
+	if seeds > 1 {
+		var err error
+		reps, err = chaos.FleetSweep(base, seeds, parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+			return 2
+		}
+	} else {
+		var rec *obs.Recorder
+		if metricsOut != "" {
+			rec = obs.NewRecorder()
+			base.Recorder = rec
+		}
+		rep, err := chaos.RunFleet(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+			return 2
+		}
+		if metricsOut != "" {
+			if werr := writeMetrics(rec, metricsOut); werr != nil {
+				fmt.Fprintf(os.Stderr, "ustore-chaos: writing metrics: %v\n", werr)
+				return 2
+			}
+		}
+		reps = []*chaos.FleetReport{rep}
+	}
+
+	violated := false
+	for _, rep := range reps {
+		if showLog {
+			fmt.Println(rep.LogText())
+		}
+		fmt.Print(rep.SummaryText())
+		if len(rep.Violations) > 0 {
+			violated = true
+		}
+	}
+	if violated {
+		return 1
+	}
+	return 0
+}
+
+// runFleetBench measures allocation throughput at each shard count in
+// benchList (comma-separated) on a fixed fleet, emitting a JSON document to
+// benchOut (stdout when empty). Offered load scales with capacity: 8
+// saturating closed-loop clients per shard.
+func runFleetBench(seed int64, units int, benchList, benchOut string) int {
+	const (
+		warmup = 3 * time.Second
+		window = 6 * time.Second
+	)
+	type point struct {
+		Shards       int     `json:"shards"`
+		Clients      int     `json:"clients"`
+		AllocsPerSec float64 `json:"allocs_per_sec"`
+		Speedup      float64 `json:"speedup_vs_1_shard"`
+	}
+	doc := struct {
+		Bench     string  `json:"bench"`
+		Seed      int64   `json:"seed"`
+		Units     int     `json:"units"`
+		WarmupSec float64 `json:"warmup_sec"`
+		WindowSec float64 `json:"window_sec"`
+		Points    []point `json:"points"`
+	}{Bench: "fleet-alloc-shard-scaling", Seed: seed, Units: units,
+		WarmupSec: warmup.Seconds(), WindowSec: window.Seconds()}
+	for _, fld := range strings.Split(benchList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(fld))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: bad -fleet-bench shard count %q\n", fld)
+			return 2
+		}
+		v, err := chaos.MeasureFleetAlloc(chaos.FleetOptions{
+			Seed:       seed,
+			Units:      units,
+			Shards:     n,
+			Clients:    8 * n,
+			VolumeSize: 8 << 20,
+		}, warmup, window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: fleet bench %d shards: %v\n", n, err)
+			return 2
+		}
+		p := point{Shards: n, Clients: 8 * n, AllocsPerSec: v, Speedup: 1}
+		if len(doc.Points) > 0 {
+			p.Speedup = v / doc.Points[0].AllocsPerSec
+		}
+		doc.Points = append(doc.Points, p)
+		fmt.Fprintf(os.Stderr, "ustore-chaos: fleet bench %2d shards: %.0f allocs/sec\n", n, v)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+	out = append(out, '\n')
+	if benchOut == "" {
+		fmt.Print(string(out))
+		return 0
+	}
+	if err := os.WriteFile(benchOut, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: writing bench: %v\n", err)
+		return 2
 	}
 	return 0
 }

@@ -1,0 +1,320 @@
+package chaos
+
+// Fleet-scale chaos: boots an internal/fleet control plane (sharded
+// metadata, failure-domain placement, background repair scheduler), drives
+// closed-loop allocation through client routers, kills a whole deploy unit,
+// and verifies the fleet drains the dead unit onto survivors with every
+// invariant intact. Like the cluster-scale harness, a run is a pure
+// function of its options: same seed, byte-identical report at any worker
+// count (TestFleetSweepParallelMatchesSequential proves it).
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ustore/internal/fleet"
+	"ustore/internal/obs"
+	"ustore/internal/runner"
+)
+
+// FleetOptions parameterizes a fleet-scale chaos run.
+type FleetOptions struct {
+	// Seed drives the whole simulation.
+	Seed int64
+	// Units is the deploy-unit count (default 8; 64 disks per unit at the
+	// fleet defaults, so 256 units is a ≥16k-disk fleet).
+	Units int
+	// Shards is the metadata shard count (default 1).
+	Shards int
+	// Clients is the number of closed-loop allocating routers (default
+	// 4 per shard).
+	Clients int
+	// Volumes is how many volumes the load phase allocates (default
+	// 3 per unit).
+	Volumes int
+	// VolumeSize is bytes per volume (default 64 MiB).
+	VolumeSize int64
+	// UnitLoss kills unit u000 — which hosts shard 0's first replica, so
+	// the loss doubles as a leader-failover test — after the load phase
+	// and requires the background scheduler to drain it.
+	UnitLoss bool
+	// DrainTimeout bounds the virtual time the run waits for the dead
+	// unit to drain (default 30 minutes).
+	DrainTimeout time.Duration
+	// Recorder, when non-nil, collects metrics and traces from the run.
+	Recorder *obs.Recorder `json:"-"`
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Units <= 0 {
+		o.Units = 8
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4 * o.Shards
+	}
+	if o.Volumes <= 0 {
+		o.Volumes = 3 * o.Units
+	}
+	if o.VolumeSize <= 0 {
+		o.VolumeSize = 64 << 20
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Minute
+	}
+	return o
+}
+
+// FleetReport is the outcome of a fleet chaos run.
+type FleetReport struct {
+	Seed       int64
+	Opts       FleetOptions
+	Log        []string
+	Violations []string
+
+	Allocated  int           // volumes placed by the load phase
+	Failed     int           // load-phase allocations that errored out
+	Drained    bool          // dead unit fully drained (UnitLoss runs)
+	DrainTime  time.Duration // virtual kill-to-drained latency
+	Resolvable int           // volumes a fresh router resolved post-run
+	MapEpoch   int64         // final authoritative shard-map epoch
+	Events     uint64        // scheduler events fired (determinism witness)
+}
+
+// LogText renders the event log as one string (replay comparisons).
+func (r *FleetReport) LogText() string { return strings.Join(r.Log, "\n") }
+
+// SummaryText renders the block ustore-chaos prints for a fleet run.
+func (r *FleetReport) SummaryText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet seed %d: %d units, %d shards, %d clients\n",
+		r.Seed, r.Opts.Units, r.Opts.Shards, r.Opts.Clients)
+	fmt.Fprintf(&b, "  load     %d allocated, %d failed, %d resolvable after faults\n",
+		r.Allocated, r.Failed, r.Resolvable)
+	if r.Opts.UnitLoss {
+		fmt.Fprintf(&b, "  drain    u000 drained=%v in %v\n", r.Drained, r.DrainTime)
+	}
+	fmt.Fprintf(&b, "  map      epoch %d; %d events fired\n", r.MapEpoch, r.Events)
+	if len(r.Violations) == 0 {
+		b.WriteString("  invariants: all held\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  INVARIANT VIOLATIONS (%d):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	return b.String()
+}
+
+// fleetConfig maps chaos options onto a fleet.Config, leaving the fleet's
+// own stretched control-plane timings in place.
+func fleetConfig(o FleetOptions) fleet.Config {
+	return fleet.Config{
+		Units:    o.Units,
+		Shards:   o.Shards,
+		Seed:     o.Seed,
+		Recorder: o.Recorder,
+	}
+}
+
+// RunFleet executes one fleet chaos run.
+func RunFleet(o FleetOptions) (*FleetReport, error) {
+	o = o.withDefaults()
+	rep := &FleetReport{Seed: o.Seed, Opts: o}
+	f := fleet.New(fleetConfig(o))
+	stamp := func() string {
+		now := f.Sched.Now()
+		day := now / (24 * time.Hour)
+		rem := now % (24 * time.Hour)
+		return fmt.Sprintf("[d%03d %02d:%02d:%02d]", day,
+			rem/time.Hour, (rem%time.Hour)/time.Minute, (rem%time.Minute)/time.Second)
+	}
+	logf := func(format string, a ...any) {
+		rep.Log = append(rep.Log, stamp()+" "+fmt.Sprintf(format, a...))
+	}
+	check := func(phase string) {
+		for _, err := range []error{f.ValidateSpread(), f.ValidateShardMap(), f.ValidateCapacity()} {
+			if err != nil {
+				v := fmt.Sprintf("%s fleet: %s invariant: %s", stamp(), phase, err)
+				rep.Log = append(rep.Log, v)
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+	}
+
+	// Boot: settle until every shard has a leader.
+	if !settleUntil(f, 10*time.Second, 3*time.Minute, func() bool {
+		for k := 0; k < o.Shards; k++ {
+			if f.Leader(k) == nil {
+				return false
+			}
+		}
+		return true
+	}) {
+		return nil, fmt.Errorf("chaos: fleet shards leaderless after boot settle")
+	}
+	logf("fleet: booted %d units (%d disks), %d shards, map epoch %d",
+		o.Units, f.Topo.NumDisks, o.Shards, f.AuthMap().Epoch)
+
+	// Load phase: o.Clients routers allocate o.Volumes volumes closed-loop
+	// (client i owns volumes i, i+C, i+2C, …).
+	routers := make([]*fleet.Router, o.Clients)
+	for i := range routers {
+		routers[i] = f.NewRouter(fmt.Sprintf("c%03d", i))
+	}
+	pending := o.Volumes
+	var allocate func(cl, vol int)
+	allocate = func(cl, vol int) {
+		if vol >= o.Volumes {
+			return
+		}
+		routers[cl].Allocate(fmt.Sprintf("v%04d", vol), o.VolumeSize, "archive",
+			func(_ []string, err error) {
+				pending--
+				if err != nil {
+					rep.Failed++
+					logf("fleet: allocate v%04d failed: %s", vol, err)
+				} else {
+					rep.Allocated++
+				}
+				allocate(cl, vol+o.Clients)
+			})
+	}
+	for i := range routers {
+		allocate(i, i)
+	}
+	if !settleUntil(f, 10*time.Second, 10*time.Minute, func() bool { return pending == 0 }) {
+		v := stamp() + " fleet: load phase stalled: " +
+			fmt.Sprintf("%d of %d allocations still pending", pending, o.Volumes)
+		rep.Log = append(rep.Log, v)
+		rep.Violations = append(rep.Violations, v)
+	}
+	logf("fleet: load phase done: %d allocated, %d failed", rep.Allocated, rep.Failed)
+	check("post-load")
+
+	// Fault phase: lose a whole deploy unit, then wait for the background
+	// schedulers to re-replicate its fragments onto survivors.
+	if o.UnitLoss {
+		const victim = "u000"
+		killAt := f.Sched.Now()
+		f.KillUnit(victim)
+		logf("fleet: killed unit %s (machine isolated, replicas crashed)", victim)
+		rep.Drained = settleUntil(f, 30*time.Second, o.DrainTimeout,
+			func() bool { return f.Drained(victim) })
+		rep.DrainTime = f.Sched.Now() - killAt
+		if rep.Drained {
+			logf("fleet: unit %s drained in %v", victim, rep.DrainTime)
+		} else {
+			v := fmt.Sprintf("%s fleet: unit %s not drained within %v",
+				stamp(), victim, o.DrainTimeout)
+			rep.Log = append(rep.Log, v)
+			rep.Violations = append(rep.Violations, v)
+		}
+		check("post-drain")
+	}
+
+	// Verify phase: a fresh router (cold map cache) must resolve every
+	// volume with a full replica set.
+	vr := f.NewRouter("verify")
+	left := o.Volumes
+	for i := 0; i < o.Volumes; i++ {
+		vol := i
+		vr.Lookup(fmt.Sprintf("v%04d", vol), func(disks []string, _ int64, err error) {
+			left--
+			if err == nil && len(disks) > 0 {
+				rep.Resolvable++
+			} else if err != nil {
+				logf("fleet: verify lookup v%04d failed: %s", vol, err)
+			}
+		})
+	}
+	if !settleUntil(f, 10*time.Second, 5*time.Minute, func() bool { return left == 0 }) {
+		v := fmt.Sprintf("%s fleet: verify phase stalled: %d lookups pending", stamp(), left)
+		rep.Log = append(rep.Log, v)
+		rep.Violations = append(rep.Violations, v)
+	}
+	if rep.Resolvable != rep.Allocated {
+		v := fmt.Sprintf("%s fleet: only %d of %d allocated volumes resolvable",
+			stamp(), rep.Resolvable, rep.Allocated)
+		rep.Log = append(rep.Log, v)
+		rep.Violations = append(rep.Violations, v)
+	}
+
+	rep.MapEpoch = f.AuthMap().Epoch
+	rep.Events = f.Sched.Fired()
+	logf("fleet run complete: %d violations", len(rep.Violations))
+	return rep, nil
+}
+
+// settleUntil advances the fleet in fixed step chunks until done() or the
+// budget runs out. Fixed-size steps keep the event stream identical across
+// runs regardless of when done() starts returning true.
+func settleUntil(f *fleet.Fleet, step, max time.Duration, done func() bool) bool {
+	for elapsed := time.Duration(0); ; elapsed += step {
+		if done() {
+			return true
+		}
+		if elapsed >= max {
+			return false
+		}
+		f.Settle(step)
+	}
+}
+
+// FleetSweep runs base across n consecutive seeds on up to parallel
+// workers, one report per seed in seed order. Each run owns its scheduler,
+// so parallel reports are byte-identical to sequential ones.
+func FleetSweep(base FleetOptions, n, parallel int) ([]*FleetReport, error) {
+	return runner.MapErr(n, parallel, func(i int) (*FleetReport, error) {
+		o := base
+		o.Seed = base.Seed + int64(i)
+		o.Recorder = nil
+		return RunFleet(o)
+	})
+}
+
+// MeasureFleetAlloc measures steady-state allocation throughput (volumes
+// per simulated second) with saturating closed-loop clients, after a
+// warmup. The shard-scaling acceptance sweep drives it at 1/4/16 shards.
+func MeasureFleetAlloc(o FleetOptions, warmup, window time.Duration) (float64, error) {
+	o = o.withDefaults()
+	f := fleet.New(fleetConfig(o))
+	if !settleUntil(f, 10*time.Second, 3*time.Minute, func() bool {
+		for k := 0; k < o.Shards; k++ {
+			if f.Leader(k) == nil {
+				return false
+			}
+		}
+		return true
+	}) {
+		return 0, fmt.Errorf("chaos: fleet shards leaderless after boot settle")
+	}
+	completed := 0
+	for i := 0; i < o.Clients; i++ {
+		r := f.NewRouter(fmt.Sprintf("m%03d", i))
+		cl := i
+		n := 0
+		var next func()
+		next = func() {
+			vol := fmt.Sprintf("m%03d-%d", cl, n)
+			n++
+			r.Allocate(vol, o.VolumeSize, "bench", func(_ []string, err error) {
+				if err == nil {
+					completed++
+				}
+				next()
+			})
+		}
+		next()
+	}
+	f.Settle(warmup)
+	before := completed
+	f.Settle(window)
+	return float64(completed-before) / window.Seconds(), nil
+}

@@ -10,6 +10,7 @@ import (
 	"ustore/internal/coord"
 	"ustore/internal/fabric"
 	"ustore/internal/obs"
+	"ustore/internal/placement"
 	"ustore/internal/policy"
 	"ustore/internal/simnet"
 	"ustore/internal/simtime"
@@ -586,10 +587,10 @@ func (m *Master) handleAllocate(from string, args any) (any, error) {
 	return AllocateReply{Space: space, DiskID: diskID, Host: host, Offset: offset, Size: a.Size}, nil
 }
 
-// pickDisk applies the two §IV-A allocation rules: (1) prefer a disk
-// already owned by the same service; (2) otherwise prefer an unowned disk
-// on the client's nearest host; fall back to the emptiest owned-by-nobody
-// disk anywhere.
+// pickDisk builds the candidate views SysStat allows (online host, not
+// powered off, not quarantined, enough room) and delegates the §IV-A
+// allocation rules — same-service affinity, then client locality, then any
+// unowned disk — to placement.PickSingle.
 func (m *Master) pickDisk(a AllocateArgs) string {
 	free := func(diskID string) int64 {
 		used := int64(0)
@@ -600,7 +601,7 @@ func (m *Master) pickDisk(a AllocateArgs) string {
 		}
 		return m.cfg.DiskParams.CapacityBytes - used
 	}
-	var candidates []string
+	var candidates []placement.DiskView
 	for diskID, host := range m.diskHost {
 		hs := m.hosts[host]
 		if hs == nil || !hs.online {
@@ -612,34 +613,19 @@ func (m *Master) pickDisk(a AllocateArgs) string {
 		if m.health.excluded(diskID) && !m.cfg.InjectQuarantineBlind {
 			continue
 		}
-		if free(diskID) < a.Size {
+		f := free(diskID)
+		if f < a.Size {
 			continue
 		}
-		candidates = append(candidates, diskID)
+		candidates = append(candidates, placement.DiskView{
+			ID:    diskID,
+			Host:  host,
+			Owner: m.diskOwner[diskID],
+			Free:  f,
+		})
 	}
-	sort.Strings(candidates)
-	// Rule 1: same-service affinity.
-	for _, d := range candidates {
-		if m.diskOwner[d] == a.Service {
-			return d
-		}
-	}
-	// Rule 2: locality — an unowned disk on the client's host.
-	for _, d := range candidates {
-		if m.diskOwner[d] == "" && m.diskHost[d] == a.ClientHost {
-			return d
-		}
-	}
-	// Fall back: any unowned disk, then any disk with room.
-	for _, d := range candidates {
-		if m.diskOwner[d] == "" {
-			return d
-		}
-	}
-	if len(candidates) > 0 {
-		return candidates[0]
-	}
-	return ""
+	placement.SortViews(candidates)
+	return placement.PickSingle(candidates, a.Service, a.ClientHost)
 }
 
 func (m *Master) ensurePath(path string) {

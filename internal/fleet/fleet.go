@@ -1,0 +1,454 @@
+// Package fleet scales the UStore control plane from one deploy unit to a
+// datacenter: metadata is partitioned into N shards, each a replicated
+// state machine behind its own Paxos group; clients route volume operations
+// through a cached shard map (slot-hashed, epoch-versioned, repaired by
+// stale-reply retry); placement spreads each volume's fragments across
+// failure domains (host < hub < unit < rack) under per-unit power budgets;
+// and a per-shard background scheduler turns heartbeat-reported state into
+// rate-limited repair, drain, rebalance, migration and inspection tasks —
+// so losing a whole unit drains its volumes onto survivors with no
+// foreground involvement.
+//
+// Layering: fleet reuses coord (ZooKeeper-like store per shard group, one
+// replica per shard master, colocated on the master's machine), paxos
+// (consensus under coord), simnet/simtime (deterministic transport and
+// clock) and placement (the Spread policy extracted from core.Master).
+// Everything is event-driven on one scheduler: a run with the same seed is
+// byte-identical at any -test.cpu / worker count.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ustore/internal/coord"
+	"ustore/internal/obs"
+	"ustore/internal/paxos"
+	"ustore/internal/placement"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// Config shapes a simulated fleet. Zero values pick defaults sized for a
+// small test fleet; production-scale runs set Units/Shards explicitly.
+type Config struct {
+	// Units is the number of deploy units (default 8).
+	Units int
+	// Racks is the number of racks units are striped over (default
+	// max(2, Units/8)).
+	Racks int
+	// HostsPerUnit is servers per unit (default 4).
+	HostsPerUnit int
+	// DisksPerHost is disks per server (default 16).
+	DisksPerHost int
+	// HubFanIn is disks per hub (§III: disks attach to hosts through
+	// hub groups; default 4).
+	HubFanIn int
+
+	// Shards is the number of metadata shards (default 1).
+	Shards int
+	// ShardReplicas is the Paxos group size per shard (default 3).
+	ShardReplicas int
+
+	// Replicas is fragments placed per volume (default 3).
+	Replicas int
+	// SpreadLevel is the failure domain no two fragments may share
+	// (default placement.LevelUnit).
+	SpreadLevel placement.Level
+	// DiskCapacity is bytes per disk (default 3e12, a 3TB archival SMR).
+	DiskCapacity int64
+	// MaxSpinningPerUnit is the unit power budget in spinning disks
+	// (default half the unit's disks).
+	MaxSpinningPerUnit int
+
+	// HeartbeatInterval is the unit agent report period (default 5s).
+	HeartbeatInterval time.Duration
+	// UnitDeadAfter is how many missed heartbeat intervals declare a unit
+	// dead (default 3).
+	UnitDeadAfter int
+	// OpServiceTime is the serial CPU cost of one metadata operation on a
+	// shard leader — the bottleneck shard scaling divides (default 1ms).
+	OpServiceTime time.Duration
+	// RPCTimeout bounds client and control RPCs (default 3s).
+	RPCTimeout time.Duration
+
+	// ElectionTTL is the shard-leader session TTL (default 10s).
+	ElectionTTL time.Duration
+	// CoordSweepInterval is the coord session-expiry scan period (default
+	// 2s — stretched with the TTL so 48 groups stay inside the event
+	// budget).
+	CoordSweepInterval time.Duration
+	// Paxos tunes each shard group's consensus timing. Zero fields get
+	// stretched fleet defaults (1s heartbeats).
+	Paxos paxos.Config
+
+	// Scheduler tunes the per-shard background task scheduler.
+	Scheduler SchedulerConfig
+
+	// Seed seeds the simulation (default 1).
+	Seed int64
+	// Recorder receives fleet metrics and traces (nil = no recording).
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Units <= 0 {
+		c.Units = 8
+	}
+	if c.Racks <= 0 {
+		c.Racks = c.Units / 8
+		if c.Racks < 2 {
+			c.Racks = 2
+		}
+	}
+	if c.HostsPerUnit <= 0 {
+		c.HostsPerUnit = 4
+	}
+	if c.DisksPerHost <= 0 {
+		c.DisksPerHost = 16
+	}
+	if c.HubFanIn <= 0 {
+		c.HubFanIn = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ShardReplicas <= 0 {
+		c.ShardReplicas = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.SpreadLevel == 0 {
+		c.SpreadLevel = placement.LevelUnit
+	}
+	if c.DiskCapacity <= 0 {
+		c.DiskCapacity = 3e12
+	}
+	if c.MaxSpinningPerUnit <= 0 {
+		c.MaxSpinningPerUnit = c.HostsPerUnit * c.DisksPerHost / 2
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 5 * time.Second
+	}
+	if c.UnitDeadAfter <= 0 {
+		c.UnitDeadAfter = 3
+	}
+	if c.OpServiceTime <= 0 {
+		c.OpServiceTime = time.Millisecond
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 3 * time.Second
+	}
+	if c.ElectionTTL <= 0 {
+		c.ElectionTTL = 10 * time.Second
+	}
+	if c.CoordSweepInterval <= 0 {
+		c.CoordSweepInterval = 2 * time.Second
+	}
+	if c.Paxos.HeartbeatInterval <= 0 {
+		c.Paxos.HeartbeatInterval = time.Second
+	}
+	if c.Paxos.ElectionTimeoutBase <= 0 {
+		c.Paxos.ElectionTimeoutBase = 4 * time.Second
+	}
+	if c.Paxos.PhaseTimeout <= 0 {
+		c.Paxos.PhaseTimeout = 2 * time.Second
+	}
+	c.Scheduler = c.Scheduler.withDefaults()
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fleet is an assembled simulated fleet: topology, shard groups, unit
+// agents, and the admin plane driving slot migrations.
+type Fleet struct {
+	Cfg   Config
+	Sched *simtime.Scheduler
+	Net   *simnet.Network
+	Topo  *Topology
+
+	// Shards[k][i] is replica i of shard k.
+	Shards [][]*ShardMaster
+	// Stores[k][i] is the coord replica backing Shards[k][i].
+	Stores [][]*coord.Store
+	// Agents[u] is unit u's heartbeat agent.
+	Agents []*Agent
+
+	rec   *obs.Recorder
+	admin *simnet.RPCNode
+	// authMap is the admin plane's authoritative shard map (advanced by
+	// MoveSlot; routers bootstrap from a clone).
+	authMap *ShardMap
+	// deadUnits records KillUnit victims (validators skip their replicas).
+	deadUnits map[string]bool
+	nRouters  int
+}
+
+// unitMachine is the simnet machine name every process of a unit shares.
+func unitMachine(unitID string) string { return "mach-" + unitID }
+
+// replicaUnit places replica i of shard k on unit (k*R+i) mod Units: each
+// shard's replicas land on R distinct units (Units >= Shards*Replicas in
+// any sane fleet keeps distinct units per group even when shards share
+// units), so losing one unit kills at most one replica of any group.
+func (c Config) replicaUnit(shard, replica int) int {
+	return (shard*c.ShardReplicas + replica) % c.Units
+}
+
+// New assembles a fleet from cfg and starts its shard elections and unit
+// agents. Call Settle to let the first leaders emerge before driving load.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	sched := simtime.NewScheduler(cfg.Seed)
+	net := simnet.New(sched)
+	if cfg.Recorder != nil {
+		cfg.Recorder.BindClock(func() time.Duration { return sched.Now() })
+		net.SetRecorder(cfg.Recorder)
+	}
+	f := &Fleet{
+		Cfg:       cfg,
+		Sched:     sched,
+		Net:       net,
+		Topo:      buildTopology(cfg),
+		rec:       cfg.Recorder,
+		deadUnits: make(map[string]bool),
+	}
+
+	// Shard groups: R coord replicas + R shard masters per shard, each
+	// replica pair colocated on a distinct unit's machine.
+	replicas := make([][]string, cfg.Shards)
+	for k := 0; k < cfg.Shards; k++ {
+		peers := make([]string, cfg.ShardReplicas)
+		for i := range peers {
+			peers[i] = fmt.Sprintf("s%dm%d", k, i)
+		}
+		var stores []*coord.Store
+		var masters []*ShardMaster
+		for i := 0; i < cfg.ShardReplicas; i++ {
+			st := coord.NewStore(net, peers[i], peers, cfg.Paxos)
+			st.SetSweepInterval(cfg.CoordSweepInterval)
+			m := newShardMaster(f, k, i, st)
+			mach := unitMachine(unitName(cfg.replicaUnit(k, i)))
+			net.Colocate(peers[i], mach)          // paxos node
+			net.Colocate("coord:"+peers[i], mach) // coord session endpoint
+			net.Colocate(m.rpcName, mach)         // shard master process
+			stores = append(stores, st)
+			masters = append(masters, m)
+			replicas[k] = append(replicas[k], m.rpcName)
+		}
+		f.Stores = append(f.Stores, stores)
+		f.Shards = append(f.Shards, masters)
+	}
+	f.authMap = initialMap(cfg.Shards, replicas)
+	for _, group := range f.Shards {
+		for _, m := range group {
+			m.installInitialMap(f.authMap)
+			m.start()
+		}
+	}
+
+	// Unit agents.
+	for _, u := range f.Topo.Units {
+		a := newAgent(f, u, replicas[u.Shard])
+		net.Colocate(a.rpc.Name(), unitMachine(u.ID))
+		f.Agents = append(f.Agents, a)
+		a.start()
+	}
+
+	f.admin = simnet.NewRPCNode(net, "fleet-admin")
+	return f
+}
+
+// Settle runs the simulation for d of virtual time.
+func (f *Fleet) Settle(d time.Duration) { f.Sched.RunFor(d) }
+
+// Leader returns shard k's current leader master, or nil if the group is
+// between leaders.
+func (f *Fleet) Leader(k int) *ShardMaster {
+	for _, m := range f.Shards[k] {
+		if m.leading && !m.down {
+			return m
+		}
+	}
+	return nil
+}
+
+// leaderNode returns shard k's leader RPC node name ("" if none).
+func (f *Fleet) leaderNode(k int) string {
+	if m := f.Leader(k); m != nil {
+		return m.rpcName
+	}
+	return ""
+}
+
+// AuthMap returns a clone of the admin plane's authoritative shard map.
+func (f *Fleet) AuthMap() *ShardMap { return f.authMap.Clone() }
+
+// NewRouter builds a client router bootstrapped with the current map.
+func (f *Fleet) NewRouter(name string) *Router {
+	f.nRouters++
+	return newRouter(f, name)
+}
+
+// KillUnit permanently fails a deploy unit: its agent stops, its machine's
+// uplink is unplugged, and every shard replica or coord store colocated on
+// it crashes. The owning shard's scheduler must notice the silence and
+// drain the unit's volumes onto survivors.
+func (f *Fleet) KillUnit(unitID string) {
+	u := f.Topo.UnitByID[unitID]
+	if u == nil || f.deadUnits[unitID] {
+		return
+	}
+	f.deadUnits[unitID] = true
+	f.Agents[u.Index].stop()
+	for k := range f.Shards {
+		for i, m := range f.Shards[k] {
+			if f.Cfg.replicaUnit(k, i) == u.Index {
+				f.Stores[k][i].Stop()
+				m.crash()
+			}
+		}
+	}
+	f.Net.IsolateMachine(unitMachine(unitID))
+	if f.rec != nil {
+		f.rec.Instant("fleet", "unit-killed", "fleet", obs.L("unit", unitID))
+	}
+}
+
+// DeadUnits returns the killed units, sorted.
+func (f *Fleet) DeadUnits() []string {
+	out := make([]string, 0, len(f.deadUnits))
+	for u := range f.deadUnits {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FailDisk injects a single-disk failure: the unit's agent reports it dead
+// on its next heartbeat and the owning shard's scheduler repairs around it.
+func (f *Fleet) FailDisk(diskID string) {
+	if u := f.Topo.UnitOfDisk(diskID); u != nil {
+		f.Agents[u.Index].failDisk(diskID)
+	}
+}
+
+// DrainDisk marks a disk for graceful drain: the scheduler moves fragments
+// off it with drop tasks, after which it can be pulled.
+func (f *Fleet) DrainDisk(diskID string) {
+	if u := f.Topo.UnitOfDisk(diskID); u != nil {
+		f.Agents[u.Index].drainDisk(diskID)
+	}
+}
+
+// adminCall finds shard's leader and calls method from the admin node,
+// retrying (with leader re-resolution) on timeouts, lost leadership, and
+// leaderless windows.
+func (f *Fleet) adminCall(shard int, method string, args any, attempts int, done func(res any, err error)) {
+	f.adminCallFrom(f.admin, shard, method, args, attempts, done)
+}
+
+// adminCallFrom is adminCall sending from an arbitrary RPC node (shard
+// masters use it for cross-shard FreeForeign notifications).
+func (f *Fleet) adminCallFrom(from *simnet.RPCNode, shard int, method string, args any, attempts int, done func(res any, err error)) {
+	retry := func(err error) {
+		if attempts <= 0 {
+			done(nil, err)
+			return
+		}
+		f.Sched.After(500*time.Millisecond, func() {
+			f.adminCallFrom(from, shard, method, args, attempts-1, done)
+		})
+	}
+	target := f.leaderNode(shard)
+	if target == "" {
+		retry(fmt.Errorf("fleet: no leader for shard %d", shard))
+		return
+	}
+	from.Call(target, method, args, 256, f.Cfg.RPCTimeout, func(res any, err error) {
+		if err != nil {
+			retry(err)
+			return
+		}
+		sr := res.(shardReplier).common()
+		switch {
+		case sr.OK:
+			done(res, nil)
+		case sr.NotLeader || sr.Busy:
+			retry(fmt.Errorf("fleet: %s on shard %d: not leader/busy", method, shard))
+		default:
+			done(nil, fmt.Errorf("fleet: %s on shard %d: %s", method, shard, sr.Err))
+		}
+	})
+}
+
+// MoveSlot migrates a volume hash slot to shard dst through the full
+// freeze -> handoff -> install -> drop -> epoch-bump chain, then
+// broadcasts the new map to every shard leader. done (optional) fires when
+// the new epoch is installed everywhere reachable.
+func (f *Fleet) MoveSlot(slot, dst int, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	if slot < 0 || slot >= NumSlots || dst < 0 || dst >= f.Cfg.Shards {
+		done(fmt.Errorf("fleet: bad slot move %d -> shard %d", slot, dst))
+		return
+	}
+	src := f.authMap.Slots[slot]
+	if src == dst {
+		done(nil)
+		return
+	}
+	const tries = 8
+	f.adminCall(src, "FreezeSlot", FreezeSlotArgs{Slot: slot}, tries, func(_ any, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		f.adminCall(src, "Handoff", HandoffArgs{Slot: slot}, tries, func(res any, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			vols := res.(HandoffReply).Vols
+			f.adminCall(dst, "InstallSlot", InstallSlotArgs{Slot: slot, Vols: vols}, tries, func(_ any, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				f.adminCall(src, "DropSlot", DropSlotArgs{Slot: slot}, tries, func(_ any, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					next := f.authMap.Clone()
+					next.Epoch++
+					next.Slots[slot] = dst
+					f.authMap = next
+					f.broadcastMap(next, done)
+				})
+			})
+		})
+	})
+}
+
+// broadcastMap installs a new map epoch on every shard leader.
+func (f *Fleet) broadcastMap(m *ShardMap, done func(error)) {
+	remaining := f.Cfg.Shards
+	var firstErr error
+	for k := 0; k < f.Cfg.Shards; k++ {
+		f.adminCall(k, "InstallMap", InstallMapArgs{Map: m.Clone()}, 8, func(_ any, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,433 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ustore/internal/placement"
+)
+
+func testConfig() Config {
+	return Config{
+		Units:        8,
+		Racks:        2,
+		HostsPerUnit: 2,
+		DisksPerHost: 4,
+		Shards:       2,
+		Replicas:     3,
+		DiskCapacity: 1 << 32, // 4 GB so small volumes never hit capacity
+		Seed:         7,
+	}
+}
+
+const volSize = 64 << 20
+
+// boot assembles a fleet and settles until every shard has a leader.
+func boot(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f := New(cfg)
+	f.Settle(30 * time.Second)
+	for k := 0; k < f.Cfg.Shards; k++ {
+		if f.Leader(k) == nil {
+			t.Fatalf("shard %d has no leader after boot settle", k)
+		}
+	}
+	return f
+}
+
+// mustAlloc drives one allocation to completion and returns its disks.
+func mustAlloc(t *testing.T, f *Fleet, r *Router, vol string) []string {
+	t.Helper()
+	var got []string
+	var gotErr error
+	fired := false
+	r.Allocate(vol, volSize, "svc-archive", func(disks []string, err error) {
+		fired, got, gotErr = true, disks, err
+	})
+	f.Settle(20 * time.Second)
+	if !fired {
+		t.Fatalf("allocate %s never completed", vol)
+	}
+	if gotErr != nil {
+		t.Fatalf("allocate %s: %v", vol, gotErr)
+	}
+	return got
+}
+
+func checkInvariants(t *testing.T, f *Fleet) {
+	t.Helper()
+	if err := f.ValidateSpread(); err != nil {
+		t.Fatalf("spread invariant: %v", err)
+	}
+	if err := f.ValidateShardMap(); err != nil {
+		t.Fatalf("shard-map invariant: %v", err)
+	}
+	if err := f.ValidateCapacity(); err != nil {
+		t.Fatalf("capacity invariant: %v", err)
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	cfg := testConfig().withDefaults()
+	topo := buildTopology(cfg)
+	if len(topo.Units) != 8 || topo.NumDisks != 8*2*4 {
+		t.Fatalf("topology: %d units, %d disks", len(topo.Units), topo.NumDisks)
+	}
+	for i, u := range topo.Units {
+		if u.Shard != i%cfg.Shards {
+			t.Fatalf("unit %d owned by shard %d, want %d", i, u.Shard, i%cfg.Shards)
+		}
+		if u.Rack != fmt.Sprintf("r%02d", i%cfg.Racks) {
+			t.Fatalf("unit %d in rack %s", i, u.Rack)
+		}
+	}
+	// Hub fan-in: d00..d03 share a hub, d04.. differ.
+	a := topo.Disks["u000/h0/d00"]
+	b := topo.Disks["u000/h0/d03"]
+	c := topo.Disks["u000/h1/d00"]
+	if a.Loc.Hub != b.Loc.Hub {
+		t.Fatalf("disks 0 and 3 should share a hub: %s vs %s", a.Loc.Hub, b.Loc.Hub)
+	}
+	if a.Loc.Hub == c.Loc.Hub {
+		t.Fatal("disks on different hosts must not share a hub")
+	}
+	if got := topo.UnitOfDisk("u003/h1/d02"); got == nil || got.ID != "u003" {
+		t.Fatalf("UnitOfDisk = %v", got)
+	}
+	if topo.UnitOfDisk("nope") != nil {
+		t.Fatal("UnitOfDisk on unknown disk should be nil")
+	}
+	if units := topo.ShardUnits(0); strings.Join(units, " ") != "u000 u002 u004 u006" {
+		t.Fatalf("ShardUnits(0) = %v", units)
+	}
+}
+
+func TestShardMapBasics(t *testing.T) {
+	m := initialMap(4, [][]string{{"a"}, {"b"}, {"c"}, {"d"}})
+	for s := 0; s < NumSlots; s++ {
+		if m.Slots[s] != s%4 {
+			t.Fatalf("slot %d -> %d, want round-robin", s, m.Slots[s])
+		}
+	}
+	if got := SlotOf("vol-0001"); got != SlotOf("vol-0001") || got < 0 || got >= NumSlots {
+		t.Fatalf("SlotOf unstable or out of range: %d", got)
+	}
+	c := m.Clone()
+	c.Slots[0] = 3
+	c.Epoch = 9
+	if m.Slots[0] == 3 || m.Epoch == 9 {
+		t.Fatal("Clone shares state with original")
+	}
+	if len(m.SlotsOwnedBy(1)) != NumSlots/4 {
+		t.Fatalf("SlotsOwnedBy(1) = %d slots", len(m.SlotsOwnedBy(1)))
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	rec := VolRecord{Size: 123456, Service: "svc", Disks: []string{"u000/h0/d00", "u001/h1/d03"}}
+	got, err := decodeVol(encodeVol(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != rec.Size || got.Service != rec.Service ||
+		strings.Join(got.Disks, ",") != strings.Join(rec.Disks, ",") {
+		t.Fatalf("volume round trip: %+v != %+v", got, rec)
+	}
+	empty, err := decodeVol(encodeVol(VolRecord{Size: 1, Service: "s"}))
+	if err != nil || len(empty.Disks) != 0 {
+		t.Fatalf("empty-disks round trip: %+v, %v", empty, err)
+	}
+
+	m := initialMap(2, [][]string{{"x"}, {"y"}})
+	m.Epoch = 7
+	m.Slots[5] = 1
+	back := decodeMap(encodeMap(m), m.Replicas)
+	if back == nil || back.Epoch != 7 || back.Slots != m.Slots {
+		t.Fatalf("map round trip: %+v", back)
+	}
+	if decodeMap([]byte("garbage"), nil) != nil {
+		t.Fatal("decodeMap should reject garbage")
+	}
+}
+
+func TestAllocateLookupRelease(t *testing.T) {
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+
+	disks := mustAlloc(t, f, r, "vol-0001")
+	if len(disks) != 3 {
+		t.Fatalf("allocated %d fragments, want 3", len(disks))
+	}
+	units := map[string]bool{}
+	for _, d := range disks {
+		u := f.Topo.UnitOfDisk(d)
+		if u == nil {
+			t.Fatalf("unknown disk %s", d)
+		}
+		if units[u.ID] {
+			t.Fatalf("two fragments on unit %s", u.ID)
+		}
+		units[u.ID] = true
+	}
+	checkInvariants(t, f)
+
+	var lkDisks []string
+	var lkSize int64
+	r.Lookup("vol-0001", func(d []string, size int64, err error) {
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		lkDisks, lkSize = d, size
+	})
+	f.Settle(10 * time.Second)
+	sort.Strings(disks)
+	sort.Strings(lkDisks)
+	if lkSize != volSize || strings.Join(disks, ",") != strings.Join(lkDisks, ",") {
+		t.Fatalf("lookup mismatch: %v/%d vs %v/%d", lkDisks, lkSize, disks, volSize)
+	}
+
+	released := false
+	r.Release("vol-0001", func(err error) {
+		if err != nil {
+			t.Fatalf("release: %v", err)
+		}
+		released = true
+	})
+	f.Settle(10 * time.Second)
+	if !released {
+		t.Fatal("release never completed")
+	}
+	if n := f.VolumeCount(); n != 0 {
+		t.Fatalf("%d volumes remain after release", n)
+	}
+	var lookupErr error
+	r.Lookup("vol-0001", func(_ []string, _ int64, err error) { lookupErr = err })
+	f.Settle(10 * time.Second)
+	if lookupErr == nil {
+		t.Fatal("lookup of released volume should fail")
+	}
+	checkInvariants(t, f)
+}
+
+func TestUnitLossDrainsOntoSurvivors(t *testing.T) {
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+	var vols []string
+	for i := 0; i < 24; i++ {
+		v := fmt.Sprintf("vol-%04d", i)
+		mustAlloc(t, f, r, v)
+		vols = append(vols, v)
+	}
+	checkInvariants(t, f)
+
+	const victim = "u000"
+	f.KillUnit(victim)
+	// Dead-unit declaration (3 x 5s silent) + leader failover for shard 0
+	// (its replica 0 lived on u000) + rate-limited repair.
+	f.Settle(4 * time.Minute)
+
+	if !f.Drained(victim) {
+		t.Fatalf("unit %s not drained after repair window", victim)
+	}
+	checkInvariants(t, f)
+
+	// Every volume must still resolve, with full redundancy, via a fresh
+	// client.
+	r2 := f.NewRouter("c2")
+	for _, v := range vols {
+		var got []string
+		var gotErr error
+		r2.Lookup(v, func(d []string, _ int64, err error) { got, gotErr = d, err })
+		f.Settle(15 * time.Second)
+		if gotErr != nil {
+			t.Fatalf("lookup %s after unit loss: %v", v, gotErr)
+		}
+		if len(got) != 3 {
+			t.Fatalf("volume %s has %d fragments after repair", v, len(got))
+		}
+		for _, d := range got {
+			if f.Topo.UnitOfDisk(d).ID == victim {
+				t.Fatalf("volume %s still references dead unit disk %s", v, d)
+			}
+		}
+	}
+}
+
+func TestDiskFailureRepairsAroundIt(t *testing.T) {
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+	disks := mustAlloc(t, f, r, "vol-0001")
+
+	f.FailDisk(disks[0])
+	f.Settle(2 * time.Minute)
+
+	var got []string
+	r.Lookup("vol-0001", func(d []string, _ int64, err error) {
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		got = d
+	})
+	f.Settle(10 * time.Second)
+	for _, d := range got {
+		if d == disks[0] {
+			t.Fatalf("fragment still on failed disk %s", d)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d fragments after repair", len(got))
+	}
+	checkInvariants(t, f)
+}
+
+func TestDrainDiskMovesFragmentsOff(t *testing.T) {
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+	disks := mustAlloc(t, f, r, "vol-0001")
+
+	f.DrainDisk(disks[1])
+	f.Settle(2 * time.Minute)
+
+	var got []string
+	r.Lookup("vol-0001", func(d []string, _ int64, err error) {
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		got = d
+	})
+	f.Settle(10 * time.Second)
+	for _, d := range got {
+		if d == disks[1] {
+			t.Fatalf("fragment still on draining disk %s", d)
+		}
+	}
+	checkInvariants(t, f)
+}
+
+func TestSlotMoveStaleRetryAndMigration(t *testing.T) {
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+	const vol = "vol-move"
+	orig := mustAlloc(t, f, r, vol)
+	slot := SlotOf(vol)
+	src := f.AuthMap().Slots[slot]
+	dst := 1 - src
+
+	var moveErr error
+	moved := false
+	f.MoveSlot(slot, dst, func(err error) { moved, moveErr = true, err })
+	f.Settle(30 * time.Second)
+	if !moved || moveErr != nil {
+		t.Fatalf("slot move: moved=%v err=%v", moved, moveErr)
+	}
+	if got := f.AuthMap().Epoch; got != 2 {
+		t.Fatalf("map epoch = %d, want 2", got)
+	}
+	if err := f.ValidateShardMap(); err != nil {
+		t.Fatalf("shard-map invariant after move: %v", err)
+	}
+
+	// The stale router must be redirected and repaired in one lookup.
+	if r.MapEpoch() != 1 {
+		t.Fatalf("router unexpectedly refreshed early: epoch %d", r.MapEpoch())
+	}
+	var got []string
+	r.Lookup(vol, func(d []string, _ int64, err error) {
+		if err != nil {
+			t.Fatalf("lookup across move: %v", err)
+		}
+		got = d
+	})
+	f.Settle(15 * time.Second)
+	// The destination's scheduler may already have migrated the fragments
+	// home, so only redundancy (not disk identity) is stable here.
+	if len(got) != len(orig) {
+		t.Fatalf("lookup after move: %v, want %d fragments", got, len(orig))
+	}
+	if r.MapEpoch() != 2 {
+		t.Fatalf("router did not install the new map: epoch %d", r.MapEpoch())
+	}
+
+	// The new owner's scheduler migrates the fragments home and the source
+	// shard's export ledger empties.
+	f.Settle(3 * time.Minute)
+	checkInvariants(t, f)
+	dstLeader := f.Leader(dst)
+	rec, ok := dstLeader.vols[vol]
+	if !ok {
+		t.Fatalf("volume missing at destination shard %d", dst)
+	}
+	for _, d := range rec.Disks {
+		if u := f.Topo.UnitOfDisk(d); u.Shard != dst {
+			t.Fatalf("fragment %s still on shard %d's unit after migration", d, u.Shard)
+		}
+	}
+	if srcLeader := f.Leader(src); len(srcLeader.exports) != 0 {
+		t.Fatalf("source shard still has %d export entries", len(srcLeader.exports))
+	}
+}
+
+// summary renders the observable end state of a run for byte-stability
+// comparison.
+func summary(f *Fleet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch=%d vols=%d fired=%d\n", f.AuthMap().Epoch, f.VolumeCount(), f.Sched.Fired())
+	for k := 0; k < f.Cfg.Shards; k++ {
+		m := f.Leader(k)
+		if m == nil {
+			fmt.Fprintf(&b, "shard %d: no leader\n", k)
+			continue
+		}
+		ids := make([]string, 0, len(m.vols))
+		for id := range m.vols {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "shard %d leader=%s vols=%d\n", k, m.Name(), len(ids))
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  %s -> %s\n", id, strings.Join(m.vols[id].Disks, ","))
+		}
+	}
+	return b.String()
+}
+
+// scenario runs a fixed boot/allocate/kill/repair sequence and returns its
+// summary.
+func scenario(t *testing.T) string {
+	t.Helper()
+	f := boot(t, testConfig())
+	r := f.NewRouter("c1")
+	for i := 0; i < 12; i++ {
+		mustAlloc(t, f, r, fmt.Sprintf("vol-%04d", i))
+	}
+	f.KillUnit("u001")
+	f.Settle(3 * time.Minute)
+	return summary(f)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := scenario(t)
+	b := scenario(t)
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Units != 8 || c.Shards != 1 || c.ShardReplicas != 3 || c.Replicas != 3 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.SpreadLevel != placement.LevelUnit {
+		t.Fatalf("default spread level = %v", c.SpreadLevel)
+	}
+	if c.MaxSpinningPerUnit != c.HostsPerUnit*c.DisksPerHost/2 {
+		t.Fatalf("default spin budget = %d", c.MaxSpinningPerUnit)
+	}
+	if c.Scheduler.Tick <= 0 || c.Scheduler.MaxInflight <= 0 {
+		t.Fatalf("scheduler defaults missing: %+v", c.Scheduler)
+	}
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Invariant validators. These inspect leader state directly (test/chaos
+// introspection, not part of the simulated data path), so they see exactly
+// what the shard state machines believe.
+
+// leaders returns the current leader of every shard, erroring on a
+// leaderless group (callers Settle long enough for elections first).
+func (f *Fleet) leaders() ([]*ShardMaster, error) {
+	out := make([]*ShardMaster, f.Cfg.Shards)
+	for k := 0; k < f.Cfg.Shards; k++ {
+		m := f.Leader(k)
+		if m == nil {
+			return nil, fmt.Errorf("fleet: shard %d has no leader", k)
+		}
+		out[k] = m
+	}
+	return out, nil
+}
+
+// ValidateSpread checks the placement invariant: no volume has two
+// fragments in the same failure domain at the configured spread level, and
+// no fragment sits on a disk of a unit the fleet killed (i.e. repair has
+// fully drained dead units).
+func (f *Fleet) ValidateSpread() error {
+	ms, err := f.leaders()
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		ids := make([]string, 0, len(m.vols))
+		for id := range m.vols {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			rec := m.vols[id]
+			seen := map[string]string{}
+			for _, d := range rec.Disks {
+				di := f.Topo.Disks[d]
+				if di == nil {
+					return fmt.Errorf("fleet: volume %s references unknown disk %s", id, d)
+				}
+				if f.deadUnits[di.Loc.Unit] {
+					return fmt.Errorf("fleet: volume %s fragment still on dead unit %s (disk %s)",
+						id, di.Loc.Unit, d)
+				}
+				dom := di.Loc.Domain(f.Cfg.SpreadLevel)
+				if prev, dup := seen[dom]; dup {
+					return fmt.Errorf("fleet: volume %s has two fragments in %s %s (%s and %s)",
+						id, f.Cfg.SpreadLevel, dom, prev, d)
+				}
+				seen[dom] = d
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateShardMap checks map consistency: every live shard leader has
+// installed the authoritative epoch with identical slot ownership.
+func (f *Fleet) ValidateShardMap() error {
+	ms, err := f.leaders()
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if m.map_.Epoch != f.authMap.Epoch {
+			return fmt.Errorf("fleet: shard %d leader %s at map epoch %d, want %d",
+				m.shard, m.name, m.map_.Epoch, f.authMap.Epoch)
+		}
+		if m.map_.Slots != f.authMap.Slots {
+			return fmt.Errorf("fleet: shard %d leader %s slot table diverges from authoritative map",
+				m.shard, m.name)
+		}
+	}
+	return nil
+}
+
+// ValidateCapacity checks the capacity ledger: each leader's per-disk
+// usage equals the sum of its volume records plus export-ledger entries on
+// that disk, nothing exceeds disk capacity, and every fragment a shard
+// holds on a foreign disk is backed by an export entry at the disk's
+// owning shard (no cross-shard leak or double-free).
+func (f *Fleet) ValidateCapacity() error {
+	ms, err := f.leaders()
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		want := map[string]int64{}
+		charge := func(recs map[string]VolRecord) {
+			for _, rec := range recs {
+				for _, d := range rec.Disks {
+					if m.ownsDisk(d) {
+						want[d] += rec.Size
+					}
+				}
+			}
+		}
+		charge(m.vols)
+		charge(m.exports)
+		disks := make([]string, 0, len(m.used))
+		for d := range m.used {
+			disks = append(disks, d)
+		}
+		sort.Strings(disks)
+		for _, d := range disks {
+			if m.used[d] != want[d] {
+				return fmt.Errorf("fleet: shard %d disk %s ledger says %d bytes, records say %d",
+					m.shard, d, m.used[d], want[d])
+			}
+			if c := f.Topo.Disks[d].Capacity; m.used[d] > c {
+				return fmt.Errorf("fleet: disk %s over capacity: %d > %d", d, m.used[d], c)
+			}
+		}
+		for d, b := range want {
+			if b != m.used[d] {
+				return fmt.Errorf("fleet: shard %d disk %s records say %d bytes, ledger says %d",
+					m.shard, d, b, m.used[d])
+			}
+		}
+		// Cross-shard: foreign fragments must be export-backed.
+		for id, rec := range m.vols {
+			for _, d := range rec.Disks {
+				if m.ownsDisk(d) {
+					continue
+				}
+				u := f.Topo.UnitOfDisk(d)
+				if u == nil {
+					return fmt.Errorf("fleet: volume %s on unknown disk %s", id, d)
+				}
+				owner := ms[u.Shard]
+				exp, ok := owner.exports[id]
+				if !ok {
+					return fmt.Errorf("fleet: volume %s fragment on shard %d disk %s has no export entry",
+						id, u.Shard, d)
+				}
+				backed := false
+				for _, ed := range exp.Disks {
+					if ed == d {
+						backed = true
+						break
+					}
+				}
+				if !backed {
+					return fmt.Errorf("fleet: volume %s export entry at shard %d omits disk %s",
+						id, u.Shard, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Drained reports whether no live metadata references a unit's disks (the
+// unit-loss recovery end state).
+func (f *Fleet) Drained(unitID string) bool {
+	for k := 0; k < f.Cfg.Shards; k++ {
+		m := f.Leader(k)
+		if m == nil {
+			return false
+		}
+		for _, recs := range []map[string]VolRecord{m.vols, m.exports} {
+			for _, rec := range recs {
+				for _, d := range rec.Disks {
+					if di := f.Topo.Disks[d]; di != nil && di.Loc.Unit == unitID {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// VolumeCount sums volumes across shard leaders.
+func (f *Fleet) VolumeCount() int {
+	n := 0
+	for k := 0; k < f.Cfg.Shards; k++ {
+		if m := f.Leader(k); m != nil {
+			n += len(m.vols)
+		}
+	}
+	return n
+}

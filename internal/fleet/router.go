@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ustore/internal/obs"
+	"ustore/internal/simnet"
+)
+
+// Router is the client-side shard resolver: it caches a ShardMap, hashes
+// volumes to slots, and calls the owning shard's believed leader. Replies
+// repair its state: NotLeader rotates the believed replica, Stale installs
+// the attached newer map and retries, Busy (a slot frozen mid-migration)
+// backs off and retries.
+type Router struct {
+	f    *Fleet
+	name string
+	rpc  *simnet.RPCNode
+
+	map_ *ShardMap
+	// believed[k] indexes the replica last known to lead shard k.
+	believed []int
+
+	cStale   *obs.Counter
+	cRotates *obs.Counter
+	cRetries *obs.Counter
+}
+
+// routerAttempts bounds one logical operation's total tries across
+// timeouts, leader rotations, map refreshes and migration waits.
+const routerAttempts = 40
+
+func newRouter(f *Fleet, name string) *Router {
+	r := &Router{
+		f:        f,
+		name:     name,
+		rpc:      simnet.NewRPCNode(f.Net, "cl:"+name),
+		map_:     f.authMap.Clone(),
+		believed: make([]int, f.Cfg.Shards),
+	}
+	rec := f.rec
+	r.cStale = rec.Counter("fleet", "router_stale_retries_total")
+	r.cRotates = rec.Counter("fleet", "router_leader_rotations_total")
+	r.cRetries = rec.Counter("fleet", "router_retries_total")
+	return r
+}
+
+// MapEpoch returns the cached map's epoch (tests observe stale-retry
+// repair through it).
+func (r *Router) MapEpoch() int64 { return r.map_.Epoch }
+
+// Allocate places a volume through the owning shard.
+func (r *Router) Allocate(volume string, size int64, service string, done func(disks []string, err error)) {
+	r.do("Allocate", volume, AllocateArgs{Volume: volume, Size: size, Service: service},
+		func(res any, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			done(res.(AllocateReply).Disks, nil)
+		})
+}
+
+// Lookup resolves a volume's fragment disks.
+func (r *Router) Lookup(volume string, done func(disks []string, size int64, err error)) {
+	r.do("Lookup", volume, LookupArgs{Volume: volume}, func(res any, err error) {
+		if err != nil {
+			done(nil, 0, err)
+			return
+		}
+		rep := res.(LookupReply)
+		done(rep.Disks, rep.Size, nil)
+	})
+}
+
+// Release frees a volume.
+func (r *Router) Release(volume string, done func(err error)) {
+	r.do("Release", volume, ReleaseArgs{Volume: volume}, func(_ any, err error) {
+		done(err)
+	})
+}
+
+// installMap adopts a newer map from a Stale reply.
+func (r *Router) installMap(m *ShardMap) {
+	if m != nil && m.Epoch > r.map_.Epoch {
+		r.map_ = m.Clone()
+		if len(r.believed) < len(r.map_.Replicas) {
+			grown := make([]int, len(r.map_.Replicas))
+			copy(grown, r.believed)
+			r.believed = grown
+		}
+	}
+}
+
+func (r *Router) do(method, volume string, args any, done func(res any, err error)) {
+	r.attempt(method, volume, args, routerAttempts, done)
+}
+
+func (r *Router) attempt(method, volume string, args any, left int, done func(res any, err error)) {
+	if left <= 0 {
+		done(nil, fmt.Errorf("fleet: %s %s: retries exhausted", method, volume))
+		return
+	}
+	again := func(delay time.Duration) {
+		r.cRetries.Inc()
+		r.f.Sched.After(delay, func() { r.attempt(method, volume, args, left-1, done) })
+	}
+	shard := r.map_.ShardOf(volume)
+	replicas := r.map_.Replicas[shard]
+	idx := r.believed[shard] % len(replicas)
+	target := replicas[idx]
+	// rotate advances the believed leader past this attempt's replica —
+	// but only if a concurrent attempt hasn't already moved it. N in-flight
+	// ops would otherwise each rotate once and collectively wrap the index
+	// back onto the same stale replica (N ≡ 0 mod len), livelocking every
+	// retry on a follower or a dead node.
+	rotate := func() {
+		if r.believed[shard] == idx {
+			r.believed[shard] = (idx + 1) % len(replicas)
+		}
+		r.cRotates.Inc()
+	}
+	r.rpc.Call(target, method, args, 192, r.f.Cfg.RPCTimeout, func(res any, err error) {
+		if err != nil {
+			if errors.Is(err, simnet.ErrTimeout) {
+				rotate()
+				again(50 * time.Millisecond)
+				return
+			}
+			done(nil, err)
+			return
+		}
+		sr := res.(shardReplier).common()
+		switch {
+		case sr.OK:
+			done(res, nil)
+		case sr.NotLeader:
+			rotate()
+			again(50 * time.Millisecond)
+		case sr.Stale:
+			r.cStale.Inc()
+			r.installMap(sr.Map)
+			again(0)
+		case sr.Busy:
+			again(200 * time.Millisecond)
+		default:
+			done(nil, fmt.Errorf("fleet: %s %s: %s", method, volume, sr.Err))
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package fleet
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"ustore/internal/obs"
+	"ustore/internal/placement"
+	"ustore/internal/simtime"
+)
+
+// SchedulerConfig tunes the per-shard background task scheduler.
+type SchedulerConfig struct {
+	// Tick is the scan period (default 2s).
+	Tick time.Duration
+	// MaxInflight bounds concurrently executing tasks (default 8).
+	MaxInflight int
+	// TasksPerTick bounds new tasks admitted per tick (default 4) — the
+	// rate limit that keeps repair traffic from starving foreground work.
+	TasksPerTick int
+	// RepairBytesPerSec models per-task copy bandwidth (default 256 MB/s).
+	RepairBytesPerSec float64
+	// BalanceSkew is the (max-min)/capacity per-unit usage spread that
+	// triggers rebalancing (default 0.25).
+	BalanceSkew float64
+	// InspectPerTick is how many volume records the inspection cursor
+	// verifies per tick (default 16).
+	InspectPerTick int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.TasksPerTick <= 0 {
+		c.TasksPerTick = 4
+	}
+	if c.RepairBytesPerSec <= 0 {
+		c.RepairBytesPerSec = 256e6
+	}
+	if c.BalanceSkew <= 0 {
+		c.BalanceSkew = 0.25
+	}
+	if c.InspectPerTick <= 0 {
+		c.InspectPerTick = 16
+	}
+	return c
+}
+
+// Task kinds, in generation priority order.
+const (
+	taskRepair  = "repair"  // fragment on a dead disk or dead unit
+	taskMigrate = "migrate" // fragment parked on another shard's disks
+	taskDrop    = "drop"    // fragment on a draining disk
+	taskBalance = "balance" // fragment moved off an overloaded unit
+)
+
+// shardScheduler is the leader-side background task engine (the BlobStore
+// Scheduler idea, §Snippet 1): every tick it derives repair, migration,
+// drain, rebalance and inspection work from heartbeat-reported state, and
+// executes it under inflight and per-tick rate limits.
+type shardScheduler struct {
+	m      *ShardMaster
+	cfg    SchedulerConfig
+	ticker *simtime.Ticker
+
+	inflight int
+	// epoch invalidates inflight-task completions from before the latest
+	// start(): a copy launched under a lost leadership must not touch the
+	// rebuilt state or the inflight gauge.
+	epoch int
+	// pendingVol fences volumes with an inflight task so a slow copy is
+	// not re-issued every tick.
+	pendingVol map[string]bool
+	// cursor is the inspection scan position (last inspected volume ID).
+	cursor string
+
+	cTasks     map[string]*obs.Counter
+	cRequeued  *obs.Counter
+	cInspected *obs.Counter
+	cUnitDead  *obs.Counter
+	cBytes     *obs.Counter
+}
+
+func newShardScheduler(m *ShardMaster) *shardScheduler {
+	s := &shardScheduler{
+		m:          m,
+		cfg:        m.f.Cfg.Scheduler,
+		pendingVol: make(map[string]bool),
+	}
+	label := obs.L("shard", strconv.Itoa(m.shard))
+	rec := m.f.rec
+	s.cTasks = map[string]*obs.Counter{}
+	for _, kind := range []string{taskRepair, taskMigrate, taskDrop, taskBalance} {
+		s.cTasks[kind] = rec.Counter("fleet", "tasks_total", label, obs.L("kind", kind))
+	}
+	s.cRequeued = rec.Counter("fleet", "tasks_requeued_total", label)
+	s.cInspected = rec.Counter("fleet", "inspected_total", label)
+	s.cUnitDead = rec.Counter("fleet", "unit_dead_declared_total", label)
+	s.cBytes = rec.Counter("fleet", "repair_bytes_total", label)
+	return s
+}
+
+func (s *shardScheduler) start() {
+	s.stop()
+	s.epoch++
+	s.pendingVol = make(map[string]bool)
+	s.inflight = 0
+	s.ticker = s.m.sched.Every(s.cfg.Tick, s.tick)
+}
+
+func (s *shardScheduler) stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// task is one unit of background work: re-place the volume's fragments
+// currently on `from` disks somewhere healthy.
+type task struct {
+	kind   string
+	volume string
+	from   []string
+}
+
+func (s *shardScheduler) tick() {
+	m := s.m
+	if !m.leading || m.down {
+		return
+	}
+	s.checkUnits()
+	s.inspect()
+	budget := s.cfg.TasksPerTick
+	for _, t := range s.generate(budget) {
+		if s.inflight >= s.cfg.MaxInflight {
+			break
+		}
+		s.launch(t)
+	}
+	m.gAlive.Set(float64(s.aliveOwnedUnits()))
+}
+
+// checkUnits flips owned units to dead after UnitDeadAfter silent
+// heartbeat intervals.
+func (s *shardScheduler) checkUnits() {
+	m := s.m
+	deadline := time.Duration(m.f.Cfg.UnitDeadAfter) * m.f.Cfg.HeartbeatInterval
+	now := m.sched.Now()
+	for _, u := range m.f.Topo.ShardUnits(m.shard) {
+		if m.deadUnit[u] {
+			continue
+		}
+		if now-m.unitSeen[u] > deadline {
+			m.deadUnit[u] = true
+			s.cUnitDead.Inc()
+			m.f.rec.Instant("fleet", "unit-declared-dead", "fleet",
+				obs.L("shard", strconv.Itoa(m.shard)), obs.L("unit", u))
+		}
+	}
+}
+
+func (s *shardScheduler) aliveOwnedUnits() int {
+	n := 0
+	for _, u := range s.m.f.Topo.ShardUnits(s.m.shard) {
+		if !s.m.deadUnit[u] {
+			n++
+		}
+	}
+	return n
+}
+
+// diskBad reports whether a fragment on diskID needs repair: the disk was
+// reported dead, or its whole unit went silent (our own or, for exported
+// fragments not yet migrated home, any unit the fleet killed is detected
+// by the owning shard — here we only see our own units' heartbeats, so
+// foreign disks are handled by migration).
+func (s *shardScheduler) diskBad(diskID string) bool {
+	m := s.m
+	if m.badDisk[diskID] {
+		return true
+	}
+	u := m.f.Topo.UnitOfDisk(diskID)
+	return u != nil && u.Shard == m.shard && m.deadUnit[u.ID]
+}
+
+// generate scans volumes (sorted, so task order is deterministic) and
+// emits up to budget tasks in priority order: repair, migrate, drop, then
+// at most one balance move.
+func (s *shardScheduler) generate(budget int) []task {
+	m := s.m
+	var tasks []task
+	ids := make([]string, 0, len(m.vols))
+	for id := range m.vols {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	add := func(t task) bool {
+		tasks = append(tasks, t)
+		s.pendingVol[t.volume] = true
+		return len(tasks) < budget
+	}
+
+	for _, pass := range []string{taskRepair, taskMigrate, taskDrop} {
+		for _, id := range ids {
+			if s.pendingVol[id] {
+				continue
+			}
+			rec := m.vols[id]
+			var from []string
+			for _, d := range rec.Disks {
+				switch pass {
+				case taskRepair:
+					if s.diskBad(d) {
+						from = append(from, d)
+					}
+				case taskMigrate:
+					if !m.ownsDisk(d) {
+						from = append(from, d)
+					}
+				case taskDrop:
+					if m.draining[d] && !s.diskBad(d) {
+						from = append(from, d)
+					}
+				}
+			}
+			if len(from) == 0 {
+				continue
+			}
+			if !add(task{kind: pass, volume: id, from: from}) {
+				return tasks
+			}
+		}
+	}
+	if t, ok := s.balanceTask(ids); ok {
+		add(t)
+	}
+	return tasks
+}
+
+// balanceTask proposes moving one fragment from the most-loaded alive unit
+// to relieve skew beyond cfg.BalanceSkew.
+func (s *shardScheduler) balanceTask(ids []string) (task, bool) {
+	m := s.m
+	units := m.f.Topo.ShardUnits(m.shard)
+	var minU, maxU string
+	var minB, maxB int64 = -1, -1
+	unitCap := int64(m.f.Cfg.HostsPerUnit*m.f.Cfg.DisksPerHost) * m.f.Cfg.DiskCapacity
+	for _, uid := range units {
+		if m.deadUnit[uid] {
+			continue
+		}
+		var b int64
+		for _, d := range m.f.Topo.UnitByID[uid].Disks {
+			b += m.used[d]
+		}
+		if minB < 0 || b < minB {
+			minB, minU = b, uid
+		}
+		if b > maxB {
+			maxB, maxU = b, uid
+		}
+	}
+	if minU == "" || maxU == "" || minU == maxU {
+		return task{}, false
+	}
+	if float64(maxB-minB)/float64(unitCap) < s.cfg.BalanceSkew {
+		return task{}, false
+	}
+	// First unfenced volume with a fragment on the hot unit.
+	for _, id := range ids {
+		if s.pendingVol[id] {
+			continue
+		}
+		for _, d := range m.vols[id].Disks {
+			if u := m.f.Topo.UnitOfDisk(d); u != nil && u.ID == maxU {
+				return task{kind: taskBalance, volume: id, from: []string{d}}, true
+			}
+		}
+	}
+	return task{}, false
+}
+
+// launch runs a task: the copy takes size/RepairBytesPerSec of virtual
+// time per fragment moved, then the record is re-placed and committed.
+func (s *shardScheduler) launch(t task) {
+	m := s.m
+	s.inflight++
+	s.cTasks[t.kind].Inc()
+	rec, ok := m.vols[t.volume]
+	dur := 10 * time.Millisecond
+	if ok {
+		bytes := rec.Size * int64(len(t.from))
+		dur += time.Duration(float64(bytes) / s.cfg.RepairBytesPerSec * float64(time.Second))
+		s.cBytes.Add(uint64(bytes))
+	}
+	span := m.f.rec.Begin("fleet", "task:"+t.kind, "shard"+strconv.Itoa(m.shard),
+		obs.L("volume", t.volume))
+	epoch := s.epoch
+	m.sched.After(dur, func() {
+		s.finish(t, epoch)
+		span.End()
+	})
+}
+
+// finish completes a task after its copy time: pick replacement disks,
+// update the record, commit, and free the vacated fragments.
+func (s *shardScheduler) finish(t task, epoch int) {
+	m := s.m
+	if epoch != s.epoch {
+		return // launched under a leadership this replica has since lost
+	}
+	s.inflight--
+	delete(s.pendingVol, t.volume)
+	if !m.leading || m.down {
+		return
+	}
+	rec, ok := m.vols[t.volume]
+	if !ok {
+		return // released or migrated away mid-task
+	}
+	// Fragments that stay put constrain the new picks.
+	moving := map[string]bool{}
+	for _, d := range t.from {
+		moving[d] = true
+	}
+	var keep []string
+	var exclude []string
+	for _, d := range rec.Disks {
+		if moving[d] {
+			continue
+		}
+		keep = append(keep, d)
+		if di := m.f.Topo.Disks[d]; di != nil {
+			exclude = append(exclude, di.Loc.Domain(m.f.Cfg.SpreadLevel))
+		}
+	}
+	need := len(rec.Disks) - len(keep)
+	if need <= 0 {
+		return
+	}
+	res := placement.Spread(m.candidateViews(rec.Size), need, placement.SpreadOptions{
+		Level:      m.f.Cfg.SpreadLevel,
+		Exclude:    exclude,
+		SpinBudget: m.spinBudget(),
+	})
+	if len(res.Disks) < need {
+		// Not enough healthy domains right now; the next tick regenerates
+		// the task (state is unchanged).
+		s.cRequeued.Inc()
+		return
+	}
+	newDisks := keep
+	for _, d := range res.Disks {
+		newDisks = append(newDisks, d.ID)
+		m.place(d.ID, rec.Size)
+	}
+	sort.Strings(newDisks)
+	// Free the vacated fragments: owned disks directly, foreign disks via
+	// the owning shard's export ledger.
+	foreign := map[int][]string{}
+	for _, d := range t.from {
+		if m.ownsDisk(d) {
+			m.unplace(d, rec.Size)
+		} else if u := m.f.Topo.UnitOfDisk(d); u != nil {
+			foreign[u.Shard] = append(foreign[u.Shard], d)
+		}
+	}
+	rec.Disks = newDisks
+	m.vols[t.volume] = rec
+	m.store.Set(volPath(t.volume), encodeVol(rec), nil)
+	m.freeForeignFragments(t.volume, foreign)
+}
+
+// inspect advances the background consistency cursor over the sorted
+// volume set, InspectPerTick records per tick, wrapping at the end.
+func (s *shardScheduler) inspect() {
+	m := s.m
+	if len(m.vols) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(m.vols))
+	for id := range m.vols {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	start := sort.SearchStrings(ids, s.cursor)
+	for i := 0; i < s.cfg.InspectPerTick; i++ {
+		idx := (start + i) % len(ids)
+		id := ids[idx]
+		rec := m.vols[id]
+		s.cInspected.Inc()
+		if len(rec.Disks) == 0 || rec.Size < 0 {
+			m.f.rec.Instant("fleet", "inspect-anomaly", "fleet", obs.L("volume", id))
+		}
+		s.cursor = id + "\x00" // resume just past the last inspected ID
+	}
+}

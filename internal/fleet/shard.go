@@ -1,0 +1,777 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ustore/internal/coord"
+	"ustore/internal/obs"
+	"ustore/internal/placement"
+	"ustore/internal/simnet"
+	"ustore/internal/simtime"
+)
+
+// ShardMaster is one replica of a metadata shard: a Master-like state
+// machine for the slice of the fleet its shard owns. Hard state (volume
+// records, the export ledger, the shard map) lives in the shard's coord
+// group; soft state (disk usage, spin state, unit liveness) is rebuilt
+// from coord plus agent heartbeats on every election.
+//
+// Volume operations serialize through a single queue charged
+// cfg.OpServiceTime each — the CPU bottleneck that makes shard count the
+// unit of metadata scaling (Paxos itself pipelines, so consensus latency
+// alone would not bound throughput).
+type ShardMaster struct {
+	f       *Fleet
+	shard   int
+	replica int
+	name    string
+	rpcName string
+
+	sched    *simtime.Scheduler
+	rpc      *simnet.RPCNode
+	store    *coord.Store
+	election *coord.Election
+
+	leading bool
+	down    bool
+
+	// map_ is this replica's installed shard map.
+	map_ *ShardMap
+	// frozen slots answer Busy until an InstallMap flips their ownership.
+	frozen map[int]bool
+
+	// Leader soft state (rebuilt on election).
+	vols     map[string]VolRecord
+	exports  map[string]VolRecord
+	used     map[string]int64
+	spinning map[string]bool
+	unitSeen map[string]simtime.Time
+	deadUnit map[string]bool
+	badDisk  map[string]bool // agent-reported dead
+	draining map[string]bool
+
+	// Serial op queue.
+	queue []*shardOp
+	busy  bool
+
+	sch *shardScheduler
+
+	// scratch avoids re-allocating the candidate slice per allocation.
+	scratch []placement.DiskView
+
+	cOps    *obs.Counter
+	cAlloc  *obs.Counter
+	cStale  *obs.Counter
+	gQueue  *obs.Gauge
+	gAlive  *obs.Gauge
+	hOpTime *obs.Histogram
+}
+
+type shardOp struct {
+	method   string
+	args     any
+	reply    func(result any, err error)
+	finished bool
+}
+
+func newShardMaster(f *Fleet, shard, replica int, store *coord.Store) *ShardMaster {
+	name := fmt.Sprintf("s%dm%d", shard, replica)
+	m := &ShardMaster{
+		f:        f,
+		shard:    shard,
+		replica:  replica,
+		name:     name,
+		rpcName:  "fm:" + name,
+		sched:    f.Sched,
+		store:    store,
+		frozen:   make(map[int]bool),
+		vols:     make(map[string]VolRecord),
+		exports:  make(map[string]VolRecord),
+		used:     make(map[string]int64),
+		spinning: make(map[string]bool),
+		unitSeen: make(map[string]simtime.Time),
+		deadUnit: make(map[string]bool),
+		badDisk:  make(map[string]bool),
+		draining: make(map[string]bool),
+	}
+	m.rpc = simnet.NewRPCNode(f.Net, m.rpcName)
+	m.sch = newShardScheduler(m)
+	shardLabel := obs.L("shard", strconv.Itoa(shard))
+	rec := f.rec
+	m.cOps = rec.Counter("fleet", "ops_total", shardLabel)
+	m.cAlloc = rec.Counter("fleet", "alloc_total", shardLabel)
+	m.cStale = rec.Counter("fleet", "stale_replies_total", shardLabel)
+	m.gQueue = rec.Gauge("fleet", "queue_depth", shardLabel)
+	m.gAlive = rec.Gauge("fleet", "units_alive", shardLabel)
+	m.hOpTime = rec.Histogram("fleet", "op_seconds", shardLabel)
+	m.register()
+	return m
+}
+
+// Name returns the replica name (s<shard>m<replica>).
+func (m *ShardMaster) Name() string { return m.name }
+
+// Shard returns the shard index.
+func (m *ShardMaster) Shard() int { return m.shard }
+
+// Leading reports whether this replica currently leads its group.
+func (m *ShardMaster) Leading() bool { return m.leading && !m.down }
+
+// Map returns a clone of the replica's installed shard map.
+func (m *ShardMaster) Map() *ShardMap { return m.map_.Clone() }
+
+// installInitialMap seeds the replica's map before the fleet starts.
+func (m *ShardMaster) installInitialMap(mp *ShardMap) { m.map_ = mp.Clone() }
+
+// start begins campaigning for shard leadership.
+func (m *ShardMaster) start() {
+	m.election = coord.NewElection(m.store, "/active", m.name, m.f.Cfg.ElectionTTL)
+	m.election.OnElected = m.becomeLeader
+	m.election.OnDeposed = m.loseLeadership
+	m.election.Run()
+}
+
+// crash takes the replica down hard (KillUnit).
+func (m *ShardMaster) crash() {
+	m.down = true
+	m.leading = false
+	m.rpc.Node().SetDown(true)
+	m.sch.stop()
+	if m.election != nil {
+		m.election.Stop()
+	}
+	m.flushQueue()
+}
+
+func (m *ShardMaster) becomeLeader() {
+	if m.down {
+		return
+	}
+	m.leading = true
+	// Idempotent tree roots for volume records and the export ledger.
+	m.store.Create("/vol", nil, "", nil)
+	m.store.Create("/exp", nil, "", nil)
+	m.rebuild()
+	m.sch.start()
+	m.f.rec.Instant("fleet", "shard-elected", "fleet",
+		obs.L("shard", strconv.Itoa(m.shard)), obs.L("leader", m.name))
+}
+
+func (m *ShardMaster) loseLeadership() {
+	m.leading = false
+	m.sch.stop()
+	m.flushQueue()
+	m.frozen = make(map[int]bool)
+}
+
+// rebuild reconstructs leader soft state from the shard's replicated tree.
+func (m *ShardMaster) rebuild() {
+	m.vols = make(map[string]VolRecord)
+	m.exports = make(map[string]VolRecord)
+	m.used = make(map[string]int64)
+	m.spinning = make(map[string]bool)
+	if data, err := m.store.Get("/map"); err == nil {
+		if mp := decodeMap(data, m.map_.Replicas); mp != nil && mp.Epoch > m.map_.Epoch {
+			m.map_ = mp
+		}
+	}
+	load := func(root string, into map[string]VolRecord) {
+		ids, err := m.store.Children(root)
+		if err != nil {
+			return
+		}
+		for _, id := range ids {
+			data, err := m.store.Get(root + "/" + id)
+			if err != nil {
+				continue
+			}
+			rec, err := decodeVol(data)
+			if err != nil {
+				continue
+			}
+			into[id] = rec
+			for _, d := range rec.Disks {
+				if m.ownsDisk(d) {
+					m.used[d] += rec.Size
+					m.spinning[d] = true
+				}
+			}
+		}
+	}
+	load("/vol", m.vols)
+	load("/exp", m.exports)
+	// Grace-stamp every owned unit so a fresh leader waits a full dead
+	// window before declaring silence fatal.
+	now := m.sched.Now()
+	for _, u := range m.f.Topo.ShardUnits(m.shard) {
+		m.unitSeen[u] = now
+	}
+}
+
+// ownsDisk reports whether a disk belongs to a unit this shard owns.
+func (m *ShardMaster) ownsDisk(diskID string) bool {
+	u := m.f.Topo.UnitOfDisk(diskID)
+	return u != nil && u.Shard == m.shard
+}
+
+// unitAlive reports whether an owned unit's heartbeats are current.
+func (m *ShardMaster) unitAlive(unitID string) bool { return !m.deadUnit[unitID] }
+
+// --- RPC surface ---
+
+func (m *ShardMaster) register() {
+	// Serialized volume operations.
+	for _, method := range []string{"Allocate", "Lookup", "Release"} {
+		method := method
+		m.rpc.RegisterAsync(method, func(_ string, args any, reply func(any, error)) {
+			m.enqueue(method, args, reply)
+		})
+	}
+	m.rpc.Register("Heartbeat", m.onHeartbeat)
+	m.rpc.Register("FetchMap", func(string, any) (any, error) {
+		return FetchMapReply{ShardReply{OK: true, Map: m.map_.Clone()}}, nil
+	})
+	m.rpc.Register("FreezeSlot", m.onFreezeSlot)
+	m.rpc.Register("Handoff", m.onHandoff)
+	m.rpc.RegisterAsync("InstallSlot", m.onInstallSlot)
+	m.rpc.RegisterAsync("DropSlot", m.onDropSlot)
+	m.rpc.RegisterAsync("InstallMap", m.onInstallMap)
+	m.rpc.RegisterAsync("FreeForeign", m.onFreeForeign)
+}
+
+// routeCheck validates that a volume op belongs here right now. It returns
+// a non-OK envelope to send back, or OK=true to proceed.
+func (m *ShardMaster) routeCheck(volume string) ShardReply {
+	if !m.leading {
+		return ShardReply{NotLeader: true}
+	}
+	slot := SlotOf(volume)
+	if m.map_.Slots[slot] != m.shard {
+		m.cStale.Inc()
+		return ShardReply{Stale: true, Map: m.map_.Clone()}
+	}
+	if m.frozen[slot] {
+		return ShardReply{Busy: true}
+	}
+	return ShardReply{OK: true}
+}
+
+// volumeOf extracts the volume ID from a serialized op's args.
+func volumeOf(args any) string {
+	switch a := args.(type) {
+	case AllocateArgs:
+		return a.Volume
+	case LookupArgs:
+		return a.Volume
+	case ReleaseArgs:
+		return a.Volume
+	}
+	return ""
+}
+
+// envelope wraps a bare ShardReply in the op's concrete reply type.
+func envelope(method string, sr ShardReply) any {
+	switch method {
+	case "Allocate":
+		return AllocateReply{ShardReply: sr}
+	case "Lookup":
+		return LookupReply{ShardReply: sr}
+	default:
+		return ReleaseReply{ShardReply: sr}
+	}
+}
+
+func (m *ShardMaster) enqueue(method string, args any, reply func(any, error)) {
+	if sr := m.routeCheck(volumeOf(args)); !sr.OK {
+		reply(envelope(method, sr), nil)
+		return
+	}
+	m.queue = append(m.queue, &shardOp{method: method, args: args, reply: reply})
+	m.gQueue.Set(float64(len(m.queue)))
+	m.pump()
+}
+
+// pump starts the next queued op if the service unit is idle. Each op
+// holds the unit for OpServiceTime before its state transition runs.
+func (m *ShardMaster) pump() {
+	if m.busy || len(m.queue) == 0 || m.down {
+		return
+	}
+	op := m.queue[0]
+	m.queue = m.queue[1:]
+	m.gQueue.Set(float64(len(m.queue)))
+	m.busy = true
+	start := m.sched.Now()
+	m.sched.After(m.f.Cfg.OpServiceTime, func() {
+		m.exec(op)
+		m.hOpTime.ObserveDuration(m.sched.Now() - start)
+	})
+}
+
+// opDone completes an op exactly once and releases the service unit.
+func (m *ShardMaster) opDone(op *shardOp, result any) {
+	if op.finished {
+		return
+	}
+	op.finished = true
+	op.reply(result, nil)
+	m.busy = false
+	m.pump()
+}
+
+// flushQueue answers every queued op NotLeader (lost leadership or crash;
+// crashed replicas' replies are dropped by the downed node anyway).
+func (m *ShardMaster) flushQueue() {
+	q := m.queue
+	m.queue = nil
+	m.gQueue.Set(0)
+	m.busy = false
+	for _, op := range q {
+		m.opDone(op, envelope(op.method, ShardReply{NotLeader: true}))
+	}
+}
+
+func (m *ShardMaster) exec(op *shardOp) {
+	m.cOps.Inc()
+	// Re-check routing: the map may have flipped while the op queued.
+	if sr := m.routeCheck(volumeOf(op.args)); !sr.OK {
+		m.opDone(op, envelope(op.method, sr))
+		return
+	}
+	switch a := op.args.(type) {
+	case AllocateArgs:
+		m.execAllocate(op, a)
+	case LookupArgs:
+		m.execLookup(op, a)
+	case ReleaseArgs:
+		m.execRelease(op, a)
+	default:
+		m.opDone(op, envelope(op.method, ShardReply{Err: "bad args"}))
+	}
+}
+
+// commitGuard schedules a liveness bound on an op awaiting a coord commit:
+// if the proposal is lost to a leadership change the client gets Busy
+// instead of the service unit wedging forever.
+func (m *ShardMaster) commitGuard(op *shardOp) {
+	m.sched.After(4*m.f.Cfg.ElectionTTL, func() {
+		m.opDone(op, envelope(op.method, ShardReply{Busy: true}))
+	})
+}
+
+// candidateViews builds the placement candidate set: every disk of every
+// alive owned unit that is healthy, not draining, and has room for size
+// bytes. Construction order (unit index, then disk ID) is globally sorted,
+// which Spread requires for determinism.
+func (m *ShardMaster) candidateViews(size int64) []placement.DiskView {
+	views := m.scratch[:0]
+	for _, uid := range m.f.Topo.ShardUnits(m.shard) {
+		if !m.unitAlive(uid) {
+			continue
+		}
+		u := m.f.Topo.UnitByID[uid]
+		for _, d := range u.Disks {
+			if m.badDisk[d] || m.draining[d] {
+				continue
+			}
+			di := m.f.Topo.Disks[d]
+			free := di.Capacity - m.used[d]
+			if free < size {
+				continue
+			}
+			views = append(views, placement.DiskView{
+				ID:       d,
+				Host:     di.Loc.Host,
+				Free:     free,
+				Spinning: m.spinning[d],
+				Loc:      di.Loc,
+			})
+		}
+	}
+	m.scratch = views
+	return views
+}
+
+// spinBudget computes each alive owned unit's remaining power budget.
+func (m *ShardMaster) spinBudget() map[string]int {
+	budget := make(map[string]int)
+	for _, uid := range m.f.Topo.ShardUnits(m.shard) {
+		u := m.f.Topo.UnitByID[uid]
+		n := u.MaxSpinning
+		for _, d := range u.Disks {
+			if m.spinning[d] {
+				n--
+			}
+		}
+		budget[m.f.Topo.Disks[u.Disks[0]].Loc.Domain(placement.LevelUnit)] = n
+	}
+	return budget
+}
+
+// place charges a fragment onto a disk.
+func (m *ShardMaster) place(diskID string, size int64) {
+	m.used[diskID] += size
+	m.spinning[diskID] = true
+}
+
+// unplace releases a fragment from an owned disk.
+func (m *ShardMaster) unplace(diskID string, size int64) {
+	m.used[diskID] -= size
+	if m.used[diskID] < 0 {
+		m.used[diskID] = 0
+	}
+}
+
+func (m *ShardMaster) execAllocate(op *shardOp, a AllocateArgs) {
+	if rec, ok := m.vols[a.Volume]; ok {
+		// Idempotent re-allocate (client retry after a lost reply).
+		m.opDone(op, AllocateReply{ShardReply{OK: true}, append([]string(nil), rec.Disks...)})
+		return
+	}
+	res := placement.Spread(m.candidateViews(a.Size), m.f.Cfg.Replicas, placement.SpreadOptions{
+		Level:      m.f.Cfg.SpreadLevel,
+		SpinBudget: m.spinBudget(),
+	})
+	if len(res.Disks) < m.f.Cfg.Replicas {
+		m.opDone(op, AllocateReply{ShardReply: ShardReply{
+			Err: fmt.Sprintf("insufficient failure domains: placed %d/%d", len(res.Disks), m.f.Cfg.Replicas)}})
+		return
+	}
+	disks := make([]string, len(res.Disks))
+	for i, d := range res.Disks {
+		disks[i] = d.ID
+		m.place(d.ID, a.Size)
+	}
+	rec := VolRecord{Size: a.Size, Service: a.Service, Disks: disks}
+	m.vols[a.Volume] = rec
+	m.cAlloc.Inc()
+	m.commitGuard(op)
+	m.store.Create(volPath(a.Volume), encodeVol(rec), "", func(err error) {
+		if err != nil && !errors.Is(err, coord.ErrExists) {
+			m.opDone(op, AllocateReply{ShardReply: ShardReply{Err: err.Error()}})
+			return
+		}
+		m.opDone(op, AllocateReply{ShardReply{OK: true}, append([]string(nil), disks...)})
+	})
+}
+
+func (m *ShardMaster) execLookup(op *shardOp, a LookupArgs) {
+	rec, ok := m.vols[a.Volume]
+	if !ok {
+		m.opDone(op, LookupReply{ShardReply: ShardReply{Err: "no such volume"}})
+		return
+	}
+	m.opDone(op, LookupReply{
+		ShardReply: ShardReply{OK: true},
+		Size:       rec.Size,
+		Disks:      append([]string(nil), rec.Disks...),
+	})
+}
+
+func (m *ShardMaster) execRelease(op *shardOp, a ReleaseArgs) {
+	rec, ok := m.vols[a.Volume]
+	if !ok {
+		// Idempotent re-release.
+		m.opDone(op, ReleaseReply{ShardReply{OK: true}})
+		return
+	}
+	// Free owned fragments immediately; fragments parked on another
+	// shard's disks (a migrated-in volume) free through that shard's
+	// export ledger.
+	foreign := map[int][]string{}
+	for _, d := range rec.Disks {
+		if m.ownsDisk(d) {
+			m.unplace(d, rec.Size)
+		} else if u := m.f.Topo.UnitOfDisk(d); u != nil {
+			foreign[u.Shard] = append(foreign[u.Shard], d)
+		}
+	}
+	delete(m.vols, a.Volume)
+	m.commitGuard(op)
+	m.store.Delete(volPath(a.Volume), func(err error) {
+		if err != nil && !errors.Is(err, coord.ErrNotFound) {
+			m.opDone(op, ReleaseReply{ShardReply{Err: err.Error()}})
+			return
+		}
+		m.opDone(op, ReleaseReply{ShardReply{OK: true}})
+	})
+	m.freeForeignFragments(a.Volume, foreign)
+}
+
+// freeForeignFragments notifies each shard holding exported fragments of a
+// volume that those bytes are free.
+func (m *ShardMaster) freeForeignFragments(volume string, foreign map[int][]string) {
+	shards := make([]int, 0, len(foreign))
+	for k := range foreign {
+		shards = append(shards, k)
+	}
+	sort.Ints(shards)
+	for _, k := range shards {
+		args := FreeForeignArgs{Volume: volume, Disks: append([]string(nil), foreign[k]...)}
+		// Generous retry budget: a lost free leaks export-ledger bytes until
+		// an operator reconciles, so ride out a full leader failover.
+		m.f.adminCallFrom(m.rpc, k, "FreeForeign", args, 40, func(any, error) {})
+	}
+}
+
+// --- Heartbeats ---
+
+func (m *ShardMaster) onHeartbeat(_ string, args any) (any, error) {
+	a, ok := args.(HeartbeatArgs)
+	if !ok {
+		return HeartbeatReply{ShardReply{Err: "bad args"}}, nil
+	}
+	if !m.leading {
+		return HeartbeatReply{ShardReply{NotLeader: true}}, nil
+	}
+	m.unitSeen[a.Unit] = m.sched.Now()
+	if m.deadUnit[a.Unit] {
+		delete(m.deadUnit, a.Unit)
+	}
+	for _, d := range a.Dead {
+		m.badDisk[d] = true
+	}
+	for _, d := range a.Draining {
+		m.draining[d] = true
+	}
+	return HeartbeatReply{ShardReply{OK: true}}, nil
+}
+
+// --- Slot migration ---
+
+func (m *ShardMaster) onFreezeSlot(_ string, args any) (any, error) {
+	a := args.(FreezeSlotArgs)
+	if !m.leading {
+		return FreezeSlotReply{ShardReply{NotLeader: true}}, nil
+	}
+	if m.map_.Slots[a.Slot] != m.shard {
+		return FreezeSlotReply{ShardReply{Stale: true, Map: m.map_.Clone()}}, nil
+	}
+	m.frozen[a.Slot] = true
+	return FreezeSlotReply{ShardReply{OK: true}}, nil
+}
+
+func (m *ShardMaster) onHandoff(_ string, args any) (any, error) {
+	a := args.(HandoffArgs)
+	if !m.leading {
+		return HandoffReply{ShardReply: ShardReply{NotLeader: true}}, nil
+	}
+	if !m.frozen[a.Slot] {
+		return HandoffReply{ShardReply: ShardReply{Err: "slot not frozen"}}, nil
+	}
+	out := map[string]VolRecord{}
+	for id, rec := range m.vols {
+		if SlotOf(id) == a.Slot {
+			out[id] = rec.clone()
+		}
+	}
+	return HandoffReply{ShardReply{OK: true}, out}, nil
+}
+
+func (m *ShardMaster) onInstallSlot(_ string, args any, reply func(any, error)) {
+	a := args.(InstallSlotArgs)
+	if !m.leading {
+		reply(InstallSlotReply{ShardReply{NotLeader: true}}, nil)
+		return
+	}
+	ids := make([]string, 0, len(a.Vols))
+	for id := range a.Vols {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	remaining := len(ids)
+	if remaining == 0 {
+		reply(InstallSlotReply{ShardReply{OK: true}}, nil)
+		return
+	}
+	for _, id := range ids {
+		rec := a.Vols[id].clone()
+		// A re-sent install (admin retry under a fresh request ID) must not
+		// charge the disks twice.
+		if _, dup := m.vols[id]; !dup {
+			for _, d := range rec.Disks {
+				if m.ownsDisk(d) {
+					m.place(d, rec.Size)
+				}
+			}
+		}
+		m.vols[id] = rec
+		m.store.Create(volPath(id), encodeVol(rec), "", func(error) {
+			remaining--
+			if remaining == 0 {
+				reply(InstallSlotReply{ShardReply{OK: true}}, nil)
+			}
+		})
+	}
+}
+
+func (m *ShardMaster) onDropSlot(_ string, args any, reply func(any, error)) {
+	a := args.(DropSlotArgs)
+	if !m.leading {
+		reply(DropSlotReply{ShardReply{NotLeader: true}}, nil)
+		return
+	}
+	var ids []string
+	for id := range m.vols {
+		if SlotOf(id) == a.Slot {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	remaining := 2 * len(ids)
+	if remaining == 0 {
+		reply(DropSlotReply{ShardReply{OK: true}}, nil)
+		return
+	}
+	dec := func(error) {
+		remaining--
+		if remaining == 0 {
+			reply(DropSlotReply{ShardReply{OK: true}}, nil)
+		}
+	}
+	for _, id := range ids {
+		rec := m.vols[id]
+		delete(m.vols, id)
+		// Our disks keep holding the fragments until the new owner migrates
+		// them home, so usage stays charged and the export ledger makes that
+		// survivable across our own failovers.
+		m.exports[id] = rec
+		m.store.Create(expPath(id), encodeVol(rec), "", dec)
+		m.store.Delete(volPath(id), dec)
+	}
+}
+
+func (m *ShardMaster) onInstallMap(_ string, args any, reply func(any, error)) {
+	a := args.(InstallMapArgs)
+	if a.Map == nil {
+		reply(InstallMapReply{ShardReply{Err: "nil map"}}, nil)
+		return
+	}
+	if a.Map.Epoch <= m.map_.Epoch {
+		reply(InstallMapReply{ShardReply{OK: true}}, nil) // already current
+		return
+	}
+	m.map_ = a.Map.Clone()
+	// Thaw slots the new epoch routes elsewhere.
+	for slot := range m.frozen {
+		if m.map_.Slots[slot] != m.shard {
+			delete(m.frozen, slot)
+		}
+	}
+	if !m.leading {
+		reply(InstallMapReply{ShardReply{OK: true}}, nil)
+		return
+	}
+	data := encodeMap(m.map_)
+	finish := func(error) { reply(InstallMapReply{ShardReply{OK: true}}, nil) }
+	if m.store.Exists("/map") {
+		m.store.Set("/map", data, finish)
+	} else {
+		m.store.Create("/map", data, "", finish)
+	}
+}
+
+func (m *ShardMaster) onFreeForeign(_ string, args any, reply func(any, error)) {
+	a := args.(FreeForeignArgs)
+	if !m.leading {
+		reply(FreeForeignReply{ShardReply{NotLeader: true}}, nil)
+		return
+	}
+	rec, ok := m.exports[a.Volume]
+	if !ok {
+		reply(FreeForeignReply{ShardReply{OK: true}}, nil) // idempotent
+		return
+	}
+	freed := map[string]bool{}
+	for _, d := range a.Disks {
+		freed[d] = true
+	}
+	var remaining []string
+	for _, d := range rec.Disks {
+		if freed[d] && m.ownsDisk(d) {
+			m.unplace(d, rec.Size)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	if len(remaining) > 0 {
+		rec.Disks = remaining
+		m.exports[a.Volume] = rec
+		m.store.Set(expPath(a.Volume), encodeVol(rec), func(error) {
+			reply(FreeForeignReply{ShardReply{OK: true}}, nil)
+		})
+		return
+	}
+	delete(m.exports, a.Volume)
+	m.store.Delete(expPath(a.Volume), func(error) {
+		reply(FreeForeignReply{ShardReply{OK: true}}, nil)
+	})
+}
+
+// --- Persistence encoding ---
+
+func volPath(id string) string { return "/vol/" + id }
+func expPath(id string) string { return "/exp/" + id }
+
+// encodeVol renders a record as "size|service|disk1,disk2,...". Volume IDs
+// and services must not contain '|' or '/'.
+func encodeVol(r VolRecord) []byte {
+	return []byte(fmt.Sprintf("%d|%s|%s", r.Size, r.Service, strings.Join(r.Disks, ",")))
+}
+
+func decodeVol(data []byte) (VolRecord, error) {
+	parts := strings.SplitN(string(data), "|", 3)
+	if len(parts) != 3 {
+		return VolRecord{}, fmt.Errorf("fleet: bad volume record %q", data)
+	}
+	size, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return VolRecord{}, err
+	}
+	rec := VolRecord{Size: size, Service: parts[1]}
+	if parts[2] != "" {
+		rec.Disks = strings.Split(parts[2], ",")
+	}
+	return rec, nil
+}
+
+// encodeMap renders "epoch|owner0,owner1,...". Replica sets are static
+// topology, so only epoch and slot owners persist.
+func encodeMap(m *ShardMap) []byte {
+	owners := make([]string, NumSlots)
+	for i, o := range m.Slots {
+		owners[i] = strconv.Itoa(o)
+	}
+	return []byte(fmt.Sprintf("%d|%s", m.Epoch, strings.Join(owners, ",")))
+}
+
+func decodeMap(data []byte, replicas [][]string) *ShardMap {
+	parts := strings.SplitN(string(data), "|", 2)
+	if len(parts) != 2 {
+		return nil
+	}
+	epoch, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return nil
+	}
+	owners := strings.Split(parts[1], ",")
+	if len(owners) != NumSlots {
+		return nil
+	}
+	m := &ShardMap{Epoch: epoch}
+	for i, o := range owners {
+		v, err := strconv.Atoi(o)
+		if err != nil {
+			return nil
+		}
+		m.Slots[i] = v
+	}
+	for _, r := range replicas {
+		m.Replicas = append(m.Replicas, append([]string(nil), r...))
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+
+	"ustore/internal/placement"
+)
+
+// DiskInfo is one disk's static wiring in the fleet topology.
+type DiskInfo struct {
+	ID       string
+	Loc      placement.Location
+	Capacity int64
+}
+
+// UnitTopo is one deploy unit's static shape: its rack, hosts, disks, and
+// the metadata shard that owns its state (unit ownership is static; only
+// volume slots move between shards).
+type UnitTopo struct {
+	ID    string
+	Rack  string
+	Index int
+	// Shard is the static owner of this unit's disk state.
+	Shard int
+	// Hosts are the unit's host names (shard replicas co-locate on them).
+	Hosts []string
+	// Disks lists the unit's disk IDs, sorted.
+	Disks []string
+	// MaxSpinning is the unit's power budget in simultaneously spinning
+	// disks.
+	MaxSpinning int
+}
+
+// Topology is the fleet's static hardware inventory: Units*HostsPerUnit
+// hosts and Units*HostsPerUnit*DisksPerHost disks spread round-robin over
+// Racks racks, with disks grouped HubFanIn to a hub.
+type Topology struct {
+	Units    []*UnitTopo
+	UnitByID map[string]*UnitTopo
+	Disks    map[string]*DiskInfo
+	// NumDisks is the fleet-wide disk count.
+	NumDisks int
+}
+
+// unitName formats unit index i.
+func unitName(i int) string { return fmt.Sprintf("u%03d", i) }
+
+// buildTopology synthesizes the fleet inventory from cfg (which must have
+// defaults applied).
+func buildTopology(cfg Config) *Topology {
+	t := &Topology{
+		UnitByID: make(map[string]*UnitTopo, cfg.Units),
+		Disks:    make(map[string]*DiskInfo, cfg.Units*cfg.HostsPerUnit*cfg.DisksPerHost),
+	}
+	for i := 0; i < cfg.Units; i++ {
+		u := &UnitTopo{
+			ID:          unitName(i),
+			Rack:        fmt.Sprintf("r%02d", i%cfg.Racks),
+			Index:       i,
+			Shard:       i % cfg.Shards,
+			MaxSpinning: cfg.MaxSpinningPerUnit,
+		}
+		for h := 0; h < cfg.HostsPerUnit; h++ {
+			host := fmt.Sprintf("%s/h%d", u.ID, h)
+			u.Hosts = append(u.Hosts, host)
+			for d := 0; d < cfg.DisksPerHost; d++ {
+				id := fmt.Sprintf("%s/h%d/d%02d", u.ID, h, d)
+				di := &DiskInfo{
+					ID:       id,
+					Capacity: cfg.DiskCapacity,
+					Loc: placement.Location{
+						Rack: u.Rack,
+						Unit: u.ID,
+						Hub:  fmt.Sprintf("%s/h%d/b%d", u.ID, h, d/cfg.HubFanIn),
+						Host: host,
+					},
+				}
+				t.Disks[id] = di
+				u.Disks = append(u.Disks, id)
+			}
+		}
+		t.Units = append(t.Units, u)
+		t.UnitByID[u.ID] = u
+	}
+	t.NumDisks = len(t.Disks)
+	return t
+}
+
+// UnitOfDisk returns the unit topo owning a disk (nil if unknown).
+func (t *Topology) UnitOfDisk(diskID string) *UnitTopo {
+	d := t.Disks[diskID]
+	if d == nil {
+		return nil
+	}
+	return t.UnitByID[d.Loc.Unit]
+}
+
+// ShardUnits returns the sorted unit IDs statically owned by shard k.
+func (t *Topology) ShardUnits(k int) []string {
+	var out []string
+	for _, u := range t.Units {
+		if u.Shard == k {
+			out = append(out, u.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package placement
+
+import "sort"
+
+// Level selects the failure domain two fragments of one volume must never
+// share. Levels nest by blast radius: a host is the smallest (its disks
+// re-home after failover), a hub takes its whole disk group with it, a
+// deploy unit is one fabric, and a rack shares power and uplinks.
+type Level int
+
+// Spread levels, smallest domain first.
+const (
+	LevelHost Level = iota
+	LevelHub
+	LevelUnit
+	LevelRack
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelHost:
+		return "host"
+	case LevelHub:
+		return "hub"
+	case LevelUnit:
+		return "unit"
+	case LevelRack:
+		return "rack"
+	default:
+		return "level?"
+	}
+}
+
+// Location places a disk in the failure-domain hierarchy. Rack, Unit and
+// Hub are static wiring; Host is the current (dynamic) attachment.
+type Location struct {
+	Rack string
+	Unit string
+	Hub  string
+	Host string
+}
+
+// Domain returns the disk's failure-domain key at the given level. Keys
+// are fully qualified (a hub key embeds its unit and rack) so identical
+// leaf names in different units never collide.
+func (l Location) Domain(level Level) string {
+	switch level {
+	case LevelRack:
+		return l.Rack
+	case LevelUnit:
+		return l.Rack + "/" + l.Unit
+	case LevelHub:
+		return l.Rack + "/" + l.Unit + "/" + l.Hub
+	default:
+		return l.Rack + "/" + l.Unit + "/~" + l.Host
+	}
+}
+
+// SpreadOptions parameterizes a Spread call.
+type SpreadOptions struct {
+	// Level is the failure domain no two chosen fragments (nor any Exclude
+	// entry) may share.
+	Level Level
+	// Exclude lists domains (at Level) already occupied by the volume's
+	// surviving fragments — repair must place around them.
+	Exclude []string
+	// SpinBudget, when non-nil, maps a unit's domain key (LevelUnit) to
+	// how many more disks it may spin up. Spun-down disks in units with no
+	// remaining budget are skipped unless nothing else fits; the
+	// OverBudget counter in the result reports such forced picks.
+	SpinBudget map[string]int
+}
+
+// SpreadResult reports a Spread decision.
+type SpreadResult struct {
+	// Disks are the chosen disk IDs, in pick order.
+	Disks []DiskView
+	// OverBudget counts picks that had to spin up a disk in a unit whose
+	// spin budget was exhausted (placement preferred anything else first).
+	OverBudget int
+}
+
+// Spread chooses n disks from candidates such that no two share a failure
+// domain at opts.Level. Candidates must be pre-filtered (alive, enough
+// free space) and sorted by ID. Within the hard domain constraint the
+// greedy pick prefers, in order: a rack not yet holding a fragment, a
+// spinning disk (or a spun-down one whose unit still has spin budget),
+// and the most free space; ties break on disk ID. It returns as many
+// disks as it could place (len < n means the topology cannot spread that
+// wide).
+func Spread(candidates []DiskView, n int, opts SpreadOptions) SpreadResult {
+	var res SpreadResult
+	if n <= 0 || len(candidates) == 0 {
+		return res
+	}
+	candidates = append([]DiskView(nil), candidates...) // consumed in place
+	usedDomain := make(map[string]bool, n+len(opts.Exclude))
+	usedRack := make(map[string]bool, n)
+	for _, d := range opts.Exclude {
+		usedDomain[d] = true
+	}
+	// Remaining spin budget is consumed as picks land on spun-down disks.
+	budget := opts.SpinBudget
+	for len(res.Disks) < n {
+		best := -1
+		bestCost := 0
+		for i, d := range candidates {
+			if d.ID == "" { // consumed
+				continue
+			}
+			if usedDomain[d.Loc.Domain(opts.Level)] {
+				continue
+			}
+			// Cost ranks the soft preferences: rack reuse is worst at 4,
+			// spin state adds 0 (spinning), 1 (spin-up within budget) or 2
+			// (forced over-budget spin-up).
+			cost := 0
+			if usedRack[d.Loc.Rack] {
+				cost += 4
+			}
+			if !d.Spinning {
+				cost++
+				if budget != nil && budget[d.Loc.Domain(LevelUnit)] <= 0 {
+					cost++
+				}
+			}
+			if best < 0 || cost < bestCost ||
+				(cost == bestCost && moreDesirable(d, candidates[best])) {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := candidates[best]
+		candidates[best].ID = "" // consume without reslicing
+		usedDomain[d.Loc.Domain(opts.Level)] = true
+		usedRack[d.Loc.Rack] = true
+		if !d.Spinning {
+			if budget != nil {
+				key := d.Loc.Domain(LevelUnit)
+				if budget[key] <= 0 {
+					res.OverBudget++
+				}
+				budget[key]--
+			}
+		}
+		res.Disks = append(res.Disks, d)
+	}
+	return res
+}
+
+// moreDesirable orders equal-cost candidates: most free space first, then
+// lexicographic disk ID.
+func moreDesirable(a, b DiskView) bool {
+	if a.Free != b.Free {
+		return a.Free > b.Free
+	}
+	return a.ID < b.ID
+}
+
+// SortViews sorts candidate views by disk ID (the deterministic order
+// PickSingle and Spread require).
+func SortViews(views []DiskView) {
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+}

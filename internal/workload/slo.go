@@ -4,8 +4,31 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
+
+// samplePool recycles the per-(class, phase) latency sample slices. A large
+// tenant population completes millions of requests per phase, and the
+// append-grown backing arrays dominate the engine's allocations (flagged in
+// ROADMAP item 2 as a blocker for 1M-tenant runs); they are dead the moment
+// the report rows are built, so the engine returns them here and the next
+// run — or the next seed of a sweep, on any worker — starts with grown
+// capacity instead of re-paying the growth path. Pooling never changes
+// results: slices are handed out empty and consumed fully before release.
+var samplePool = sync.Pool{New: func() any { return new([]time.Duration) }}
+
+// getSampleSlice returns an empty latency slice, reusing whatever capacity
+// a previous run grew.
+func getSampleSlice() []time.Duration {
+	return (*samplePool.Get().(*[]time.Duration))[:0]
+}
+
+// putSampleSlice returns a slice's backing array to the pool. The caller
+// must not touch s afterwards.
+func putSampleSlice(s []time.Duration) {
+	samplePool.Put(&s)
+}
 
 // Phase names, in timeline order. Warmup samples are reported but excluded
 // from acceptance comparisons; quiescent is the baseline the storm phase is

@@ -301,6 +301,7 @@ func NewTrafficEngine(c *core.Cluster, o TrafficOptions, logf func(string, ...an
 		}
 		for _, ph := range Phases {
 			cs.counts[ph] = make(map[string]int)
+			cs.samples[ph] = getSampleSlice()
 			cs.hist[ph] = e.rec.Histogram("workload", "request_seconds",
 				obs.L("class", spec.Name), obs.L("phase", ph))
 		}
@@ -823,6 +824,10 @@ func (e *TrafficEngine) report() *SLOReport {
 	for _, cs := range e.classes {
 		for _, ph := range Phases {
 			r.Rows = append(r.Rows, sloRow(cs.spec.Name, ph, cs.counts[ph], cs.samples[ph]))
+			// The row captured the quantiles; the sample arena is dead.
+			// Recycle it for the next run (or next sweep seed).
+			putSampleSlice(cs.samples[ph])
+			cs.samples[ph] = nil
 		}
 	}
 	return r
