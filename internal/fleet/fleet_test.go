@@ -256,6 +256,34 @@ func TestUnitLossDrainsOntoSurvivors(t *testing.T) {
 	}
 }
 
+// A scheduler whose per-tick generation outruns its inflight cap must not
+// fence the overflow tasks' volumes forever: every generated task launches,
+// so finish() always unfences.
+func TestSchedulerSaturationStillDrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheduler.MaxInflight = 1
+	cfg.Scheduler.TasksPerTick = 4
+	f := boot(t, cfg)
+	r := f.NewRouter("c1")
+	for i := 0; i < 16; i++ {
+		mustAlloc(t, f, r, fmt.Sprintf("vol-%04d", i))
+	}
+
+	const victim = "u000"
+	f.KillUnit(victim)
+	f.Settle(6 * time.Minute)
+
+	if !f.Drained(victim) {
+		t.Fatalf("saturated scheduler never drained %s (tasks fenced but not launched)", victim)
+	}
+	for k := 0; k < f.Cfg.Shards; k++ {
+		if m := f.Leader(k); m != nil && len(m.sch.pendingVol) != 0 {
+			t.Fatalf("shard %d still fences %d volumes after repairs settled", k, len(m.sch.pendingVol))
+		}
+	}
+	checkInvariants(t, f)
+}
+
 func TestDiskFailureRepairsAroundIt(t *testing.T) {
 	f := boot(t, testConfig())
 	r := f.NewRouter("c1")

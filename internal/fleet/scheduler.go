@@ -135,11 +135,15 @@ func (s *shardScheduler) tick() {
 	}
 	s.checkUnits()
 	s.inspect()
+	// Cap generation by launch capacity: generate() fences every emitted
+	// task's volume in pendingVol and only finish() of a launched task
+	// unfences, so a task generated but never launched would stay fenced
+	// (and unrepaired) forever.
 	budget := s.cfg.TasksPerTick
+	if room := s.cfg.MaxInflight - s.inflight; budget > room {
+		budget = room
+	}
 	for _, t := range s.generate(budget) {
-		if s.inflight >= s.cfg.MaxInflight {
-			break
-		}
 		s.launch(t)
 	}
 	m.gAlive.Set(float64(s.aliveOwnedUnits()))
@@ -193,6 +197,9 @@ func (s *shardScheduler) diskBad(diskID string) bool {
 // at most one balance move.
 func (s *shardScheduler) generate(budget int) []task {
 	m := s.m
+	if budget <= 0 {
+		return nil
+	}
 	var tasks []task
 	ids := make([]string, 0, len(m.vols))
 	for id := range m.vols {

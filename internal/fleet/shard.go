@@ -452,6 +452,16 @@ func (m *ShardMaster) execAllocate(op *shardOp, a AllocateArgs) {
 	m.commitGuard(op)
 	m.store.Create(volPath(a.Volume), encodeVol(rec), "", func(err error) {
 		if err != nil && !errors.Is(err, coord.ErrExists) {
+			// Roll back the optimistic charge: a creation reported as failed
+			// must not stay lookupable or keep its capacity held until the
+			// next failover rebuild. (After a lose/regain cycle rebuild()
+			// already discarded the entry, so guard on its presence.)
+			if _, ok := m.vols[a.Volume]; ok {
+				delete(m.vols, a.Volume)
+				for _, d := range disks {
+					m.unplace(d, a.Size)
+				}
+			}
 			m.opDone(op, AllocateReply{ShardReply: ShardReply{Err: err.Error()}})
 			return
 		}
@@ -588,6 +598,11 @@ func (m *ShardMaster) onInstallSlot(_ string, args any, reply func(any, error)) 
 		reply(InstallSlotReply{ShardReply{OK: true}}, nil)
 		return
 	}
+	// A commit that fails (leadership lost mid-install) must not be
+	// acknowledged: the source would DropSlot and the records would be
+	// durably lost. Reply Busy so the admin retry loop re-drives the
+	// install (re-Creates of already-committed records return ErrExists).
+	failed := false
 	for _, id := range ids {
 		rec := a.Vols[id].clone()
 		// A re-sent install (admin retry under a fresh request ID) must not
@@ -600,9 +615,16 @@ func (m *ShardMaster) onInstallSlot(_ string, args any, reply func(any, error)) 
 			}
 		}
 		m.vols[id] = rec
-		m.store.Create(volPath(id), encodeVol(rec), "", func(error) {
+		m.store.Create(volPath(id), encodeVol(rec), "", func(err error) {
+			if err != nil && !errors.Is(err, coord.ErrExists) {
+				failed = true
+			}
 			remaining--
 			if remaining == 0 {
+				if failed {
+					reply(InstallSlotReply{ShardReply{Busy: true}}, nil)
+					return
+				}
 				reply(InstallSlotReply{ShardReply{OK: true}}, nil)
 			}
 		})
@@ -622,26 +644,48 @@ func (m *ShardMaster) onDropSlot(_ string, args any, reply func(any, error)) {
 		}
 	}
 	sort.Strings(ids)
-	remaining := 2 * len(ids)
+	remaining := len(ids)
 	if remaining == 0 {
 		reply(DropSlotReply{ShardReply{OK: true}}, nil)
 		return
 	}
-	dec := func(error) {
-		remaining--
-		if remaining == 0 {
-			reply(DropSlotReply{ShardReply{OK: true}}, nil)
-		}
-	}
+	// The in-memory vols -> exports move is applied per record only after
+	// both its commits land, and a failed commit replies Busy: acknowledging
+	// an uncommitted drop would let the epoch bump while the replicated tree
+	// still holds (or has lost) the records, and mutating m.vols first would
+	// make the admin's retry find an empty slot and no-op.
+	failed := false
 	for _, id := range ids {
-		rec := m.vols[id]
-		delete(m.vols, id)
-		// Our disks keep holding the fragments until the new owner migrates
-		// them home, so usage stays charged and the export ledger makes that
-		// survivable across our own failovers.
-		m.exports[id] = rec
-		m.store.Create(expPath(id), encodeVol(rec), "", dec)
-		m.store.Delete(volPath(id), dec)
+		id, rec := id, m.vols[id]
+		var createErr, deleteErr error
+		pending := 2
+		step := func() {
+			pending--
+			if pending > 0 {
+				return
+			}
+			if createErr != nil && !errors.Is(createErr, coord.ErrExists) {
+				failed = true
+			} else if deleteErr != nil && !errors.Is(deleteErr, coord.ErrNotFound) {
+				failed = true
+			} else if cur, ok := m.vols[id]; ok {
+				// Our disks keep holding the fragments until the new owner
+				// migrates them home, so usage stays charged and the export
+				// ledger makes that survivable across our own failovers.
+				delete(m.vols, id)
+				m.exports[id] = cur
+			}
+			remaining--
+			if remaining == 0 {
+				if failed {
+					reply(DropSlotReply{ShardReply{Busy: true}}, nil)
+					return
+				}
+				reply(DropSlotReply{ShardReply{OK: true}}, nil)
+			}
+		}
+		m.store.Create(expPath(id), encodeVol(rec), "", func(err error) { createErr = err; step() })
+		m.store.Delete(volPath(id), func(err error) { deleteErr = err; step() })
 	}
 }
 
@@ -651,23 +695,41 @@ func (m *ShardMaster) onInstallMap(_ string, args any, reply func(any, error)) {
 		reply(InstallMapReply{ShardReply{Err: "nil map"}}, nil)
 		return
 	}
-	if a.Map.Epoch <= m.map_.Epoch {
-		reply(InstallMapReply{ShardReply{OK: true}}, nil) // already current
-		return
-	}
-	m.map_ = a.Map.Clone()
-	// Thaw slots the new epoch routes elsewhere.
-	for slot := range m.frozen {
-		if m.map_.Slots[slot] != m.shard {
-			delete(m.frozen, slot)
+	if a.Map.Epoch > m.map_.Epoch {
+		m.map_ = a.Map.Clone()
+		// Thaw slots the new epoch routes elsewhere.
+		for slot := range m.frozen {
+			if m.map_.Slots[slot] != m.shard {
+				delete(m.frozen, slot)
+			}
 		}
 	}
 	if !m.leading {
 		reply(InstallMapReply{ShardReply{OK: true}}, nil)
 		return
 	}
+	// Persist whenever the durable copy is behind the installed epoch — not
+	// only when the epoch just advanced — so an admin retry after a failed
+	// commit (leadership churn) re-drives the write instead of short-
+	// circuiting on the already-current in-memory map.
+	var stored int64
+	if data, err := m.store.Get("/map"); err == nil {
+		if mp := decodeMap(data, nil); mp != nil {
+			stored = mp.Epoch
+		}
+	}
+	if stored >= m.map_.Epoch {
+		reply(InstallMapReply{ShardReply{OK: true}}, nil) // already durable
+		return
+	}
 	data := encodeMap(m.map_)
-	finish := func(error) { reply(InstallMapReply{ShardReply{OK: true}}, nil) }
+	finish := func(err error) {
+		if err != nil && !errors.Is(err, coord.ErrExists) {
+			reply(InstallMapReply{ShardReply{Busy: true}}, nil)
+			return
+		}
+		reply(InstallMapReply{ShardReply{OK: true}}, nil)
+	}
 	if m.store.Exists("/map") {
 		m.store.Set("/map", data, finish)
 	} else {

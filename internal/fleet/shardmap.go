@@ -11,11 +11,12 @@ import (
 // compare away from validity.
 const NumSlots = 64
 
-// SlotOf hashes a volume ID onto its slot.
+// SlotOf hashes a volume ID onto its slot. The modulo runs in uint32 so
+// hashes above MaxInt32 stay non-negative on 32-bit-int platforms.
 func SlotOf(volumeID string) int {
 	h := fnv.New32a()
 	h.Write([]byte(volumeID))
-	return int(h.Sum32()) % NumSlots
+	return int(h.Sum32() % NumSlots)
 }
 
 // ShardMap is the routing table clients cache: which metadata shard owns

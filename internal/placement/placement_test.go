@@ -171,6 +171,24 @@ func TestSpreadDoesNotMutateCandidates(t *testing.T) {
 	}
 }
 
+func TestSpreadDoesNotMutateBudget(t *testing.T) {
+	cands := []DiskView{
+		locView("r0", "u0", "u0/h0", "u0/b0", "u0/d0", 500, false),
+		locView("r0", "u1", "u1/h0", "u1/b0", "u1/d0", 500, false),
+	}
+	SortViews(cands)
+	budget := map[string]int{"r0/u0": 1, "r0/u1": 1}
+	res := Spread(cands, 2, SpreadOptions{Level: LevelUnit, SpinBudget: budget})
+	if len(res.Disks) != 2 || res.OverBudget != 0 {
+		t.Fatalf("placed %d over=%d, want 2/0", len(res.Disks), res.OverBudget)
+	}
+	// Both picks spun up a disk, but the caller's budget must be untouched
+	// so it can be reused across calls.
+	if budget["r0/u0"] != 1 || budget["r0/u1"] != 1 {
+		t.Fatalf("caller budget mutated: %v", budget)
+	}
+}
+
 func TestDomainKeysQualified(t *testing.T) {
 	a := Location{Rack: "r0", Unit: "u0", Hub: "b0", Host: "h0"}
 	b := Location{Rack: "r1", Unit: "u0", Hub: "b0", Host: "h0"}

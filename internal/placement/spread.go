@@ -68,7 +68,8 @@ type SpreadOptions struct {
 	// SpinBudget, when non-nil, maps a unit's domain key (LevelUnit) to
 	// how many more disks it may spin up. Spun-down disks in units with no
 	// remaining budget are skipped unless nothing else fits; the
-	// OverBudget counter in the result reports such forced picks.
+	// OverBudget counter in the result reports such forced picks. Spread
+	// copies the map; the caller's budget is never modified.
 	SpinBudget map[string]int
 }
 
@@ -100,8 +101,15 @@ func Spread(candidates []DiskView, n int, opts SpreadOptions) SpreadResult {
 	for _, d := range opts.Exclude {
 		usedDomain[d] = true
 	}
-	// Remaining spin budget is consumed as picks land on spun-down disks.
-	budget := opts.SpinBudget
+	// Remaining spin budget is consumed as picks land on spun-down disks —
+	// on a private copy, so a caller may reuse its budget across calls.
+	var budget map[string]int
+	if opts.SpinBudget != nil {
+		budget = make(map[string]int, len(opts.SpinBudget))
+		for k, v := range opts.SpinBudget {
+			budget[k] = v
+		}
+	}
 	for len(res.Disks) < n {
 		best := -1
 		bestCost := 0
