@@ -13,6 +13,7 @@
 //	ustore-chaos -days 30 -cpuprofile cpu.out
 //	ustore-chaos -fleet -units 8 -shards 2 -unit-loss   # fleet-scale unit-loss run
 //	ustore-chaos -fleet -units 48 -fleet-bench 1,4,16   # shard-scaling throughput sweep
+//	ustore-chaos -fleet -units 64 -engine-workers 8     # fleet on the parallel engine
 //
 // -seeds N runs N consecutive seeds starting at -seed; -parallel P spreads
 // independent runs over P workers (<1 = one per CPU). Every run is its own
@@ -139,11 +140,13 @@ func run() int {
 		units       = flag.Int("units", 8, "fleet mode: deploy units (64 disks each at defaults)")
 		shards      = flag.Int("shards", 1, "fleet mode: metadata shards")
 		unitLoss    = flag.Bool("unit-loss", false, "fleet mode: kill unit u000 after the load phase and require the repair schedulers to drain it")
+		engWorkers  = flag.Int("engine-workers", 0, "fleet mode: run on the parallel conservative engine with this many workers (0 = classic single-threaded scheduler; results are byte-identical at any count >= 1)")
 		fleetBench  = flag.String("fleet-bench", "", "fleet mode: comma-separated shard counts to measure allocation throughput for (e.g. 1,4,16)")
 		benchOut    = flag.String("bench-out", "", "fleet mode: write the -fleet-bench JSON to this file (default stdout)")
 		tenants     = flag.Bool("tenants", false, "run the multi-tenant traffic engine instead of a fault schedule (per-class SLO report)")
 		storm       = flag.Bool("storm", false, "add the restore-storm waves to a -tenants run")
 		protect     = flag.Bool("protect", false, "arm the admission/throttle/autoscale protection stack in a -tenants run")
+		streamQuant = flag.Bool("stream-quantiles", false, "tenants mode: O(1)-memory P² streaming percentile estimators in the SLO report (percentiles approximate, counts and max exact)")
 		sloOut      = flag.String("slo-out", "", "write the -tenants run's SLO report to this file")
 		minimize    = flag.Bool("minimize", false, "on violation, bisect the schedule to the shortest violating prefix")
 		showLog     = flag.Bool("log", false, "print the full event log")
@@ -181,7 +184,8 @@ func run() int {
 		for _, dep := range []struct {
 			set  bool
 			name string
-		}{{*unitLoss, "-unit-loss"}, {*fleetBench != "", "-fleet-bench"}, {*benchOut != "", "-bench-out"}} {
+		}{{*unitLoss, "-unit-loss"}, {*fleetBench != "", "-fleet-bench"}, {*benchOut != "", "-bench-out"},
+			{*engWorkers != 0, "-engine-workers"}} {
 			if dep.set {
 				fmt.Fprintf(os.Stderr, "ustore-chaos: %s needs -fleet (it shapes the fleet run)\n", dep.name)
 				return 2
@@ -209,7 +213,8 @@ func run() int {
 		for _, dep := range []struct {
 			set  bool
 			name string
-		}{{*storm, "-storm"}, {*protect, "-protect"}, {*sloOut != "", "-slo-out"}} {
+		}{{*storm, "-storm"}, {*protect, "-protect"}, {*sloOut != "", "-slo-out"},
+			{*streamQuant, "-stream-quantiles"}} {
 			if dep.set {
 				fmt.Fprintf(os.Stderr, "ustore-chaos: %s needs -tenants (it shapes the traffic run)\n", dep.name)
 				return 2
@@ -241,8 +246,8 @@ func run() int {
 	}()
 
 	if *fleetMode {
-		return runFleetMode(*seed, *seeds, *parallel, *units, *shards, *unitLoss,
-			*fleetBench, *benchOut, *showLog, *metricsOut)
+		return runFleetMode(*seed, *seeds, *parallel, *units, *shards, *engWorkers,
+			*unitLoss, *fleetBench, *benchOut, *showLog, *metricsOut)
 	}
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
@@ -254,6 +259,7 @@ func run() int {
 	o.Tenants = *tenants
 	o.Storm = *storm
 	o.Protect = *protect
+	o.StreamQuantiles = *streamQuant
 	if *tenants {
 		// Traffic mode replaces the fault schedule entirely.
 		o.HostCrashes, o.DiskFaults, o.HubFaults, o.NetFaults, o.Corruptions = false, false, false, false, false
@@ -327,17 +333,19 @@ func run() int {
 
 // runFleetMode executes the fleet-scale harness: a bench sweep when
 // -fleet-bench is set, otherwise one unit-loss/load run per seed.
-func runFleetMode(seed int64, seeds, parallel, units, shards int, unitLoss bool,
+func runFleetMode(seed int64, seeds, parallel, units, shards, engineWorkers int, unitLoss bool,
 	benchList, benchOut string, showLog bool, metricsOut string) int {
 	if benchList != "" {
-		return runFleetBench(seed, units, benchList, benchOut)
+		return runFleetBench(seed, units, engineWorkers, benchList, benchOut)
 	}
-	base := chaos.FleetOptions{Seed: seed, Units: units, Shards: shards, UnitLoss: unitLoss}
+	base := chaos.FleetOptions{Seed: seed, Units: units, Shards: shards, UnitLoss: unitLoss,
+		EngineWorkers: engineWorkers}
 	header := fmt.Sprintf("ustore-chaos: fleet seed %d", seed)
 	if seeds > 1 {
 		header = fmt.Sprintf("ustore-chaos: fleet seeds %d..%d", seed, seed+int64(seeds)-1)
 	}
-	fmt.Printf("%s, %d units, %d shards, unit-loss=%v\n", header, units, shards, unitLoss)
+	fmt.Printf("%s, %d units, %d shards, unit-loss=%v, engine-workers=%d\n",
+		header, units, shards, unitLoss, engineWorkers)
 
 	var reps []*chaos.FleetReport
 	if seeds > 1 {
@@ -387,7 +395,7 @@ func runFleetMode(seed int64, seeds, parallel, units, shards int, unitLoss bool,
 // benchList (comma-separated) on a fixed fleet, emitting a JSON document to
 // benchOut (stdout when empty). Offered load scales with capacity: 8
 // saturating closed-loop clients per shard.
-func runFleetBench(seed int64, units int, benchList, benchOut string) int {
+func runFleetBench(seed int64, units, engineWorkers int, benchList, benchOut string) int {
 	const (
 		warmup = 3 * time.Second
 		window = 6 * time.Second
@@ -414,11 +422,12 @@ func runFleetBench(seed int64, units int, benchList, benchOut string) int {
 			return 2
 		}
 		v, err := chaos.MeasureFleetAlloc(chaos.FleetOptions{
-			Seed:       seed,
-			Units:      units,
-			Shards:     n,
-			Clients:    8 * n,
-			VolumeSize: 8 << 20,
+			Seed:          seed,
+			Units:         units,
+			Shards:        n,
+			Clients:       8 * n,
+			VolumeSize:    8 << 20,
+			EngineWorkers: engineWorkers,
 		}, warmup, window)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ustore-chaos: fleet bench %d shards: %v\n", n, err)

@@ -11,6 +11,7 @@
 //	ustore-sim -seed 7             # different deterministic run
 //	ustore-sim -stats              # end-of-run metrics table
 //	ustore-sim -scenario fleet -units 8 -shards 2   # sharded fleet unit-loss demo
+//	ustore-sim -scenario fleet -engine-workers 4    # same demo on the parallel engine
 package main
 
 import (
@@ -36,13 +37,14 @@ func main() {
 	shards := flag.Int("shards", 2, "fleet scenario: metadata shards")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scenario := flag.String("scenario", "crash", "scenario: crash | switch | powersave | fleet")
+	engWorkers := flag.Int("engine-workers", 0, "fleet scenario: run on the parallel conservative engine with this many workers (0 = classic single-threaded scheduler)")
 	stats := flag.Bool("stats", false, "print an end-of-run table of all collected metrics")
 	flag.Parse()
 
 	if *scenario == "fleet" {
 		// The fleet scenario builds its own sharded control plane instead
 		// of a single-master cluster.
-		runFleet(*units, *shards, *seed)
+		runFleet(*units, *shards, *engWorkers, *seed)
 		return
 	}
 
@@ -210,7 +212,7 @@ func runCrash(c *ustore.Cluster, say func(string, ...any)) {
 // runFleet boots the sharded fleet control plane, loads it through a
 // client router, kills a whole deploy unit, and narrates the background
 // schedulers draining it onto the survivors.
-func runFleet(units, shards int, seed int64) {
+func runFleet(units, shards, engineWorkers int, seed int64) {
 	if units < 3*shards {
 		// Each shard's Paxos group wants three distinct units to live on.
 		units = 3 * shards
@@ -219,7 +221,8 @@ func runFleet(units, shards int, seed int64) {
 		}
 		fmt.Printf("(bumping -units to %d so every shard group spans three units)\n", units)
 	}
-	f := fleet.New(fleet.Config{Units: units, Shards: shards, Seed: seed})
+	f := fleet.New(fleet.Config{Units: units, Shards: shards, Seed: seed,
+		EngineWorkers: engineWorkers})
 	say := func(format string, args ...any) {
 		fmt.Printf("[t=%8s] %s\n", f.Sched.Now().Truncate(time.Millisecond), fmt.Sprintf(format, args...))
 	}

@@ -44,6 +44,11 @@ type FleetOptions struct {
 	DrainTimeout time.Duration
 	// Recorder, when non-nil, collects metrics and traces from the run.
 	Recorder *obs.Recorder `json:"-"`
+	// EngineWorkers > 0 runs the fleet on the conservative parallel engine
+	// with that many workers (one partition per deploy unit plus a control
+	// partition). 0 keeps the classic single-scheduler simulation. Reports
+	// are byte-identical across worker counts >= 1.
+	EngineWorkers int
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -116,10 +121,11 @@ func (r *FleetReport) SummaryText() string {
 // own stretched control-plane timings in place.
 func fleetConfig(o FleetOptions) fleet.Config {
 	return fleet.Config{
-		Units:    o.Units,
-		Shards:   o.Shards,
-		Seed:     o.Seed,
-		Recorder: o.Recorder,
+		Units:         o.Units,
+		Shards:        o.Shards,
+		Seed:          o.Seed,
+		Recorder:      o.Recorder,
+		EngineWorkers: o.EngineWorkers,
 	}
 }
 
@@ -247,8 +253,9 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	}
 
 	rep.MapEpoch = f.AuthMap().Epoch
-	rep.Events = f.Sched.Fired()
+	rep.Events = f.EventsFired()
 	logf("fleet run complete: %d violations", len(rep.Violations))
+	f.FinishObs()
 	return rep, nil
 }
 

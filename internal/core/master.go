@@ -94,8 +94,9 @@ type Master struct {
 	// Config.Protection (nil map = throttling off). Heartbeats are never
 	// throttled — starving failure detection to shed load would turn an
 	// overload into a false host death.
-	limiters   map[string]*policy.TokenBucket
-	cThrottled *obs.Counter
+	limiters    map[string]*policy.TokenBucket
+	limiterPool *policy.BucketPool
+	cThrottled  *obs.Counter
 
 	// OnHostDead fires when failure detection declares a host dead.
 	OnHostDead func(host string)
@@ -142,6 +143,7 @@ func NewMaster(net *simnet.Network, name string, store *coord.Store, cfg Config,
 	}
 	if cfg.Protection != nil && cfg.Protection.MasterRate > 0 {
 		m.limiters = make(map[string]*policy.TokenBucket)
+		m.limiterPool = policy.NewBucketPool(cfg.Protection.MasterRate, cfg.Protection.MasterBurst)
 		m.cThrottled = cfg.Recorder.Counter("core", "master_throttled_total")
 	}
 	m.SetUnits([]UnitInfo{{
@@ -512,8 +514,7 @@ func (m *Master) throttled(from string) bool {
 	}
 	tb := m.limiters[from]
 	if tb == nil {
-		pc := m.cfg.Protection
-		tb = &policy.TokenBucket{Rate: pc.MasterRate, Burst: pc.MasterBurst}
+		tb = m.limiterPool.Get()
 		m.limiters[from] = tb
 	}
 	if tb.Allow(m.sched.Now()) {

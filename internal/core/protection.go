@@ -72,8 +72,9 @@ type Protector struct {
 	adm   *policy.Admission
 	scale *policy.AutoScaler
 
-	tenants map[string]*policy.TokenBucket
-	brk     map[string]*policy.Breaker
+	tenants    map[string]*policy.TokenBucket
+	tenantPool *policy.BucketPool
+	brk        map[string]*policy.Breaker
 	// managed marks disks the autoscaler spun up (its spin-down
 	// candidates); the baseline active set is never scaled down.
 	managed map[string]bool
@@ -137,6 +138,9 @@ func NewProtector(c *Cluster, pc ProtectionConfig) *Protector {
 		Throttled:    make(map[string]uint64),
 		BreakerTrips: make(map[string]uint64),
 	}
+	if pc.TenantRate > 0 {
+		p.tenantPool = policy.NewBucketPool(pc.TenantRate, pc.TenantBurst)
+	}
 	for _, cc := range pc.Classes {
 		p.cAdmitted[cc.Name] = rec.Counter("policy", "admitted_total", obs.L("class", cc.Name))
 		p.cThrottled[cc.Name] = rec.Counter("policy", "throttled_total", obs.L("class", cc.Name))
@@ -193,7 +197,7 @@ func (p *Protector) Admit(class, tenant, diskID string, grant func(), reject fun
 	if p.pc.TenantRate > 0 {
 		tb := p.tenants[tenant]
 		if tb == nil {
-			tb = &policy.TokenBucket{Rate: p.pc.TenantRate, Burst: p.pc.TenantBurst}
+			tb = p.tenantPool.Get()
 			p.tenants[tenant] = tb
 		}
 		if !tb.Allow(now) {

@@ -13,9 +13,10 @@ import (
 // newly elected leader's view. Heartbeats rotate through the shard's
 // replicas until one answers as leader.
 type Agent struct {
-	f    *Fleet
-	unit *UnitTopo
-	rpc  *simnet.RPCNode
+	f     *Fleet
+	unit  *UnitTopo
+	sched *simtime.Scheduler
+	rpc   *simnet.RPCNode
 
 	// replicas are the owning shard's master node names.
 	replicas []string
@@ -29,11 +30,12 @@ type Agent struct {
 	stopped bool
 }
 
-func newAgent(f *Fleet, u *UnitTopo, replicas []string) *Agent {
+func newAgent(f *Fleet, u *UnitTopo, replicas []string, p part) *Agent {
 	return &Agent{
 		f:        f,
 		unit:     u,
-		rpc:      simnet.NewRPCNode(f.Net, "agent:"+u.ID),
+		sched:    p.sched,
+		rpc:      simnet.NewRPCNode(p.net, "agent:"+u.ID),
 		replicas: replicas,
 		dead:     make(map[string]bool),
 		draining: make(map[string]bool),
@@ -41,7 +43,7 @@ func newAgent(f *Fleet, u *UnitTopo, replicas []string) *Agent {
 }
 
 func (a *Agent) start() {
-	a.ticker = a.f.Sched.Every(a.f.Cfg.HeartbeatInterval, a.beat)
+	a.ticker = a.sched.Every(a.f.Cfg.HeartbeatInterval, a.beat)
 }
 
 func (a *Agent) stop() {

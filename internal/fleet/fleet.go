@@ -13,8 +13,18 @@
 // replica per shard master, colocated on the master's machine), paxos
 // (consensus under coord), simnet/simtime (deterministic transport and
 // clock) and placement (the Spread policy extracted from core.Master).
-// Everything is event-driven on one scheduler: a run with the same seed is
-// byte-identical at any -test.cpu / worker count.
+//
+// Two execution modes share one code path. The default
+// (Config.EngineWorkers == 0) is the classic single scheduler: every
+// component on one event heap, a run with the same seed byte-identical at
+// any -test.cpu / worker count. Setting EngineWorkers >= 1 runs the fleet
+// on the conservative parallel engine (simtime.Engine + simnet.Fabric,
+// DESIGN.md §14): one partition per deploy unit plus a control partition,
+// synchronized in lookahead-bounded windows. The engine keeps the same
+// determinism contract — worker count only sizes the pool that executes a
+// window, so engine runs are byte-identical at any EngineWorkers >= 1 —
+// but engine and classic runs legitimately differ from each other, because
+// the fabric charges every cross-unit hop the conservative lookahead.
 package fleet
 
 import (
@@ -90,6 +100,15 @@ type Config struct {
 	Seed int64
 	// Recorder receives fleet metrics and traces (nil = no recording).
 	Recorder *obs.Recorder
+
+	// EngineWorkers > 0 runs the fleet on the conservative parallel engine:
+	// the event space is partitioned per deploy unit (plus one control
+	// partition for the admin plane and client routers) and windows execute
+	// on up to EngineWorkers goroutines. 0 (the default) keeps the classic
+	// single-scheduler simulation. A partitioned run is byte-identical at
+	// any worker count >= 1, but its event interleaving legitimately
+	// differs from the single-scheduler one.
+	EngineWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +190,12 @@ type Fleet struct {
 	Net   *simnet.Network
 	Topo  *Topology
 
+	// Engine/Fabric are set when Cfg.EngineWorkers > 0: partition 0 is the
+	// control plane (admin node, routers, the Settle driver) and partition
+	// 1+u is deploy unit u. Sched/Net then alias the control partition.
+	Engine *simtime.Engine
+	Fabric *simnet.Fabric
+
 	// Shards[k][i] is replica i of shard k.
 	Shards [][]*ShardMaster
 	// Stores[k][i] is the coord replica backing Shards[k][i].
@@ -180,12 +205,54 @@ type Fleet struct {
 
 	rec   *obs.Recorder
 	admin *simnet.RPCNode
+	// nets/recs are the per-partition network and recorder handles in
+	// engine mode (index = partition).
+	nets []*simnet.Network
+	recs []*obs.Recorder
+	// userRec is Cfg.Recorder; FinishObs folds the partition recorders
+	// into it once an engine-mode run completes.
+	userRec     *obs.Recorder
+	obsFinished bool
+	// replicaNames[k] lists shard k's master RPC names — static topology,
+	// safe to read from any partition.
+	replicaNames [][]string
+	// adminBelieved[k] is the control plane's believed-leader replica index
+	// for shard k. Engine mode cannot peek other partitions' leader flags
+	// mid-run, so the admin discovers leaders like clients do: call the
+	// believed replica, rotate on failure.
+	adminBelieved []int
 	// authMap is the admin plane's authoritative shard map (advanced by
 	// MoveSlot; routers bootstrap from a clone).
 	authMap *ShardMap
 	// deadUnits records KillUnit victims (validators skip their replicas).
 	deadUnits map[string]bool
 	nRouters  int
+}
+
+// crossUnitLatency is the minimum latency of any cross-unit network link —
+// the lookahead the conservative engine synchronizes on. Every message that
+// crosses a deploy-unit boundary takes at least this long.
+const crossUnitLatency = time.Millisecond
+
+// part bundles the simulation handles a component is built on: in engine
+// mode each deploy unit gets its own scheduler/network/recorder triple, in
+// classic mode every part aliases the shared one.
+type part struct {
+	sched *simtime.Scheduler
+	net   *simnet.Network
+	rec   *obs.Recorder
+}
+
+// ctrlPart is the control plane's partition (the shared triple in classic
+// mode).
+func (f *Fleet) ctrlPart() part { return part{f.Sched, f.Net, f.rec} }
+
+// unitPart is the partition deploy unit u's processes run on.
+func (f *Fleet) unitPart(u int) part {
+	if f.Engine == nil {
+		return part{f.Sched, f.Net, f.rec}
+	}
+	return part{f.Engine.Part(1 + u), f.nets[1+u], f.recs[1+u]}
 }
 
 // unitMachine is the simnet machine name every process of a unit shares.
@@ -203,23 +270,44 @@ func (c Config) replicaUnit(shard, replica int) int {
 // agents. Call Settle to let the first leaders emerge before driving load.
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
-	sched := simtime.NewScheduler(cfg.Seed)
-	net := simnet.New(sched)
-	if cfg.Recorder != nil {
-		cfg.Recorder.BindClock(func() time.Duration { return sched.Now() })
-		net.SetRecorder(cfg.Recorder)
-	}
 	f := &Fleet{
 		Cfg:       cfg,
-		Sched:     sched,
-		Net:       net,
 		Topo:      buildTopology(cfg),
-		rec:       cfg.Recorder,
+		userRec:   cfg.Recorder,
 		deadUnits: make(map[string]bool),
+	}
+	if cfg.EngineWorkers > 0 {
+		parts := cfg.Units + 1
+		f.Engine = simtime.NewEngine(cfg.Seed, parts, cfg.EngineWorkers, crossUnitLatency)
+		f.Fabric = simnet.NewFabric(f.Engine)
+		f.nets = make([]*simnet.Network, parts)
+		f.recs = make([]*obs.Recorder, parts)
+		for p := 0; p < parts; p++ {
+			f.nets[p] = f.Fabric.Network(p)
+			if cfg.Recorder != nil {
+				r := obs.NewRecorder()
+				psched := f.Engine.Part(p)
+				r.BindClock(func() time.Duration { return psched.Now() })
+				f.nets[p].SetRecorder(r)
+				f.recs[p] = r
+			}
+		}
+		f.Sched, f.Net, f.rec = f.Engine.Part(0), f.nets[0], f.recs[0]
+		f.adminBelieved = make([]int, cfg.Shards)
+	} else {
+		sched := simtime.NewScheduler(cfg.Seed)
+		net := simnet.New(sched)
+		if cfg.Recorder != nil {
+			cfg.Recorder.BindClock(func() time.Duration { return sched.Now() })
+			net.SetRecorder(cfg.Recorder)
+		}
+		f.Sched, f.Net, f.rec = sched, net, cfg.Recorder
 	}
 
 	// Shard groups: R coord replicas + R shard masters per shard, each
-	// replica pair colocated on a distinct unit's machine.
+	// replica pair colocated on a distinct unit's machine — and, in engine
+	// mode, built on that unit's partition so the group's paxos traffic is
+	// partition-local except for cross-unit hops through the fabric.
 	replicas := make([][]string, cfg.Shards)
 	for k := 0; k < cfg.Shards; k++ {
 		peers := make([]string, cfg.ShardReplicas)
@@ -229,13 +317,14 @@ func New(cfg Config) *Fleet {
 		var stores []*coord.Store
 		var masters []*ShardMaster
 		for i := 0; i < cfg.ShardReplicas; i++ {
-			st := coord.NewStore(net, peers[i], peers, cfg.Paxos)
+			up := f.unitPart(cfg.replicaUnit(k, i))
+			st := coord.NewStore(up.net, peers[i], peers, cfg.Paxos)
 			st.SetSweepInterval(cfg.CoordSweepInterval)
-			m := newShardMaster(f, k, i, st)
+			m := newShardMaster(f, k, i, st, up)
 			mach := unitMachine(unitName(cfg.replicaUnit(k, i)))
-			net.Colocate(peers[i], mach)          // paxos node
-			net.Colocate("coord:"+peers[i], mach) // coord session endpoint
-			net.Colocate(m.rpcName, mach)         // shard master process
+			up.net.Colocate(peers[i], mach)          // paxos node
+			up.net.Colocate("coord:"+peers[i], mach) // coord session endpoint
+			up.net.Colocate(m.rpcName, mach)         // shard master process
 			stores = append(stores, st)
 			masters = append(masters, m)
 			replicas[k] = append(replicas[k], m.rpcName)
@@ -243,6 +332,7 @@ func New(cfg Config) *Fleet {
 		f.Stores = append(f.Stores, stores)
 		f.Shards = append(f.Shards, masters)
 	}
+	f.replicaNames = replicas
 	f.authMap = initialMap(cfg.Shards, replicas)
 	for _, group := range f.Shards {
 		for _, m := range group {
@@ -253,18 +343,46 @@ func New(cfg Config) *Fleet {
 
 	// Unit agents.
 	for _, u := range f.Topo.Units {
-		a := newAgent(f, u, replicas[u.Shard])
-		net.Colocate(a.rpc.Name(), unitMachine(u.ID))
+		up := f.unitPart(u.Index)
+		a := newAgent(f, u, replicas[u.Shard], up)
+		up.net.Colocate(a.rpc.Name(), unitMachine(u.ID))
 		f.Agents = append(f.Agents, a)
 		a.start()
 	}
 
-	f.admin = simnet.NewRPCNode(net, "fleet-admin")
+	f.admin = simnet.NewRPCNode(f.Net, "fleet-admin")
 	return f
 }
 
 // Settle runs the simulation for d of virtual time.
-func (f *Fleet) Settle(d time.Duration) { f.Sched.RunFor(d) }
+func (f *Fleet) Settle(d time.Duration) {
+	if f.Engine != nil {
+		f.Engine.RunFor(d)
+		return
+	}
+	f.Sched.RunFor(d)
+}
+
+// EventsFired is the total number of simulation events executed so far,
+// summed over partitions in engine mode.
+func (f *Fleet) EventsFired() uint64 {
+	if f.Engine != nil {
+		return f.Engine.Fired()
+	}
+	return f.Sched.Fired()
+}
+
+// FinishObs folds the per-partition recorders into Cfg.Recorder after an
+// engine-mode run: series sum, trace events interleave in timestamp order.
+// Idempotent; a no-op in classic mode (where Cfg.Recorder records directly).
+func (f *Fleet) FinishObs() {
+	if f.Engine == nil || f.userRec == nil || f.obsFinished {
+		return
+	}
+	f.obsFinished = true
+	f.userRec.BindClock(func() time.Duration { return f.Engine.Now() })
+	obs.MergeRecorders(f.userRec, f.recs...)
+}
 
 // Leader returns shard k's current leader master, or nil if the group is
 // between leaders.
@@ -313,7 +431,9 @@ func (f *Fleet) KillUnit(unitID string) {
 			}
 		}
 	}
-	f.Net.IsolateMachine(unitMachine(unitID))
+	// Unplug on the partition that owns the machine: local sends drop at
+	// the source, fabric traffic drops against this state on either side.
+	f.unitPart(u.Index).net.IsolateMachine(unitMachine(unitID))
 	if f.rec != nil {
 		f.rec.Instant("fleet", "unit-killed", "fleet", obs.L("unit", unitID))
 	}
@@ -353,8 +473,15 @@ func (f *Fleet) adminCall(shard int, method string, args any, attempts int, done
 }
 
 // adminCallFrom is adminCall sending from an arbitrary RPC node (shard
-// masters use it for cross-shard FreeForeign notifications).
+// masters use it for cross-shard FreeForeign notifications in classic
+// mode). In engine mode the leader peek below would read another
+// partition's state mid-window, so the call rotates through believed
+// leaders instead.
 func (f *Fleet) adminCallFrom(from *simnet.RPCNode, shard int, method string, args any, attempts int, done func(res any, err error)) {
+	if f.Engine != nil {
+		f.adminRotate(shard, method, args, attempts, done)
+		return
+	}
 	retry := func(err error) {
 		if attempts <= 0 {
 			done(nil, err)
@@ -380,6 +507,48 @@ func (f *Fleet) adminCallFrom(from *simnet.RPCNode, shard int, method string, ar
 			done(res, nil)
 		case sr.NotLeader || sr.Busy:
 			retry(fmt.Errorf("fleet: %s on shard %d: not leader/busy", method, shard))
+		default:
+			done(nil, fmt.Errorf("fleet: %s on shard %d: %s", method, shard, sr.Err))
+		}
+	})
+}
+
+// adminRotate is the engine-mode adminCall: call the believed-leader
+// replica of the shard, rotate the belief and retry on timeout or
+// NotLeader. All state it touches (adminBelieved, the retry timer) lives on
+// the control partition; replica names are static topology.
+func (f *Fleet) adminRotate(shard int, method string, args any, attempts int, done func(res any, err error)) {
+	retry := func(err error) {
+		if attempts <= 0 {
+			done(nil, err)
+			return
+		}
+		f.Sched.After(500*time.Millisecond, func() {
+			f.adminRotate(shard, method, args, attempts-1, done)
+		})
+	}
+	names := f.replicaNames[shard]
+	idx := f.adminBelieved[shard] % len(names)
+	rotate := func() {
+		if f.adminBelieved[shard] == idx {
+			f.adminBelieved[shard] = (idx + 1) % len(names)
+		}
+	}
+	f.admin.Call(names[idx], method, args, 256, f.Cfg.RPCTimeout, func(res any, err error) {
+		if err != nil {
+			rotate()
+			retry(err)
+			return
+		}
+		sr := res.(shardReplier).common()
+		switch {
+		case sr.OK:
+			done(res, nil)
+		case sr.NotLeader:
+			rotate()
+			retry(fmt.Errorf("fleet: %s on shard %d: not leader", method, shard))
+		case sr.Busy:
+			retry(fmt.Errorf("fleet: %s on shard %d: busy", method, shard))
 		default:
 			done(nil, fmt.Errorf("fleet: %s on shard %d: %s", method, shard, sr.Err))
 		}

@@ -93,7 +93,7 @@ func newShardScheduler(m *ShardMaster) *shardScheduler {
 		pendingVol: make(map[string]bool),
 	}
 	label := obs.L("shard", strconv.Itoa(m.shard))
-	rec := m.f.rec
+	rec := m.rec
 	s.cTasks = map[string]*obs.Counter{}
 	for _, kind := range []string{taskRepair, taskMigrate, taskDrop, taskBalance} {
 		s.cTasks[kind] = rec.Counter("fleet", "tasks_total", label, obs.L("kind", kind))
@@ -162,7 +162,7 @@ func (s *shardScheduler) checkUnits() {
 		if now-m.unitSeen[u] > deadline {
 			m.deadUnit[u] = true
 			s.cUnitDead.Inc()
-			m.f.rec.Instant("fleet", "unit-declared-dead", "fleet",
+			m.rec.Instant("fleet", "unit-declared-dead", "fleet",
 				obs.L("shard", strconv.Itoa(m.shard)), obs.L("unit", u))
 		}
 	}
@@ -306,7 +306,7 @@ func (s *shardScheduler) launch(t task) {
 		dur += time.Duration(float64(bytes) / s.cfg.RepairBytesPerSec * float64(time.Second))
 		s.cBytes.Add(uint64(bytes))
 	}
-	span := m.f.rec.Begin("fleet", "task:"+t.kind, "shard"+strconv.Itoa(m.shard),
+	span := m.rec.Begin("fleet", "task:"+t.kind, "shard"+strconv.Itoa(m.shard),
 		obs.L("volume", t.volume))
 	epoch := s.epoch
 	m.sched.After(dur, func() {
@@ -403,7 +403,7 @@ func (s *shardScheduler) inspect() {
 		rec := m.vols[id]
 		s.cInspected.Inc()
 		if len(rec.Disks) == 0 || rec.Size < 0 {
-			m.f.rec.Instant("fleet", "inspect-anomaly", "fleet", obs.L("volume", id))
+			m.rec.Instant("fleet", "inspect-anomaly", "fleet", obs.L("volume", id))
 		}
 		s.cursor = id + "\x00" // resume just past the last inspected ID
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ustore/internal/coord"
 	"ustore/internal/obs"
@@ -35,6 +36,13 @@ type ShardMaster struct {
 	rpc      *simnet.RPCNode
 	store    *coord.Store
 	election *coord.Election
+	// rec is the partition recorder this replica writes to (the shared
+	// fleet recorder in classic mode). May be nil.
+	rec *obs.Recorder
+	// foreignBelieved[k] is this master's believed-leader replica index for
+	// foreign shard k (engine mode: cross-shard calls rotate through
+	// believed leaders instead of peeking another partition's state).
+	foreignBelieved map[int]int
 
 	leading bool
 	down    bool
@@ -78,7 +86,7 @@ type shardOp struct {
 	finished bool
 }
 
-func newShardMaster(f *Fleet, shard, replica int, store *coord.Store) *ShardMaster {
+func newShardMaster(f *Fleet, shard, replica int, store *coord.Store, p part) *ShardMaster {
 	name := fmt.Sprintf("s%dm%d", shard, replica)
 	m := &ShardMaster{
 		f:        f,
@@ -86,7 +94,8 @@ func newShardMaster(f *Fleet, shard, replica int, store *coord.Store) *ShardMast
 		replica:  replica,
 		name:     name,
 		rpcName:  "fm:" + name,
-		sched:    f.Sched,
+		sched:    p.sched,
+		rec:      p.rec,
 		store:    store,
 		frozen:   make(map[int]bool),
 		vols:     make(map[string]VolRecord),
@@ -98,10 +107,13 @@ func newShardMaster(f *Fleet, shard, replica int, store *coord.Store) *ShardMast
 		badDisk:  make(map[string]bool),
 		draining: make(map[string]bool),
 	}
-	m.rpc = simnet.NewRPCNode(f.Net, m.rpcName)
+	if f.Engine != nil {
+		m.foreignBelieved = make(map[int]int)
+	}
+	m.rpc = simnet.NewRPCNode(p.net, m.rpcName)
 	m.sch = newShardScheduler(m)
 	shardLabel := obs.L("shard", strconv.Itoa(shard))
-	rec := f.rec
+	rec := m.rec
 	m.cOps = rec.Counter("fleet", "ops_total", shardLabel)
 	m.cAlloc = rec.Counter("fleet", "alloc_total", shardLabel)
 	m.cStale = rec.Counter("fleet", "stale_replies_total", shardLabel)
@@ -157,7 +169,7 @@ func (m *ShardMaster) becomeLeader() {
 	m.store.Create("/exp", nil, "", nil)
 	m.rebuild()
 	m.sch.start()
-	m.f.rec.Instant("fleet", "shard-elected", "fleet",
+	m.rec.Instant("fleet", "shard-elected", "fleet",
 		obs.L("shard", strconv.Itoa(m.shard)), obs.L("leader", m.name))
 }
 
@@ -524,8 +536,58 @@ func (m *ShardMaster) freeForeignFragments(volume string, foreign map[int][]stri
 		args := FreeForeignArgs{Volume: volume, Disks: append([]string(nil), foreign[k]...)}
 		// Generous retry budget: a lost free leaks export-ledger bytes until
 		// an operator reconciles, so ride out a full leader failover.
-		m.f.adminCallFrom(m.rpc, k, "FreeForeign", args, 40, func(any, error) {})
+		if m.f.Engine != nil {
+			m.callShard(k, "FreeForeign", args, 40, func(any, error) {})
+		} else {
+			m.f.adminCallFrom(m.rpc, k, "FreeForeign", args, 40, func(any, error) {})
+		}
 	}
+}
+
+// callShard is the engine-mode cross-shard call: everything it touches —
+// the believed-leader map, the retry timer, the sending RPC node — belongs
+// to this master's partition, and the request itself crosses units through
+// the fabric. Leader discovery is by rotation, like clients.
+func (m *ShardMaster) callShard(shard int, method string, args any, attempts int, done func(res any, err error)) {
+	retry := func(err error) {
+		if attempts <= 0 {
+			done(nil, err)
+			return
+		}
+		m.sched.After(500*time.Millisecond, func() {
+			m.callShard(shard, method, args, attempts-1, done)
+		})
+	}
+	if m.down {
+		done(nil, errors.New("fleet: replica down"))
+		return
+	}
+	names := m.f.replicaNames[shard]
+	idx := m.foreignBelieved[shard] % len(names)
+	rotate := func() {
+		if m.foreignBelieved[shard] == idx {
+			m.foreignBelieved[shard] = (idx + 1) % len(names)
+		}
+	}
+	m.rpc.Call(names[idx], method, args, 256, m.f.Cfg.RPCTimeout, func(res any, err error) {
+		if err != nil {
+			rotate()
+			retry(err)
+			return
+		}
+		sr := res.(shardReplier).common()
+		switch {
+		case sr.OK:
+			done(res, nil)
+		case sr.NotLeader:
+			rotate()
+			retry(fmt.Errorf("fleet: %s on shard %d: not leader", method, shard))
+		case sr.Busy:
+			retry(fmt.Errorf("fleet: %s on shard %d: busy", method, shard))
+		default:
+			done(nil, fmt.Errorf("fleet: %s on shard %d: %s", method, shard, sr.Err))
+		}
+	})
 }
 
 // --- Heartbeats ---

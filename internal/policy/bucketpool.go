@@ -1,0 +1,38 @@
+package policy
+
+// BucketPool carves TokenBuckets out of chunked backing arrays instead of
+// allocating each one individually. Per-tenant and per-caller limiter maps
+// create a bucket the first time an identity shows up — on the Admit /
+// metadata-RPC hot path — and a multi-tenant storm can mint thousands of
+// them; a chunk allocation amortizes that to one heap object per
+// bucketPoolChunk tenants. Buckets handed out are identical to
+// &TokenBucket{Rate: rate, Burst: burst} and stay valid for the pool's
+// lifetime (chunks are never reused or freed while referenced).
+type BucketPool struct {
+	rate  float64
+	burst float64
+	chunk []TokenBucket
+	next  int
+}
+
+// bucketPoolChunk is buckets per backing array: big enough to amortize
+// allocation, small enough that a mostly-idle pool wastes little.
+const bucketPoolChunk = 64
+
+// NewBucketPool returns a pool minting buckets with the given rate/burst.
+func NewBucketPool(rate, burst float64) *BucketPool {
+	return &BucketPool{rate: rate, burst: burst}
+}
+
+// Get returns a fresh zero-state bucket with the pool's rate and burst.
+func (p *BucketPool) Get() *TokenBucket {
+	if p.next == len(p.chunk) {
+		p.chunk = make([]TokenBucket, bucketPoolChunk)
+		p.next = 0
+	}
+	tb := &p.chunk[p.next]
+	p.next++
+	tb.Rate = p.rate
+	tb.Burst = p.burst
+	return tb
+}

@@ -1,0 +1,157 @@
+// Fabric: cross-partition message routing for the parallel engine.
+//
+// A Fabric stitches per-partition Networks — each running on one partition of
+// a simtime.Engine — into a single address space. Sends whose destination is
+// registered on another partition are forwarded through Engine.Post, stamped
+// at send-time + cross-partition latency. That latency is the engine's
+// lookahead source: the Fabric refuses (panics) any cross latency below the
+// engine's declared lookahead, which is precisely the conservative-synchrony
+// contract the engine's Post check enforces on the receiving side.
+//
+// The Fabric deliberately supports only the fault surface the fleet uses
+// across deploy units: machine isolation (checked on the source side at send
+// and on the destination side at delivery). Link cuts, loss/dup dice, one-way
+// cuts, and brownouts remain partition-local — cross-unit traffic in the
+// fleet is unit-to-unit RPC whose failure mode is "the unit's uplink is gone",
+// which isolation models. Keeping the dice out of the cross path also keeps
+// every partition's RNG stream untouched by other partitions' traffic, which
+// the byte-determinism contract requires.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+// Fabric routes messages between Networks living on different partitions of
+// one simtime.Engine. Construct with NewFabric, then create each partition's
+// Network with Fabric.Network.
+//
+// Topology mutations — node registration, Colocate, IsolateMachine — must
+// happen at engine quiescence (between RunUntil windows); message forwarding
+// itself is safe from any partition mid-window.
+type Fabric struct {
+	engine *simtime.Engine
+	nets   []*Network
+	// dir maps every node name to its home partition. Written at
+	// quiescence when nodes register, read concurrently during windows.
+	dir map[string]int
+
+	crossLatency   time.Duration
+	crossBandwidth float64 // bytes/sec; 0 = infinite
+}
+
+// NewFabric returns a fabric over the engine's partitions. The cross latency
+// starts at the engine's lookahead (the minimum legal value) and the cross
+// bandwidth at the 1GbE default; adjust with SetCrossLatency/SetCrossBandwidth
+// before traffic flows.
+func NewFabric(engine *simtime.Engine) *Fabric {
+	return &Fabric{
+		engine:         engine,
+		nets:           make([]*Network, engine.Parts()),
+		dir:            make(map[string]int),
+		crossLatency:   engine.Lookahead(),
+		crossBandwidth: 125e6,
+	}
+}
+
+// Engine returns the engine the fabric routes over.
+func (f *Fabric) Engine() *simtime.Engine { return f.engine }
+
+// Network returns partition part's Network, creating it on the partition's
+// scheduler on first use. Options apply only at creation.
+func (f *Fabric) Network(part int, opts ...Option) *Network {
+	if f.nets[part] == nil {
+		n := New(f.engine.Part(part), opts...)
+		n.fabric = f
+		n.part = part
+		f.nets[part] = n
+	}
+	return f.nets[part]
+}
+
+// SetCrossLatency sets the one-way latency for every cross-partition message.
+// It panics when d is below the engine's lookahead: a shorter link would let
+// a message land inside the window that sent it, in the destination's past.
+func (f *Fabric) SetCrossLatency(d time.Duration) {
+	if d < f.engine.Lookahead() {
+		panic(fmt.Sprintf(
+			"simnet: cross-partition latency %v below engine lookahead %v — conservative sync needs every cross-unit link to be at least one lookahead long",
+			d, f.engine.Lookahead()))
+	}
+	f.crossLatency = d
+}
+
+// CrossLatency returns the current cross-partition link latency.
+func (f *Fabric) CrossLatency() time.Duration { return f.crossLatency }
+
+// SetCrossBandwidth sets the cross-partition link bandwidth in bytes/sec
+// (0 = infinite). Serialization delay adds to the latency, so it can never
+// push a delivery below the lookahead.
+func (f *Fabric) SetCrossBandwidth(bytesPerSec float64) { f.crossBandwidth = bytesPerSec }
+
+// PartitionOf returns the partition a node name is registered on.
+func (f *Fabric) PartitionOf(node string) (int, bool) {
+	p, ok := f.dir[node]
+	return p, ok
+}
+
+// register records a node's home partition; called from Network.Node.
+func (f *Fabric) register(name string, part int) {
+	f.dir[name] = part
+}
+
+// forward routes a message whose destination is not local to src. It reports
+// false when the destination is unknown fabric-wide (the caller then counts
+// the drop). Runs on src's partition goroutine mid-window: it may only touch
+// src-side state and Engine.Post.
+func (f *Fabric) forward(src *Network, msg Message) bool {
+	dstPart, ok := f.dir[msg.To]
+	if !ok {
+		return false
+	}
+	if ma := src.machines[msg.From]; ma != "" && src.isolatedMach[ma] {
+		src.stats.Dropped++
+		src.cDropped.Inc()
+		return true
+	}
+	delay := f.crossLatency
+	if f.crossBandwidth > 0 && msg.Size > 0 {
+		delay += time.Duration(float64(msg.Size) / f.crossBandwidth * float64(time.Second))
+	}
+	dst := f.nets[dstPart]
+	f.engine.Post(src.part, dstPart, src.sched.Now()+delay, func() {
+		dst.deliverRemote(msg)
+	})
+	return true
+}
+
+// deliverRemote completes a cross-partition delivery on the destination
+// partition: the destination-side checks (machine isolation, node up, handler
+// installed) are evaluated against delivery-time state, exactly like the tail
+// of a local deliver.
+func (n *Network) deliverRemote(msg Message) {
+	dst, ok := n.nodes[msg.To]
+	if !ok {
+		n.stats.Dropped++
+		n.cDropped.Inc()
+		return
+	}
+	if mb := n.machines[msg.To]; mb != "" && n.isolatedMach[mb] {
+		n.stats.Dropped++
+		n.cDropped.Inc()
+		return
+	}
+	if !dst.up || dst.handler == nil {
+		n.stats.Dropped++
+		n.cDropped.Inc()
+		return
+	}
+	n.stats.Delivered++
+	n.cDelivered.Inc()
+	n.stats.Bytes += uint64(msg.Size)
+	n.cBytes.Add(uint64(msg.Size))
+	dst.handler(msg)
+}

@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ustore/internal/simtime"
+)
+
+func newTestFabric(t *testing.T, parts, workers int) (*simtime.Engine, *Fabric) {
+	t.Helper()
+	e := simtime.NewEngine(11, parts, workers, time.Millisecond)
+	return e, NewFabric(e)
+}
+
+func TestFabricCrossPartitionDelivery(t *testing.T) {
+	e, f := newTestFabric(t, 2, 1)
+	na, nb := f.Network(0), f.Network(1)
+	na.Node("a")
+	var gotAt simtime.Time
+	nb.Node("b").Handle(func(msg Message) {
+		if msg.From != "a" || msg.Payload != "ping" {
+			t.Errorf("unexpected message %+v", msg)
+		}
+		gotAt = nb.Scheduler().Now()
+	})
+	na.Node("a").Send("b", "ping", 0)
+	e.RunFor(time.Second)
+	if gotAt == 0 {
+		t.Fatal("cross-partition message never delivered")
+	}
+	if gotAt < e.Lookahead() {
+		t.Fatalf("delivered at %v, before one lookahead %v", gotAt, e.Lookahead())
+	}
+	if p, ok := f.PartitionOf("b"); !ok || p != 1 {
+		t.Fatalf("PartitionOf(b) = %d,%v, want 1,true", p, ok)
+	}
+}
+
+// TestFabricLatencyFloorProperty asserts the conservative-sync invariant over
+// a sweep of candidate latencies: every value at or above the lookahead is
+// accepted and every value below it panics with a message naming the
+// contract.
+func TestFabricLatencyFloorProperty(t *testing.T) {
+	_, f := newTestFabric(t, 2, 1)
+	la := f.Engine().Lookahead()
+	for _, d := range []time.Duration{la, la + 1, 2 * la, time.Second} {
+		f.SetCrossLatency(d)
+		if f.CrossLatency() != d {
+			t.Fatalf("CrossLatency = %v, want %v", f.CrossLatency(), d)
+		}
+	}
+	for _, d := range []time.Duration{la - 1, la / 2, 0, -time.Second} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("SetCrossLatency(%v) below lookahead %v did not panic", d, la)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "lookahead") {
+					t.Errorf("panic %v does not name the lookahead contract", r)
+				}
+			}()
+			f.SetCrossLatency(d)
+		}()
+	}
+}
+
+func TestFabricIsolationBothSides(t *testing.T) {
+	e, f := newTestFabric(t, 2, 1)
+	na, nb := f.Network(0), f.Network(1)
+	na.Colocate("a", "mach-a")
+	nb.Colocate("b", "mach-b")
+	na.Node("a")
+	delivered := 0
+	nb.Node("b").Handle(func(Message) { delivered++ })
+
+	// Source-side isolation: the drop is counted where the send happened.
+	na.IsolateMachine("mach-a")
+	na.Node("a").Send("b", 1, 0)
+	e.RunFor(time.Second)
+	if delivered != 0 || na.Stats().Dropped != 1 {
+		t.Fatalf("after src isolation: delivered=%d srcDropped=%d, want 0,1", delivered, na.Stats().Dropped)
+	}
+	na.RejoinMachine("mach-a")
+
+	// Destination-side isolation: the message crosses the fabric and is
+	// dropped against delivery-time state on the destination partition.
+	nb.IsolateMachine("mach-b")
+	na.Node("a").Send("b", 2, 0)
+	e.RunFor(time.Second)
+	if delivered != 0 || nb.Stats().Dropped != 1 {
+		t.Fatalf("after dst isolation: delivered=%d dstDropped=%d, want 0,1", delivered, nb.Stats().Dropped)
+	}
+	nb.RejoinMachine("mach-b")
+
+	na.Node("a").Send("b", 3, 0)
+	e.RunFor(time.Second)
+	if delivered != 1 {
+		t.Fatalf("after rejoin: delivered=%d, want 1", delivered)
+	}
+}
+
+func TestFabricSerializationDelay(t *testing.T) {
+	e, f := newTestFabric(t, 2, 1)
+	f.SetCrossBandwidth(1e6) // 1 MB/s: a 1MB payload adds a full second
+	na, nb := f.Network(0), f.Network(1)
+	na.Node("a")
+	var gotAt simtime.Time
+	nb.Node("b").Handle(func(Message) { gotAt = nb.Scheduler().Now() })
+	na.Node("a").Send("b", "bulk", 1<<20)
+	e.RunFor(5 * time.Second)
+	if gotAt < time.Second {
+		t.Fatalf("1MB at 1MB/s delivered at %v, want ≥ 1s of serialization", gotAt)
+	}
+}
+
+func TestFabricUnknownDestinationCountsDrop(t *testing.T) {
+	e, f := newTestFabric(t, 2, 1)
+	na := f.Network(0)
+	na.Node("a").Send("nobody", 1, 0)
+	e.RunFor(time.Second)
+	if d := na.Stats().Dropped; d != 1 {
+		t.Fatalf("Dropped = %d, want 1", d)
+	}
+}

@@ -124,6 +124,12 @@ type Network struct {
 	cDups      *obs.Counter
 	cParts     *obs.Counter
 	cDedup     *obs.Counter
+	// fabric links this network into a multi-partition address space; nil
+	// for a standalone (single-scheduler) network. part is this network's
+	// partition index within the fabric's engine.
+	fabric *Fabric
+	part   int
+
 	// rpcMetrics caches the per-method RPC series handles so the hot call
 	// path resolves each method's series once instead of rebuilding the
 	// label key on every call.
@@ -245,6 +251,9 @@ func (n *Network) Node(name string) *Node {
 	}
 	nd := &Node{name: name, net: n, up: true}
 	n.nodes[name] = nd
+	if n.fabric != nil {
+		n.fabric.register(name, n.part)
+	}
 	return nd
 }
 
@@ -459,6 +468,11 @@ func (n *Network) Send(msg Message) {
 	n.cSent.Inc()
 	dst, ok := n.nodes[msg.To]
 	if !ok {
+		// Not local: a fabric-connected network tries the cross-partition
+		// path before counting the destination as unknown.
+		if n.fabric != nil && n.fabric.forward(n, msg) {
+			return
+		}
 		n.stats.Dropped++
 		n.cDropped.Inc()
 		return

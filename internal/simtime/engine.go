@@ -1,0 +1,241 @@
+// Conservative parallel discrete-event engine.
+//
+// An Engine partitions the event space into independent Schedulers and runs
+// them in lock-step windows. The synchronization protocol is the classic
+// conservative (LBTS + lookahead) scheme: between windows the driver computes
+// LBTS, the minimum next-event time across every partition, and then lets all
+// partitions advance in parallel to horizon = LBTS + lookahead. Lookahead is
+// the minimum virtual latency of any cross-partition interaction, so a
+// message sent during a window — stamped at send-time + link latency — can
+// never land before the horizon, i.e. never in any partition's past:
+//
+//	every event executed in the window has time t ≥ LBTS, so its sends are
+//	stamped ≥ t + lookahead ≥ LBTS + lookahead = horizon.
+//
+// Cross-partition sends go through Post, which appends to the destination
+// partition's mutex-guarded inbox; inboxes are flushed into the destination
+// schedulers between windows, sorted by (deadline, source partition, source
+// sequence). Because the window boundaries are a pure function of event
+// timestamps and the flush order is a pure function of message content, a
+// run's event interleaving — and therefore its output — is byte-identical at
+// any worker count, including the inline workers=1 path.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// xmsg is a cross-partition event waiting in a destination inbox.
+type xmsg struct {
+	at  Time
+	src int    // source partition, second-level sort key
+	seq uint64 // per-source sequence, third-level sort key
+	fn  func()
+}
+
+// partInbox collects events posted to one partition during a window. The
+// mutex makes concurrent Posts from different source partitions safe; the
+// (at, src, seq) sort at flush time makes their order deterministic.
+type partInbox struct {
+	mu   sync.Mutex
+	msgs []xmsg
+}
+
+// Engine drives a set of partitioned Schedulers through conservative
+// synchronization windows. Construct with NewEngine; the zero value is not
+// usable.
+//
+// The Engine itself must be driven from a single goroutine. During a window
+// each partition's Scheduler is touched by exactly one worker goroutine, and
+// Post may be called from any partition currently executing a window.
+type Engine struct {
+	parts     []*Scheduler
+	inbox     []partInbox
+	srcSeq    []uint64 // per-source Post counter; owned by the source's executor
+	lookahead Duration
+	workers   int
+	now       Time
+	horizon   Time // current window's upper edge, for the Post safety check
+}
+
+// NewEngine returns an engine with parts partitioned Schedulers. Partition p
+// is seeded seed^p — a deterministic per-partition RNG split, so partition 0
+// reproduces the single-scheduler stream for the same seed. lookahead must be
+// positive: it is the minimum virtual delay of any cross-partition event and
+// bounds how far a window may advance past LBTS. workers caps the goroutines
+// used per window; values below 2 select the inline (no goroutine) path.
+func NewEngine(seed int64, parts, workers int, lookahead Duration) *Engine {
+	if parts < 1 {
+		panic(fmt.Sprintf("simtime: engine needs at least 1 partition, got %d", parts))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("simtime: engine lookahead must be positive, got %v", lookahead))
+	}
+	e := &Engine{
+		parts:     make([]*Scheduler, parts),
+		inbox:     make([]partInbox, parts),
+		srcSeq:    make([]uint64, parts),
+		lookahead: lookahead,
+		workers:   workers,
+	}
+	for p := range e.parts {
+		e.parts[p] = NewScheduler(seed ^ int64(p))
+	}
+	return e
+}
+
+// Part returns partition p's Scheduler. Components living in partition p
+// schedule all their local work on it.
+func (e *Engine) Part(p int) *Scheduler { return e.parts[p] }
+
+// Parts returns the number of partitions.
+func (e *Engine) Parts() int { return len(e.parts) }
+
+// Lookahead returns the engine's synchronization lookahead.
+func (e *Engine) Lookahead() Duration { return e.lookahead }
+
+// Now returns the engine's virtual time: the deadline the last RunUntil
+// advanced every partition to.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total events executed across all partitions.
+func (e *Engine) Fired() uint64 {
+	var n uint64
+	for _, p := range e.parts {
+		n += p.Fired()
+	}
+	return n
+}
+
+// Pending returns the total live events queued across all partitions.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, p := range e.parts {
+		n += p.Pending()
+	}
+	return n
+}
+
+// Post schedules fn at absolute time at on partition dst, on behalf of
+// partition src. It is the only safe way to cross partitions mid-window and
+// must be stamped at least one lookahead past the sender's clock; an earlier
+// stamp would land inside the current window, where the destination may have
+// advanced past it, so Post panics rather than corrupt the timeline.
+func (e *Engine) Post(src, dst int, at Time, fn func()) {
+	if at < e.horizon {
+		panic(fmt.Sprintf(
+			"simtime: cross-partition event at %v posted before window horizon %v (link latency below engine lookahead %v violates the conservative synchronization contract)",
+			at, e.horizon, e.lookahead))
+	}
+	e.srcSeq[src]++
+	ib := &e.inbox[dst]
+	ib.mu.Lock()
+	ib.msgs = append(ib.msgs, xmsg{at: at, src: src, seq: e.srcSeq[src], fn: fn})
+	ib.mu.Unlock()
+}
+
+// flushInboxes drains every partition inbox into its scheduler. Messages are
+// sorted by (at, src, seq) first, so the arrival order — and the scheduler
+// sequence numbers they receive — is independent of worker interleaving.
+func (e *Engine) flushInboxes() {
+	for i := range e.parts {
+		ib := &e.inbox[i]
+		ib.mu.Lock()
+		msgs := ib.msgs
+		ib.msgs = nil
+		ib.mu.Unlock()
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].at != msgs[b].at {
+				return msgs[a].at < msgs[b].at
+			}
+			if msgs[a].src != msgs[b].src {
+				return msgs[a].src < msgs[b].src
+			}
+			return msgs[a].seq < msgs[b].seq
+		})
+		for _, m := range msgs {
+			e.parts[i].FireAt(m.at, m.fn)
+		}
+	}
+}
+
+// lbts returns the lower bound on time stamp: the earliest live event
+// deadline across all partitions. ok is false when every partition is idle.
+func (e *Engine) lbts() (Time, bool) {
+	earliest := Time(math.MaxInt64)
+	any := false
+	for _, p := range e.parts {
+		if at, ok := p.NextEventAt(); ok && at < earliest {
+			earliest = at
+			any = true
+		}
+	}
+	return earliest, any
+}
+
+// window advances every partition to horizon, in parallel when the engine has
+// workers to spare. Partition order within a window is irrelevant: partitions
+// interact only through inboxes, which are flushed between windows.
+func (e *Engine) window(horizon Time) {
+	e.horizon = horizon
+	if e.workers <= 1 || len(e.parts) == 1 {
+		for _, p := range e.parts {
+			p.RunUntil(horizon)
+		}
+		return
+	}
+	n := e.workers
+	if n > len(e.parts) {
+		n = len(e.parts)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.parts) {
+					return
+				}
+				e.parts[i].RunUntil(horizon)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunUntil executes events across all partitions up to and including
+// deadline, then advances every partition clock to deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for {
+		e.flushInboxes()
+		earliest, ok := e.lbts()
+		if !ok || earliest > deadline {
+			break
+		}
+		horizon := deadline
+		if h := earliest + e.lookahead; h < horizon {
+			horizon = h
+		}
+		e.window(horizon)
+	}
+	// Nothing at or below deadline remains (the loop re-flushes inboxes, so
+	// in-window sends were seen); park every clock at the deadline.
+	for _, p := range e.parts {
+		p.RunUntil(deadline)
+	}
+	e.now = deadline
+	return deadline
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + d) }

@@ -1,0 +1,144 @@
+package simtime
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// engineWorkload runs a randomized cross-partition ping workload on an
+// engine with the given worker count and returns a text log of every event
+// execution: (partition, time, payload) lines in execution order per
+// partition, concatenated partition-major. Identical logs across worker
+// counts demonstrate the byte-determinism contract.
+func engineWorkload(t *testing.T, workers int) string {
+	t.Helper()
+	const (
+		parts     = 9
+		lookahead = time.Millisecond
+	)
+	e := NewEngine(42, parts, workers, lookahead)
+	logs := make([]*strings.Builder, parts)
+	rngs := make([]*rand.Rand, parts)
+	for p := 0; p < parts; p++ {
+		logs[p] = &strings.Builder{}
+		rngs[p] = e.Part(p).Rand()
+	}
+	var hop func(p, ttl int) func()
+	hop = func(p, ttl int) func() {
+		return func() {
+			sched := e.Part(p)
+			fmt.Fprintf(logs[p], "p%d %v ttl=%d r=%d\n", p, sched.Now(), ttl, rngs[p].Intn(1000))
+			if ttl == 0 {
+				return
+			}
+			// Local follow-up below the lookahead, then a cross-partition
+			// hop stamped exactly one link latency (≥ lookahead) out.
+			sched.FireAfter(200*time.Microsecond, func() {
+				fmt.Fprintf(logs[p], "p%d %v local\n", p, sched.Now())
+			})
+			dst := (p + 1 + ttl) % parts
+			if dst == p {
+				dst = (p + 1) % parts
+			}
+			e.Post(p, dst, sched.Now()+lookahead, hop(dst, ttl-1))
+		}
+	}
+	for p := 0; p < parts; p++ {
+		e.Part(p).FireAfter(time.Duration(p+1)*time.Millisecond, hop(p, 12))
+	}
+	e.RunFor(time.Second)
+	var all strings.Builder
+	for p := 0; p < parts; p++ {
+		all.WriteString(logs[p].String())
+	}
+	fmt.Fprintf(&all, "fired=%d now=%v\n", e.Fired(), e.Now())
+	return all.String()
+}
+
+func TestEngineByteDeterminismAcrossWorkers(t *testing.T) {
+	want := engineWorkload(t, 1)
+	if !strings.Contains(want, "ttl=0") {
+		t.Fatalf("workload never completed a hop chain:\n%s", want)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := engineWorkload(t, workers); got != want {
+			t.Errorf("workers=%d log diverges from workers=1", workers)
+		}
+	}
+}
+
+func TestEnginePartitionRNGSplit(t *testing.T) {
+	e := NewEngine(7, 3, 1, time.Millisecond)
+	// Partition 0 must reproduce the plain single-scheduler stream for the
+	// same seed; other partitions must diverge from it.
+	ref := NewScheduler(7)
+	for i := 0; i < 8; i++ {
+		if got, want := e.Part(0).Rand().Int63(), ref.Rand().Int63(); got != want {
+			t.Fatalf("partition 0 draw %d = %d, want %d", i, got, want)
+		}
+	}
+	if e.Part(1).Rand().Int63() == NewScheduler(7).Rand().Int63() {
+		t.Fatal("partition 1 RNG matches the unsplit seed stream")
+	}
+}
+
+func TestEnginePostBeforeHorizonPanics(t *testing.T) {
+	e := NewEngine(1, 2, 1, time.Millisecond)
+	e.Part(0).FireAfter(5*time.Millisecond, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("Post below the window horizon did not panic")
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), "lookahead") {
+				t.Errorf("panic message %q does not name the lookahead contract", r)
+			}
+		}()
+		// Stamp inside the current window: a lookahead violation.
+		e.Post(0, 1, e.Part(0).Now(), func() {})
+	})
+	e.RunFor(20 * time.Millisecond)
+}
+
+func TestEngineIdleWithCancelledEvents(t *testing.T) {
+	e := NewEngine(3, 4, 2, time.Millisecond)
+	// Fill partitions with events that are all cancelled before the run:
+	// idle detection must see through the ghosts instead of spinning.
+	for p := 0; p < e.Parts(); p++ {
+		for i := 0; i < 500; i++ {
+			e.Part(p).After(time.Duration(i)*time.Millisecond, func() {
+				t.Error("cancelled event fired")
+			}).Cancel()
+		}
+	}
+	if got, ok := e.lbts(); ok {
+		t.Fatalf("lbts = %v on an all-cancelled engine, want idle", got)
+	}
+	e.RunFor(10 * time.Second)
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", e.Fired())
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0", got)
+	}
+}
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		parts     int
+		lookahead Duration
+	}{{0, time.Millisecond}, {2, 0}, {2, -time.Second}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEngine(parts=%d, lookahead=%v) did not panic", tc.parts, tc.lookahead)
+				}
+			}()
+			NewEngine(1, tc.parts, 1, tc.lookahead)
+		}()
+	}
+}

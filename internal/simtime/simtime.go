@@ -94,10 +94,37 @@ type Event struct {
 	s      *Scheduler // owner, for cancellation bookkeeping
 	pooled bool       // no handle escaped; recycle through the free list
 
-	// canceled is atomic so Cancel may be called from a goroutine other
-	// than the one driving the scheduler (e.g. a test stopping a fault
-	// injector mid-run) without racing the Step/peek reads.
-	canceled atomic.Bool
+	// state is atomic so Cancel may be called from a goroutine other than
+	// the one driving the scheduler (e.g. a test stopping a fault injector
+	// mid-run) without racing the Step/peek reads. It holds the evCanceled
+	// and evDeparted bits; their combination makes canceledPending exact:
+	// Cancel counts an event only while it is still queued, and the side
+	// that takes it out of the queue (fire or drop) uncounts it.
+	state atomic.Uint32
+}
+
+// state bits. evDeparted marks an event that has left the queue (fired,
+// dropped, or discarded); once set, a late Cancel is a no-op for accounting.
+const (
+	evCanceled uint32 = 1 << 0
+	evDeparted uint32 = 1 << 1
+)
+
+func (e *Event) canceledBit() bool { return e.state.Load()&evCanceled != 0 }
+
+// depart marks the event as out of the queue and reports whether a Cancel was
+// counted against it (i.e. the canceled bit was set while it was still
+// queued). The caller must decrement canceledPending when depart returns true.
+func (e *Event) depart() bool {
+	for {
+		old := e.state.Load()
+		if old&evDeparted != 0 {
+			return false
+		}
+		if e.state.CompareAndSwap(old, old|evDeparted) {
+			return old&evCanceled != 0
+		}
+	}
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -107,17 +134,29 @@ func (e *Event) Cancel() {
 	if e == nil {
 		return
 	}
-	if e.canceled.CompareAndSwap(false, true) && e.s != nil {
-		e.s.canceledPending.Add(1)
+	for {
+		old := e.state.Load()
+		if old&evCanceled != 0 {
+			return
+		}
+		if e.state.CompareAndSwap(old, old|evCanceled) {
+			// Count the cancellation only if the event is still queued;
+			// cancelling after the event fired must not leave a ghost in
+			// canceledPending (it has nothing left to uncount it).
+			if old&evDeparted == 0 && e.s != nil {
+				e.s.canceledPending.Add(1)
+			}
+			return
+		}
 	}
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled.Load() }
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceledBit() }
 
 // Done reports whether the event can no longer fire: it was cancelled or it
 // already left the queue (fired or discarded).
-func (e *Event) Done() bool { return e.canceled.Load() || e.index == indexFired }
+func (e *Event) Done() bool { return e.canceledBit() || e.index == indexFired }
 
 type eventQueue []*Event
 
@@ -192,10 +231,12 @@ type Scheduler struct {
 	stopped bool
 	stats   Stats
 
-	// canceledPending approximates how many cancelled events are still
-	// queued. Atomic because Cancel may run on another goroutine; the count
-	// only gates compaction, which preserves order, so the approximation
-	// never affects simulation results.
+	// canceledPending counts exactly how many cancelled events are still
+	// queued: Cancel increments it only for queued events, and whichever
+	// path removes the event (lazy drop, compaction, or a racing fire)
+	// decrements it. Atomic because Cancel may run on another goroutine.
+	// The count gates compaction and keeps Pending() free of ghosts, which
+	// the partition engine relies on for idle detection.
 	canceledPending atomic.Int64
 }
 
@@ -214,9 +255,32 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events waiting to fire (including cancelled
-// events that have not yet been popped).
-func (s *Scheduler) Pending() int { return len(s.ready) + s.wheel + len(s.far) }
+// Pending returns the number of live events waiting to fire. Lazily-cancelled
+// events still sitting in the queue are excluded, so an engine polling
+// Pending() for idleness cannot spin on ghosts.
+func (s *Scheduler) Pending() int {
+	p := s.queued() - int(s.canceledPending.Load())
+	if p < 0 {
+		// A Cancel on another goroutine can land between the two reads;
+		// never report a negative count for it.
+		p = 0
+	}
+	return p
+}
+
+// queued returns the raw queue population, cancelled events included.
+func (s *Scheduler) queued() int { return len(s.ready) + s.wheel + len(s.far) }
+
+// NextEventAt returns the deadline of the earliest live pending event. ok is
+// false when no live events remain. Cancelled events are swept past, so the
+// partition engine's LBTS computation never stalls on a ghost deadline.
+func (s *Scheduler) NextEventAt() (at Time, ok bool) {
+	e := s.peekNext()
+	if e == nil {
+		return 0, false
+	}
+	return e.At, true
+}
 
 // Stats returns a snapshot of the scheduler's activity counters.
 func (s *Scheduler) Stats() Stats {
@@ -245,6 +309,9 @@ func (s *Scheduler) alloc() *Event {
 func (s *Scheduler) recycle(e *Event) {
 	e.Fn = nil
 	e.pooled = false
+	// Pooled events never escape, so no goroutine can hold a handle to
+	// cancel: resetting the state bits here cannot race.
+	e.state.Store(0)
 	s.free = append(s.free, e)
 	s.stats.Recycled++
 }
@@ -292,7 +359,7 @@ func (s *Scheduler) nextOccupied(from int) int {
 func (s *Scheduler) dropCanceled(e *Event) {
 	e.index = indexFired
 	s.stats.CanceledDropped++
-	if s.canceledPending.Load() > 0 {
+	if e.depart() {
 		s.canceledPending.Add(-1)
 	}
 }
@@ -310,7 +377,7 @@ func (s *Scheduler) advanceWindow() bool {
 			s.wheel -= len(bucket)
 			for i, e := range bucket {
 				bucket[i] = nil
-				if e.canceled.Load() {
+				if e.canceledBit() {
 					s.dropCanceled(e)
 					continue
 				}
@@ -333,7 +400,7 @@ func (s *Scheduler) advanceWindow() bool {
 			horizon := s.base + wheelSpan
 			for len(s.far) > 0 && s.far[0].At < horizon {
 				e := heap.Pop(&s.far).(*Event)
-				if e.canceled.Load() {
+				if e.canceledBit() {
 					s.dropCanceled(e)
 					continue
 				}
@@ -351,7 +418,7 @@ func (s *Scheduler) popNext() *Event {
 	for {
 		for len(s.ready) > 0 {
 			e := heap.Pop(&s.ready).(*Event)
-			if e.canceled.Load() {
+			if e.canceledBit() {
 				s.dropCanceled(e)
 				continue
 			}
@@ -368,7 +435,7 @@ func (s *Scheduler) peekNext() *Event {
 	for {
 		for len(s.ready) > 0 {
 			e := s.ready[0]
-			if !e.canceled.Load() {
+			if !e.canceledBit() {
 				return e
 			}
 			heap.Pop(&s.ready)
@@ -387,7 +454,7 @@ func (s *Scheduler) peekNext() *Event {
 // is almost always cancelled).
 func (s *Scheduler) maybeCompact() {
 	cp := s.canceledPending.Load()
-	if cp < compactMinCanceled || cp*2 < int64(s.Pending()) {
+	if cp < compactMinCanceled || cp*2 < int64(s.queued()) {
 		return
 	}
 	s.stats.Compactions++
@@ -395,7 +462,7 @@ func (s *Scheduler) maybeCompact() {
 		old := *q
 		keep := old[:0]
 		for _, e := range old {
-			if e.canceled.Load() {
+			if e.canceledBit() {
 				s.dropCanceled(e)
 			} else {
 				keep = append(keep, e)
@@ -419,7 +486,7 @@ func (s *Scheduler) maybeCompact() {
 		bucket := s.slots[idx]
 		keep := bucket[:0]
 		for _, e := range bucket {
-			if e.canceled.Load() {
+			if e.canceledBit() {
 				s.dropCanceled(e)
 				s.wheel--
 			} else {
@@ -434,7 +501,9 @@ func (s *Scheduler) maybeCompact() {
 			s.bitmap[idx>>6] &^= 1 << uint(idx&63)
 		}
 	}
-	s.canceledPending.Store(0)
+	// No reset of canceledPending here: dropCanceled decremented it exactly
+	// once per swept event, so whatever remains was cancelled concurrently
+	// during the sweep and is still queued.
 }
 
 // At schedules fn to run at absolute virtual time at. If at is in the past it
@@ -523,6 +592,13 @@ func (s *Scheduler) Step() bool {
 	}
 	s.now = e.At
 	s.fired++
+	// The event is leaving the queue by firing. A Cancel can still land
+	// between popNext's liveness check and here; it was counted against
+	// canceledPending (the event looked queued), so uncount it. The event
+	// fires anyway, matching the historical best-effort race semantics.
+	if e.depart() {
+		s.canceledPending.Add(-1)
+	}
 	fn := e.Fn
 	if e.pooled {
 		s.recycle(e)
@@ -591,6 +667,10 @@ func (t *Ticker) arm() {
 // steady-state tick path.
 func (t *Ticker) rearm() {
 	e := t.ev
+	// The event fired (departed bit set) and was not cancelled — tick
+	// checked t.stopped before calling us — so the reset cannot race a
+	// counted cancellation.
+	e.state.Store(0)
 	e.At, e.seq = t.s.now+t.interval, t.s.seq
 	t.s.seq++
 	t.s.stats.Reused++
