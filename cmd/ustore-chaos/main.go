@@ -14,6 +14,7 @@
 //	ustore-chaos -fleet -units 8 -shards 2 -unit-loss   # fleet-scale unit-loss run
 //	ustore-chaos -fleet -units 48 -fleet-bench 1,4,16   # shard-scaling throughput sweep
 //	ustore-chaos -fleet -units 64 -engine-workers 8     # fleet on the parallel engine
+//	ustore-chaos -spec scenario.yaml                    # one declarative spec-file run
 //
 // -seeds N runs N consecutive seeds starting at -seed; -parallel P spreads
 // independent runs over P workers (<1 = one per CPU). Every run is its own
@@ -41,9 +42,11 @@ import (
 	"strings"
 	"time"
 
+	"ustore/internal/campaign"
 	"ustore/internal/chaos"
 	"ustore/internal/obs"
 	"ustore/internal/prof"
+	"ustore/internal/spec"
 )
 
 // writeMetrics dumps the registry to path: Prometheus text for .prom files,
@@ -127,6 +130,7 @@ func main() {
 
 func run() int {
 	var (
+		specPath    = flag.String("spec", "", "run one experiment spec file (YAML/JSON, no grid) instead of flag-built options; grids belong to ustore-campaign")
 		seed        = flag.Int64("seed", 1, "schedule + simulation seed (first seed of a sweep)")
 		seeds       = flag.Int("seeds", 1, "number of consecutive seeds to run")
 		parallel    = flag.Int("parallel", 1, "workers for a seed sweep or -minimize probing (<1 = one per CPU)")
@@ -157,6 +161,9 @@ func run() int {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *specPath != "" {
+		return runSpec(*specPath, *showSched, *showLog)
+	}
 	if *days <= 0 {
 		fmt.Fprintln(os.Stderr, "ustore-chaos: -days must be positive")
 		return 2
@@ -329,6 +336,71 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runSpec executes one spec-file cell through the campaign compiler: the
+// declarative path to exactly the run the flags would build. Grids are
+// ustore-campaign's job — a gridded spec is rejected here so the two
+// tools don't grow divergent sweep semantics.
+func runSpec(path string, showSched, showLog bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+	f, err := spec.Parse(data, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+	if len(f.Axes) > 0 {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %s has a parameter grid; run it with ustore-campaign -spec %s\n", path, path)
+		return 2
+	}
+	s := f.Spec
+	switch s.Mode {
+	case "faults", "traffic":
+		o := campaign.CompileChaos(s)
+		fmt.Println(mixHeader(o, 1))
+		rep, err := chaos.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+			return 2
+		}
+		if showSched {
+			for _, fa := range rep.Schedule {
+				fmt.Printf("  %-14v %s\n", fa.At, fa)
+			}
+		}
+		if showLog {
+			fmt.Println(rep.LogText())
+		}
+		fmt.Print(rep.SummaryText())
+		if len(rep.Violations) > 0 {
+			return 1
+		}
+		return 0
+	case "fleet":
+		o := campaign.CompileFleet(s)
+		fmt.Printf("ustore-chaos: fleet seed %d, %d units, %d shards, unit-loss=%v, engine-workers=%d\n",
+			o.Seed, o.Units, o.Shards, o.UnitLoss, o.EngineWorkers)
+		rep, err := chaos.RunFleet(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+			return 2
+		}
+		if showLog {
+			fmt.Println(rep.LogText())
+		}
+		fmt.Print(rep.SummaryText())
+		if len(rep.Violations) > 0 {
+			return 1
+		}
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "ustore-chaos: spec mode %q runs under ustore-campaign, not ustore-chaos\n", s.Mode)
+		return 2
+	}
 }
 
 // runFleetMode executes the fleet-scale harness: a bench sweep when

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The on-disk cache is one JSON file per cell, named by the cell's
+// content hash (internal/spec.Hash — the sha256 of the decoded,
+// defaulted spec). There is no index and no eviction: the hash IS the
+// lookup, collisions don't exist at sha256 scale, and a stale entry is
+// unreachable the moment any value feeding its cell changes.
+
+func cachePath(dir, hash string) string {
+	return filepath.Join(dir, hash+".json")
+}
+
+// loadCache returns the cached result for a cell hash, or ok=false on
+// any miss — absent file, unreadable file, or undecodable content (a
+// corrupt entry is a miss, never an error: the cell just re-runs and the
+// store overwrites it).
+func loadCache(dir, hash string) (*CellResult, bool) {
+	data, err := os.ReadFile(cachePath(dir, hash))
+	if err != nil {
+		return nil, false
+	}
+	var r CellResult
+	if err := json.Unmarshal(data, &r); err != nil || r.Hash != hash {
+		return nil, false
+	}
+	return &r, true
+}
+
+// storeCache persists a cell result atomically: full write to a
+// temp file in the same directory, then rename, so a crashed or
+// concurrent campaign never leaves a half-written entry that would
+// poison later runs.
+func storeCache(dir string, r *CellResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+r.Hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), cachePath(dir, r.Hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: commit cache entry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+package campaign
+
+import "flag"
+
+var update = flag.Bool("update", false, "rewrite golden files")

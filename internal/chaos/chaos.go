@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"ustore/internal/faults"
 	"ustore/internal/obs"
 )
 
@@ -233,6 +234,19 @@ type Options struct {
 	// Recorder per run (it scopes the per-run metric state).
 	Recorder *obs.Recorder `json:"-"`
 
+	// Empirical, when non-nil, swaps the schedule's uniform disk-failure
+	// windows for draws from the empirical failure model (bathtub AFR with
+	// infant mortality and wear-out, correlated vintage-batch failures) and
+	// arms every disk's uncorrectable-read-error rate from the model's
+	// UREBits. AgeYears maps the run's Duration onto that many years of
+	// media aging (accelerated aging: a 2-simulated-day run sweeps a 5-year
+	// bathtub); <= 0 means 5. The empirical draws use their own rand stream,
+	// so every other fault family keeps its per-seed schedule and a
+	// constant-vs-empirical pair of runs differs only in disk events. Nil
+	// (the default) leaves the seed byte-identical.
+	Empirical *faults.EmpiricalModel
+	AgeYears  float64
+
 	// InjectStaleLease enables the deliberate stale-lease protocol bug
 	// (core.Config.InjectStaleLease) so the model checker's mutation
 	// self-test can prove it catches a broken failover path. Never set
@@ -321,6 +335,11 @@ func genSchedule(o Options, hosts, disks, hubs, machines []string) []Fault {
 		}
 	}
 	if o.DiskFaults {
+		// The constant-model windows are always drawn — even when the
+		// empirical model replaces them below — so the shared rng stream
+		// stays aligned and every other family's schedule is byte-identical
+		// between a constant and an empirical run of the same seed.
+		diskStart := len(out)
 		for i, disk := range disks {
 			n := count(120*24*time.Hour, 0)
 			if i == 0 && n == 0 {
@@ -334,6 +353,9 @@ func genSchedule(o Options, hosts, disks, hubs, machines []string) []Fault {
 					Fault{At: w[0], Kind: FaultDiskFail, A: disk},
 					Fault{At: w[1], Kind: FaultDiskReplace, A: disk})
 			}
+		}
+		if o.Empirical != nil {
+			out = append(out[:diskStart], empiricalDiskSchedule(o, disks)...)
 		}
 	}
 	if o.HubFaults {

@@ -229,6 +229,18 @@ func newHarness(o Options) (*harness, error) {
 		downgradedLinks: make(map[string]bool),
 		brownedHosts:    make(map[string]bool),
 	}
+	if o.Empirical != nil {
+		// Arm the media-level URE model: every disk read then surfaces
+		// silently corrupted sectors at the model's measured rate,
+		// accelerated by the same factor that compresses media age into the
+		// run window (a 5-year bathtub in a 2-day run reads ~900x more
+		// "age" per sector). The checksum layer and scrubber are what turn
+		// these into detections instead of corruption escapes.
+		rate := o.Empirical.URESectorRate() * float64(empiricalAge(o)) / float64(o.Duration)
+		for _, d := range c.Disks {
+			d.SetURERate(rate)
+		}
+	}
 	if o.Mitigation {
 		// Quarantine's proactive-migration side: when the master fences a
 		// gray disk, the harness drains the workload replicas off it (the

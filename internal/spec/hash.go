@@ -1,0 +1,37 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// hashVersion salts the content hash. Bump it whenever the meaning of a
+// spec field changes without its value changing (a simulator behaviour
+// change that invalidates cached cell results).
+const hashVersion = "ustore-spec-v1"
+
+// Canonical renders the decoded, defaulted spec in its canonical byte
+// form: JSON with struct-declaration field order. Because the hash is
+// computed here — after parsing, defaulting, and validation — two
+// documents that decode to the same values share a hash no matter how
+// they were formatted, which keys were spelled out versus defaulted, or
+// what order the keys appeared in. Changing any value always changes it.
+func Canonical(s *Spec) []byte {
+	// Spec contains only plain data fields; Marshal cannot fail.
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("spec: canonical marshal: " + err.Error())
+	}
+	return b
+}
+
+// Hash is the content hash of one cell: sha256 over the version salt and
+// the canonical form, hex encoded. Cache entries are keyed by it.
+func Hash(s *Spec) string {
+	h := sha256.New()
+	h.Write([]byte(hashVersion))
+	h.Write([]byte{0})
+	h.Write(Canonical(s))
+	return hex.EncodeToString(h.Sum(nil))
+}

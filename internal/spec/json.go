@@ -1,0 +1,141 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseJSON parses a JSON spec into the same positional node tree the YAML
+// parser produces, so decoding and error reporting are shared. Positions
+// come from the decoder's byte offset mapped onto line/column.
+func ParseJSON(data []byte, file string) (*Node, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	lp := newLinePos(data)
+	root, err := parseJSONValue(dec, lp, file)
+	if err != nil {
+		return nil, err
+	}
+	if root.Kind != KindMap {
+		return nil, errAt(file, root.Line, root.Col, "spec root must be a JSON object")
+	}
+	// Reject trailing garbage after the document.
+	if _, err := dec.Token(); err != io.EOF {
+		line, col := lp.at(dec.InputOffset())
+		return nil, errAt(file, line, col, "trailing data after the spec document")
+	}
+	return root, nil
+}
+
+// linePos maps byte offsets to line/column.
+type linePos struct{ starts []int64 }
+
+func newLinePos(data []byte) *linePos {
+	lp := &linePos{starts: []int64{0}}
+	for i, b := range data {
+		if b == '\n' {
+			lp.starts = append(lp.starts, int64(i+1))
+		}
+	}
+	return lp
+}
+
+func (lp *linePos) at(off int64) (line, col int) {
+	lo, hi := 0, len(lp.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if lp.starts[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo + 1, int(off-lp.starts[lo]) + 1
+}
+
+func jsonErrAt(err error, lp *linePos, file string, dec *json.Decoder) error {
+	if serr, ok := err.(*json.SyntaxError); ok {
+		line, col := lp.at(serr.Offset)
+		return errAt(file, line, col, "%s", syntaxMsg(serr))
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		line, col := lp.at(dec.InputOffset())
+		return errAt(file, line, col, "unexpected end of document")
+	}
+	line, col := lp.at(dec.InputOffset())
+	return errAt(file, line, col, "%s", err)
+}
+
+// syntaxMsg strips the "json: " style prefixes for uniform messages.
+func syntaxMsg(err *json.SyntaxError) string {
+	return strings.TrimPrefix(err.Error(), "invalid character ")
+}
+
+func parseJSONValue(dec *json.Decoder, lp *linePos, file string) (*Node, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, jsonErrAt(err, lp, file, dec)
+	}
+	line, col := lp.at(dec.InputOffset())
+	switch v := tok.(type) {
+	case json.Delim:
+		switch v {
+		case '{':
+			n := &Node{Line: line, Col: col, Kind: KindMap}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, jsonErrAt(err, lp, file, dec)
+				}
+				kl, kc := lp.at(dec.InputOffset())
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, errAt(file, kl, kc, "object key must be a string")
+				}
+				if n.child(key) != nil {
+					return nil, errAt(file, kl, kc, "duplicate key %q", key)
+				}
+				val, err := parseJSONValue(dec, lp, file)
+				if err != nil {
+					return nil, err
+				}
+				n.Keys = append(n.Keys, key)
+				n.KeyLines = append(n.KeyLines, kl)
+				n.KeyCols = append(n.KeyCols, kc)
+				n.Children = append(n.Children, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, jsonErrAt(err, lp, file, dec)
+			}
+			return n, nil
+		case '[':
+			n := &Node{Line: line, Col: col, Kind: KindList}
+			for dec.More() {
+				item, err := parseJSONValue(dec, lp, file)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, item)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, jsonErrAt(err, lp, file, dec)
+			}
+			return n, nil
+		default:
+			return nil, errAt(file, line, col, "unexpected %q", string(rune(v)))
+		}
+	case string:
+		return &Node{Line: line, Col: col, Kind: KindScalar, Val: v, Quoted: true}, nil
+	case json.Number:
+		return &Node{Line: line, Col: col, Kind: KindScalar, Val: v.String()}, nil
+	case bool:
+		return &Node{Line: line, Col: col, Kind: KindScalar, Val: fmt.Sprintf("%v", v)}, nil
+	case nil:
+		return &Node{Line: line, Col: col, Kind: KindScalar, Val: ""}, nil
+	default:
+		return nil, errAt(file, line, col, "unsupported JSON token %v", tok)
+	}
+}
