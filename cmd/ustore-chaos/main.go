@@ -14,6 +14,12 @@
 //	ustore-chaos -fleet -units 8 -shards 2 -unit-loss   # fleet-scale unit-loss run
 //	ustore-chaos -fleet -units 48 -fleet-bench 1,4,16   # shard-scaling throughput sweep
 //	ustore-chaos -fleet -units 64 -engine-workers 8     # fleet on the parallel engine
+//	ustore-chaos -fleet -units 64 -shards 8 -crashes 3 -partitions 2 -moves 2
+//	                                                    # fleet chaos: crash/partition/
+//	                                                    # mid-migration fault schedule
+//	ustore-chaos -fleet -shards 4 -crashes 2 -moves 2 -skip-redrive -minimize
+//	                                                    # plant the skipped-redrive bug,
+//	                                                    # shrink to the violating prefix
 //	ustore-chaos -spec scenario.yaml                    # one declarative spec-file run
 //
 // -seeds N runs N consecutive seeds starting at -seed; -parallel P spreads
@@ -145,6 +151,11 @@ func run() int {
 		shards      = flag.Int("shards", 1, "fleet mode: metadata shards")
 		unitLoss    = flag.Bool("unit-loss", false, "fleet mode: kill unit u000 after the load phase and require the repair schedulers to drain it")
 		engWorkers  = flag.Int("engine-workers", 0, "fleet mode: run on the parallel conservative engine with this many workers (0 = classic single-threaded scheduler; results are byte-identical at any count >= 1)")
+		crashes     = flag.Int("crashes", 0, "fleet mode: shard-replica crash/restart cycles in the fault schedule")
+		partitions  = flag.Int("partitions", 0, "fleet mode: inter-unit partition (or leader-isolation) windows in the fault schedule")
+		moves       = flag.Int("moves", 0, "fleet mode: schedule-driven slot migrations; the first is straddled by a source-leader crash (needs -shards >= 2)")
+		faultWindow = flag.Duration("fault-window", 0, "fleet mode: fault phase length (default 2m when any fault knob is set)")
+		skipRedrive = flag.Bool("skip-redrive", false, "fleet mode: plant the skipped-ledger-re-drive recovery bug (model-checker demo; pairs with -minimize)")
 		fleetBench  = flag.String("fleet-bench", "", "fleet mode: comma-separated shard counts to measure allocation throughput for (e.g. 1,4,16)")
 		benchOut    = flag.String("bench-out", "", "fleet mode: write the -fleet-bench JSON to this file (default stdout)")
 		tenants     = flag.Bool("tenants", false, "run the multi-tenant traffic engine instead of a fault schedule (per-class SLO report)")
@@ -192,18 +203,22 @@ func run() int {
 			set  bool
 			name string
 		}{{*unitLoss, "-unit-loss"}, {*fleetBench != "", "-fleet-bench"}, {*benchOut != "", "-bench-out"},
-			{*engWorkers != 0, "-engine-workers"}} {
+			{*engWorkers != 0, "-engine-workers"}, {*crashes != 0, "-crashes"},
+			{*partitions != 0, "-partitions"}, {*moves != 0, "-moves"},
+			{*faultWindow != 0, "-fault-window"}, {*skipRedrive, "-skip-redrive"}} {
 			if dep.set {
 				fmt.Fprintf(os.Stderr, "ustore-chaos: %s needs -fleet (it shapes the fleet run)\n", dep.name)
 				return 2
 			}
 		}
 	} else {
+		// -minimize composes with -fleet: it bisects the fleet fault
+		// schedule instead of the cluster one.
 		for _, bad := range []struct {
 			set  bool
 			name string
 		}{{*tenants, "-tenants"}, {*gray, "-gray"}, {*mitigation, "-mitigation"},
-			{*minimize, "-minimize"}, {*staleLease, "-stale-lease"},
+			{*staleLease, "-stale-lease"},
 			{*quarBlind, "-quarantine-blind"}, {*noChecksums, "-no-checksums"},
 			{*traceOut != "", "-trace-out"}} {
 			if bad.set {
@@ -253,8 +268,14 @@ func run() int {
 	}()
 
 	if *fleetMode {
-		return runFleetMode(*seed, *seeds, *parallel, *units, *shards, *engWorkers,
-			*unitLoss, *fleetBench, *benchOut, *showLog, *metricsOut)
+		base := chaos.FleetOptions{
+			Seed: *seed, Units: *units, Shards: *shards, UnitLoss: *unitLoss,
+			EngineWorkers: *engWorkers, ReplicaCrashes: *crashes,
+			Partitions: *partitions, SlotMoves: *moves, FaultWindow: *faultWindow,
+			InjectSkipRedrive: *skipRedrive,
+		}
+		return runFleetMode(base, *seeds, *parallel, *minimize,
+			*fleetBench, *benchOut, *showLog, *metricsOut)
 	}
 
 	o := chaos.DefaultOptions(*seed, time.Duration(float64(24*time.Hour)*(*days)))
@@ -404,20 +425,27 @@ func runSpec(path string, showSched, showLog bool) int {
 }
 
 // runFleetMode executes the fleet-scale harness: a bench sweep when
-// -fleet-bench is set, otherwise one unit-loss/load run per seed.
-func runFleetMode(seed int64, seeds, parallel, units, shards, engineWorkers int, unitLoss bool,
+// -fleet-bench is set, a schedule-minimizing run under -minimize, otherwise
+// one run per seed.
+func runFleetMode(base chaos.FleetOptions, seeds, parallel int, minimize bool,
 	benchList, benchOut string, showLog bool, metricsOut string) int {
 	if benchList != "" {
-		return runFleetBench(seed, units, engineWorkers, benchList, benchOut)
+		return runFleetBench(base.Seed, base.Units, base.EngineWorkers, benchList, benchOut)
 	}
-	base := chaos.FleetOptions{Seed: seed, Units: units, Shards: shards, UnitLoss: unitLoss,
-		EngineWorkers: engineWorkers}
-	header := fmt.Sprintf("ustore-chaos: fleet seed %d", seed)
+	header := fmt.Sprintf("ustore-chaos: fleet seed %d", base.Seed)
 	if seeds > 1 {
-		header = fmt.Sprintf("ustore-chaos: fleet seeds %d..%d", seed, seed+int64(seeds)-1)
+		header = fmt.Sprintf("ustore-chaos: fleet seeds %d..%d", base.Seed, base.Seed+int64(seeds)-1)
 	}
 	fmt.Printf("%s, %d units, %d shards, unit-loss=%v, engine-workers=%d\n",
-		header, units, shards, unitLoss, engineWorkers)
+		header, base.Units, base.Shards, base.UnitLoss, base.EngineWorkers)
+	if base.ReplicaCrashes > 0 || base.Partitions > 0 || base.SlotMoves > 0 {
+		fmt.Printf("fleet faults: %d crashes, %d partitions, %d slot moves, skip-redrive=%v\n",
+			base.ReplicaCrashes, base.Partitions, base.SlotMoves, base.InjectSkipRedrive)
+	}
+
+	if minimize {
+		return runFleetMinimize(base, parallel, showLog)
+	}
 
 	var reps []*chaos.FleetReport
 	if seeds > 1 {
@@ -461,6 +489,35 @@ func runFleetMode(seed int64, seeds, parallel, units, shards, engineWorkers int,
 		return 1
 	}
 	return 0
+}
+
+// runFleetMinimize runs the seeded fleet fault schedule and, on violation,
+// bisects (with parallel speculative probes) for the shortest schedule
+// prefix that still violates, then prints the surviving faults — the
+// normal first step when a fleet chaos run goes red.
+func runFleetMinimize(base chaos.FleetOptions, parallel int, showLog bool) int {
+	sched, min, full, err := chaos.MinimizeFleet(base, parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustore-chaos: %v\n", err)
+		return 2
+	}
+	if min == nil {
+		if showLog {
+			fmt.Println(full.LogText())
+		}
+		fmt.Print(full.SummaryText())
+		return 0
+	}
+	fmt.Printf("minimized fleet schedule: %d of %d faults still violate\n",
+		len(sched), full.FaultsApplied)
+	for _, ft := range sched {
+		fmt.Printf("  %s\n", ft)
+	}
+	if showLog {
+		fmt.Println(min.LogText())
+	}
+	fmt.Print(min.SummaryText())
+	return 1
 }
 
 // runFleetBench measures allocation throughput at each shard count in

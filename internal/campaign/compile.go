@@ -48,12 +48,17 @@ func CompileChaos(s *spec.Spec) chaos.Options {
 // plane's option struct.
 func CompileFleet(s *spec.Spec) chaos.FleetOptions {
 	return chaos.FleetOptions{
-		Seed:          s.Seed,
-		Units:         s.Fleet.Units,
-		Shards:        s.Fleet.Shards,
-		Clients:       s.Fleet.Clients,
-		Volumes:       s.Fleet.Volumes,
-		UnitLoss:      s.Fleet.UnitLoss,
-		EngineWorkers: s.Fleet.EngineWorkers,
+		Seed:              s.Seed,
+		Units:             s.Fleet.Units,
+		Shards:            s.Fleet.Shards,
+		Clients:           s.Fleet.Clients,
+		Volumes:           s.Fleet.Volumes,
+		UnitLoss:          s.Fleet.UnitLoss,
+		EngineWorkers:     s.Fleet.EngineWorkers,
+		ReplicaCrashes:    s.Fleet.Crashes,
+		Partitions:        s.Fleet.Partitions,
+		SlotMoves:         s.Fleet.SlotMoves,
+		FaultWindow:       time.Duration(s.Fleet.FaultWindowSec * float64(time.Second)),
+		InjectSkipRedrive: s.Fleet.SkipRedrive,
 	}
 }

@@ -9,11 +9,13 @@ package chaos
 // count (TestFleetSweepParallelMatchesSequential proves it).
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"ustore/internal/fleet"
+	"ustore/internal/model"
 	"ustore/internal/obs"
 	"ustore/internal/runner"
 )
@@ -39,6 +41,28 @@ type FleetOptions struct {
 	// the loss doubles as a leader-failover test — after the load phase
 	// and requires the background scheduler to drain it.
 	UnitLoss bool
+
+	// Fault schedule knobs. All zero keeps the legacy run shape (no fault
+	// phase); any non-zero adds a seeded transient-fault phase between load
+	// and verify, executed by genFleetSchedule's schedule.
+	//
+	// ReplicaCrashes is the number of shard-replica crash/restart cycles.
+	ReplicaCrashes int
+	// Partitions is the number of partition/heal (or leader-isolation)
+	// windows.
+	Partitions int
+	// SlotMoves is the number of schedule-driven slot migrations; the first
+	// is co-timed with a crash of the source leader and the first partition
+	// straddles another, exercising the RedriveMoves recovery path.
+	// Requires Shards >= 2 to take effect.
+	SlotMoves int
+	// FaultWindow is the fault phase length (default 2m when any fault
+	// knob is set).
+	FaultWindow time.Duration
+	// InjectSkipRedrive plants the skipped-ledger-re-drive recovery bug in
+	// the fleet (see fleet.Config.InjectSkipRedrive) so the minimizer has a
+	// real violation to shrink.
+	InjectSkipRedrive bool
 	// DrainTimeout bounds the virtual time the run waits for the dead
 	// unit to drain (default 30 minutes).
 	DrainTimeout time.Duration
@@ -73,7 +97,15 @@ func (o FleetOptions) withDefaults() FleetOptions {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Minute
 	}
+	if o.hasFaults() && o.FaultWindow <= 0 {
+		o.FaultWindow = 2 * time.Minute
+	}
 	return o
+}
+
+// hasFaults reports whether the options ask for a transient-fault phase.
+func (o FleetOptions) hasFaults() bool {
+	return o.ReplicaCrashes > 0 || o.Partitions > 0 || o.SlotMoves > 0
 }
 
 // FleetReport is the outcome of a fleet chaos run.
@@ -83,13 +115,18 @@ type FleetReport struct {
 	Log        []string
 	Violations []string
 
-	Allocated  int           // volumes placed by the load phase
-	Failed     int           // load-phase allocations that errored out
+	Allocated  int           // volumes placed (load + fault phases)
+	Failed     int           // allocations that errored out
 	Drained    bool          // dead unit fully drained (UnitLoss runs)
 	DrainTime  time.Duration // virtual kill-to-drained latency
 	Resolvable int           // volumes a fresh router resolved post-run
 	MapEpoch   int64         // final authoritative shard-map epoch
 	Events     uint64        // scheduler events fired (determinism witness)
+
+	// Fault-phase outcomes (fault-schedule runs only).
+	FaultsApplied int // schedule entries executed
+	Unavailable   int // foreground ops that degraded to ErrShardUnavailable
+	Redriven      int // interrupted slot moves re-driven during recovery
 }
 
 // LogText renders the event log as one string (replay comparisons).
@@ -104,6 +141,10 @@ func (r *FleetReport) SummaryText() string {
 		r.Allocated, r.Failed, r.Resolvable)
 	if r.Opts.UnitLoss {
 		fmt.Fprintf(&b, "  drain    u000 drained=%v in %v\n", r.Drained, r.DrainTime)
+	}
+	if r.Opts.hasFaults() {
+		fmt.Fprintf(&b, "  faults   %d applied, %d ops degraded unavailable, %d moves redriven\n",
+			r.FaultsApplied, r.Unavailable, r.Redriven)
 	}
 	fmt.Fprintf(&b, "  map      epoch %d; %d events fired\n", r.MapEpoch, r.Events)
 	if len(r.Violations) == 0 {
@@ -121,17 +162,35 @@ func (r *FleetReport) SummaryText() string {
 // own stretched control-plane timings in place.
 func fleetConfig(o FleetOptions) fleet.Config {
 	return fleet.Config{
-		Units:         o.Units,
-		Shards:        o.Shards,
-		Seed:          o.Seed,
-		Recorder:      o.Recorder,
-		EngineWorkers: o.EngineWorkers,
+		Units:    o.Units,
+		Shards:   o.Shards,
+		Seed:     o.Seed,
+		Recorder: o.Recorder,
+		// Jittered retries only for fault runs: legacy runs keep the fixed
+		// delays their checked-in byte-stability records were made under.
+		RetryJitter:       o.hasFaults(),
+		InjectSkipRedrive: o.InjectSkipRedrive,
+		EngineWorkers:     o.EngineWorkers,
 	}
 }
 
-// RunFleet executes one fleet chaos run.
+// RunFleet executes one fleet chaos run: boot, load, the seeded transient-
+// fault phase (when the fault knobs ask for one), recovery with re-driven
+// migrations and the fleet-level model check, optional unit loss, verify.
 func RunFleet(o FleetOptions) (*FleetReport, error) {
 	o = o.withDefaults()
+	return runFleet(o, genFleetSchedule(o))
+}
+
+// RunFleetSchedule is RunFleet under an explicit fault schedule — the
+// minimizer probes truncated prefixes through it. The recovery phase heals
+// whatever a prefix leaves open, so every prefix is a well-formed run.
+func RunFleetSchedule(o FleetOptions, schedule []FleetFault) (*FleetReport, error) {
+	o = o.withDefaults()
+	return runFleet(o, schedule)
+}
+
+func runFleet(o FleetOptions, schedule []FleetFault) (*FleetReport, error) {
 	rep := &FleetReport{Seed: o.Seed, Opts: o}
 	f := fleet.New(fleetConfig(o))
 	stamp := func() string {
@@ -144,26 +203,28 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	logf := func(format string, a ...any) {
 		rep.Log = append(rep.Log, stamp()+" "+fmt.Sprintf(format, a...))
 	}
+	violate := func(format string, a ...any) {
+		v := stamp() + " " + fmt.Sprintf(format, a...)
+		rep.Log = append(rep.Log, v)
+		rep.Violations = append(rep.Violations, v)
+	}
 	check := func(phase string) {
 		for _, err := range []error{f.ValidateSpread(), f.ValidateShardMap(), f.ValidateCapacity()} {
 			if err != nil {
-				v := fmt.Sprintf("%s fleet: %s invariant: %s", stamp(), phase, err)
-				rep.Log = append(rep.Log, v)
-				rep.Violations = append(rep.Violations, v)
+				violate("fleet: %s invariant: %s", phase, err)
 			}
 		}
 	}
+	leaderless := func() string {
+		if k := f.LeaderlessShard(); k >= 0 {
+			return fmt.Sprintf("shard %d leaderless", k)
+		}
+		return ""
+	}
 
 	// Boot: settle until every shard has a leader.
-	if !settleUntil(f, 10*time.Second, 3*time.Minute, func() bool {
-		for k := 0; k < o.Shards; k++ {
-			if f.Leader(k) == nil {
-				return false
-			}
-		}
-		return true
-	}) {
-		return nil, fmt.Errorf("chaos: fleet shards leaderless after boot settle")
+	if ok, why := settleExplain(f, 10*time.Second, 3*time.Minute, leaderless); !ok {
+		return nil, fmt.Errorf("chaos: fleet boot settle timed out: %s", why)
 	}
 	logf("fleet: booted %d units (%d disks), %d shards, map epoch %d",
 		o.Units, f.Topo.NumDisks, o.Shards, f.AuthMap().Epoch)
@@ -174,20 +235,26 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	for i := range routers {
 		routers[i] = f.NewRouter(fmt.Sprintf("c%03d", i))
 	}
+	// ledger is the fleet-level reference model: every client-acknowledged
+	// allocation enters it, and after recovery the shard leaders' holdings
+	// are checked against it (no volume lost, duplicated, or misplaced).
+	ledger := model.NewVolumeLedger()
 	pending := o.Volumes
 	var allocate func(cl, vol int)
 	allocate = func(cl, vol int) {
 		if vol >= o.Volumes {
 			return
 		}
-		routers[cl].Allocate(fmt.Sprintf("v%04d", vol), o.VolumeSize, "archive",
+		name := fmt.Sprintf("v%04d", vol)
+		routers[cl].Allocate(name, o.VolumeSize, "archive",
 			func(_ []string, err error) {
 				pending--
 				if err != nil {
 					rep.Failed++
-					logf("fleet: allocate v%04d failed: %s", vol, err)
+					logf("fleet: allocate %s failed: %s", name, err)
 				} else {
 					rep.Allocated++
+					ledger.Alloc(name)
 				}
 				allocate(cl, vol+o.Clients)
 			})
@@ -195,14 +262,23 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	for i := range routers {
 		allocate(i, i)
 	}
-	if !settleUntil(f, 10*time.Second, 10*time.Minute, func() bool { return pending == 0 }) {
-		v := stamp() + " fleet: load phase stalled: " +
-			fmt.Sprintf("%d of %d allocations still pending", pending, o.Volumes)
-		rep.Log = append(rep.Log, v)
-		rep.Violations = append(rep.Violations, v)
+	if ok, why := settleExplain(f, 10*time.Second, 10*time.Minute, func() string {
+		if pending > 0 {
+			return fmt.Sprintf("%d of %d allocations still pending", pending, o.Volumes)
+		}
+		return ""
+	}); !ok {
+		violate("fleet: load phase stalled: %s", why)
 	}
 	logf("fleet: load phase done: %d allocated, %d failed", rep.Allocated, rep.Failed)
 	check("post-load")
+
+	// Fault phase: apply the schedule at fixed quiescence boundaries while
+	// foreground clients keep allocating, then heal, re-drive interrupted
+	// migrations, and hold the fleet to the reference model.
+	if len(schedule) > 0 {
+		runFleetFaults(f, o, rep, schedule, routers, ledger, logf, violate, check, leaderless)
+	}
 
 	// Fault phase: lose a whole deploy unit, then wait for the background
 	// schedulers to re-replicate its fragments onto survivors.
@@ -211,45 +287,55 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		killAt := f.Sched.Now()
 		f.KillUnit(victim)
 		logf("fleet: killed unit %s (machine isolated, replicas crashed)", victim)
-		rep.Drained = settleUntil(f, 30*time.Second, o.DrainTimeout,
-			func() bool { return f.Drained(victim) })
+		drained, blocker := settleExplain(f, 30*time.Second, o.DrainTimeout,
+			func() string { return f.DrainBlocker(victim) })
+		rep.Drained = drained
 		rep.DrainTime = f.Sched.Now() - killAt
 		if rep.Drained {
 			logf("fleet: unit %s drained in %v", victim, rep.DrainTime)
 		} else {
-			v := fmt.Sprintf("%s fleet: unit %s not drained within %v",
-				stamp(), victim, o.DrainTimeout)
-			rep.Log = append(rep.Log, v)
-			rep.Violations = append(rep.Violations, v)
+			violate("fleet: unit %s not drained within %v: %s",
+				victim, o.DrainTimeout, blocker)
 		}
 		check("post-drain")
 	}
 
 	// Verify phase: a fresh router (cold map cache) must resolve every
-	// volume with a full replica set.
+	// volume with a full replica set. Fault runs verify exactly the model
+	// ledger's live set (fault-phase volumes included); legacy runs keep
+	// the historical fixed-name sweep.
+	verifyNames := ledger.Live()
+	want := ledger.Len()
+	if len(schedule) == 0 {
+		verifyNames = verifyNames[:0]
+		for i := 0; i < o.Volumes; i++ {
+			verifyNames = append(verifyNames, fmt.Sprintf("v%04d", i))
+		}
+		want = rep.Allocated
+	}
 	vr := f.NewRouter("verify")
-	left := o.Volumes
-	for i := 0; i < o.Volumes; i++ {
-		vol := i
-		vr.Lookup(fmt.Sprintf("v%04d", vol), func(disks []string, _ int64, err error) {
+	left := len(verifyNames)
+	for _, name := range verifyNames {
+		name := name
+		vr.Lookup(name, func(disks []string, _ int64, err error) {
 			left--
 			if err == nil && len(disks) > 0 {
 				rep.Resolvable++
 			} else if err != nil {
-				logf("fleet: verify lookup v%04d failed: %s", vol, err)
+				logf("fleet: verify lookup %s failed: %s", name, err)
 			}
 		})
 	}
-	if !settleUntil(f, 10*time.Second, 5*time.Minute, func() bool { return left == 0 }) {
-		v := fmt.Sprintf("%s fleet: verify phase stalled: %d lookups pending", stamp(), left)
-		rep.Log = append(rep.Log, v)
-		rep.Violations = append(rep.Violations, v)
+	if ok, why := settleExplain(f, 10*time.Second, 5*time.Minute, func() string {
+		if left > 0 {
+			return fmt.Sprintf("%d lookups pending", left)
+		}
+		return ""
+	}); !ok {
+		violate("fleet: verify phase stalled: %s", why)
 	}
-	if rep.Resolvable != rep.Allocated {
-		v := fmt.Sprintf("%s fleet: only %d of %d allocated volumes resolvable",
-			stamp(), rep.Resolvable, rep.Allocated)
-		rep.Log = append(rep.Log, v)
-		rep.Violations = append(rep.Violations, v)
+	if rep.Resolvable != want {
+		violate("fleet: only %d of %d live volumes resolvable", rep.Resolvable, want)
 	}
 
 	rep.MapEpoch = f.AuthMap().Epoch
@@ -259,19 +345,163 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	return rep, nil
 }
 
-// settleUntil advances the fleet in fixed step chunks until done() or the
-// budget runs out. Fixed-size steps keep the event stream identical across
-// runs regardless of when done() starts returning true.
-func settleUntil(f *fleet.Fleet, step, max time.Duration, done func() bool) bool {
+// runFleetFaults executes the fault schedule against a booted, loaded
+// fleet, then recovers: heal everything still open, settle leadership back,
+// re-drive interrupted slot migrations, re-check invariants, and hold the
+// surviving state to the reference-model ledger.
+func runFleetFaults(
+	f *fleet.Fleet, o FleetOptions, rep *FleetReport, schedule []FleetFault,
+	routers []*fleet.Router, ledger *model.VolumeLedger,
+	logf func(string, ...any), violate func(string, ...any),
+	check func(string), leaderless func() string,
+) {
+	st := newFleetFaultState(f)
+	movesInFlight := 0
+	onMove := func(slot, dst int) {
+		movesInFlight++
+		f.MoveSlot(slot, dst, func(err error) {
+			movesInFlight--
+			if err != nil {
+				logf("fleet: move slot %d -> shard %d interrupted: %s", slot, dst, err)
+			} else {
+				logf("fleet: move slot %d -> shard %d completed", slot, dst)
+			}
+		})
+	}
+
+	// Foreground load under faults: two paced clients keep allocating (one
+	// op per simulated second each — closed-loop with no think time would
+	// flood tens of thousands of volumes into the ledger and drown the
+	// verify sweep). Quorum loss must degrade to a typed, countable
+	// ErrShardUnavailable — never a hang.
+	stopLoad := false
+	wvol := 0
+	var faultAlloc func(cl int)
+	faultAlloc = func(cl int) {
+		if stopLoad {
+			return
+		}
+		name := fmt.Sprintf("w%04d", wvol)
+		wvol++
+		routers[cl%len(routers)].Allocate(name, o.VolumeSize, "archive",
+			func(_ []string, err error) {
+				switch {
+				case err == nil:
+					rep.Allocated++
+					ledger.Alloc(name)
+				case errors.Is(err, fleet.ErrShardUnavailable):
+					rep.Failed++
+					rep.Unavailable++
+				default:
+					rep.Failed++
+					logf("fleet: fault-phase allocate %s failed: %s", name, err)
+				}
+				f.Sched.After(time.Second, func() { faultAlloc(cl) })
+			})
+	}
+	for cl := 0; cl < 2 && cl < len(routers); cl++ {
+		faultAlloc(cl)
+	}
+
+	window := o.FaultWindow
+	if last := schedule[len(schedule)-1].At; last > window {
+		window = last
+	}
+	idx := 0
+	for t := time.Duration(0); t <= window; t += fleetFaultStep {
+		for idx < len(schedule) && schedule[idx].At <= t {
+			desc := st.apply(schedule[idx], onMove)
+			rep.FaultsApplied++
+			logf("fleet: fault: %s", desc)
+			idx++
+		}
+		f.Settle(fleetFaultStep)
+	}
+	stopLoad = true
+	logf("fleet: fault window closed: %d faults applied, %d ops degraded unavailable",
+		rep.FaultsApplied, rep.Unavailable)
+
+	// Recovery: close every window the schedule (or a truncated minimizer
+	// prefix) left open, then settle until leadership is whole and the
+	// fault-phase move chains have reported back.
+	healed, rejoined, restarted := st.healAll()
+	logf("fleet: recovery: healed %d partitions, rejoined %d units, restarted %d replicas",
+		healed, rejoined, restarted)
+	if ok, why := settleExplain(f, 10*time.Second, 5*time.Minute, func() string {
+		if why := leaderless(); why != "" {
+			return why
+		}
+		if movesInFlight > 0 {
+			return fmt.Sprintf("%d fault-phase slot moves still in flight", movesInFlight)
+		}
+		return ""
+	}); !ok {
+		violate("fleet: post-heal settle stalled: %s", why)
+	}
+
+	// Re-drive interrupted migrations from the admin intent ledger (the
+	// durable freeze and export ledger below make every step idempotent).
+	rep.Redriven = len(f.PendingMoves())
+	redriveDone := false
+	var redriveErr error
+	f.RedriveMoves(func(err error) { redriveDone = true; redriveErr = err })
+	if ok, why := settleExplain(f, 10*time.Second, 5*time.Minute, func() string {
+		if !redriveDone {
+			return fmt.Sprintf("%d interrupted slot moves still re-driving", rep.Redriven)
+		}
+		return ""
+	}); !ok {
+		violate("fleet: redrive stalled: %s", why)
+	} else if redriveErr != nil {
+		violate("fleet: redrive failed: %s", redriveErr)
+	}
+	if rep.Redriven > 0 {
+		logf("fleet: recovery: re-drove %d interrupted slot moves", rep.Redriven)
+	}
+	check("post-heal")
+
+	// Reference-model check: every acknowledged volume must be held by
+	// exactly one shard, the one the map routes it to.
+	holders, err := f.VolumeHolders()
+	if err != nil {
+		violate("fleet: model check blocked: %s", err)
+		return
+	}
+	am := f.AuthMap()
+	for _, v := range ledger.Check(holders, func(vol string) int { return am.ShardOf(vol) }) {
+		violate("fleet: model: %s", v)
+	}
+	logf("fleet: model check done: %d live volumes against %d holders", ledger.Len(), len(holders))
+}
+
+// settleExplain advances the fleet in fixed step chunks until pending()
+// reports nothing left ("") or the budget runs out; on timeout it returns
+// false plus the last pending description, so callers name exactly which
+// condition was still failing instead of a bare boolean. Fixed-size steps
+// keep the event stream identical across runs regardless of when pending()
+// empties.
+func settleExplain(f *fleet.Fleet, step, max time.Duration, pending func() string) (bool, string) {
 	for elapsed := time.Duration(0); ; elapsed += step {
-		if done() {
-			return true
+		why := pending()
+		if why == "" {
+			return true, ""
 		}
 		if elapsed >= max {
-			return false
+			return false, why
 		}
 		f.Settle(step)
 	}
+}
+
+// settleUntil is settleExplain for callers with nothing to explain.
+func settleUntil(f *fleet.Fleet, step, max time.Duration, done func() bool) bool {
+	ok, _ := settleExplain(f, step, max, func() string {
+		if done() {
+			return ""
+		}
+		return "condition pending"
+	})
+	return ok
 }
 
 // FleetSweep runs base across n consecutive seeds on up to parallel

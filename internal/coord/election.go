@@ -55,6 +55,14 @@ func NewElection(store *Store, path, candidate string, ttl time.Duration) *Elect
 // Leading reports whether this candidate currently holds leadership.
 func (e *Election) Leading() bool { return e.leading }
 
+// SetSession overrides the session ID this candidate campaigns under; call
+// before Run. A restarted candidate must use a fresh incarnation-stamped ID:
+// re-creating the previous life's session would refresh it, and if that
+// session still owns the leader znode the restarted process would keep the
+// znode alive with its pings while never learning it "leads" — wedging the
+// group leaderless forever.
+func (e *Election) SetSession(id string) { e.session = id }
+
 // Leader returns the current leader's candidate name per this replica's
 // applied state ("" if none).
 func (e *Election) Leader() string {

@@ -96,6 +96,18 @@ type Config struct {
 	// Scheduler tunes the per-shard background task scheduler.
 	Scheduler SchedulerConfig
 
+	// RetryJitter enables full-jitter exponential backoff on router retries
+	// (default off keeps the legacy fixed delays, which the checked-in
+	// byte-stability goldens were recorded under). Chaos runs turn it on:
+	// under partitions, synchronized fixed-delay retries from many clients
+	// arrive as lockstep waves at a recovering leader.
+	RetryJitter bool
+	// InjectSkipRedrive plants a recovery bug for the chaos minimizer to
+	// catch: RedriveMoves bumps the map epoch for interrupted migrations
+	// without re-driving the freeze→handoff→install→drop chain, stranding
+	// handed-off records on the source shard. Never set outside tests.
+	InjectSkipRedrive bool
+
 	// Seed seeds the simulation (default 1).
 	Seed int64
 	// Recorder receives fleet metrics and traces (nil = no recording).
@@ -226,7 +238,11 @@ type Fleet struct {
 	authMap *ShardMap
 	// deadUnits records KillUnit victims (validators skip their replicas).
 	deadUnits map[string]bool
-	nRouters  int
+	// pendingMoves records slot migrations started but not yet completed
+	// (slot -> destination shard): the admin-side intent ledger RedriveMoves
+	// re-drives after faults interrupt a MoveSlot chain.
+	pendingMoves map[int]int
+	nRouters     int
 }
 
 // crossUnitLatency is the minimum latency of any cross-unit network link —
@@ -271,10 +287,11 @@ func (c Config) replicaUnit(shard, replica int) int {
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
-		Cfg:       cfg,
-		Topo:      buildTopology(cfg),
-		userRec:   cfg.Recorder,
-		deadUnits: make(map[string]bool),
+		Cfg:          cfg,
+		Topo:         buildTopology(cfg),
+		userRec:      cfg.Recorder,
+		deadUnits:    make(map[string]bool),
+		pendingMoves: make(map[int]int),
 	}
 	if cfg.EngineWorkers > 0 {
 		parts := cfg.Units + 1
@@ -569,9 +586,21 @@ func (f *Fleet) MoveSlot(slot, dst int, done func(error)) {
 	}
 	src := f.authMap.Slots[slot]
 	if src == dst {
+		if _, pending := f.pendingMoves[slot]; pending {
+			// A previous attempt got as far as the epoch bump but its
+			// broadcast was interrupted: re-broadcast before declaring done.
+			f.broadcastMap(f.authMap, func(err error) {
+				if err == nil {
+					delete(f.pendingMoves, slot)
+				}
+				done(err)
+			})
+			return
+		}
 		done(nil)
 		return
 	}
+	f.pendingMoves[slot] = dst
 	const tries = 8
 	f.adminCall(src, "FreezeSlot", FreezeSlotArgs{Slot: slot}, tries, func(_ any, err error) {
 		if err != nil {
@@ -598,11 +627,73 @@ func (f *Fleet) MoveSlot(slot, dst int, done func(error)) {
 					next.Epoch++
 					next.Slots[slot] = dst
 					f.authMap = next
-					f.broadcastMap(next, done)
+					f.broadcastMap(next, func(err error) {
+						if err == nil {
+							delete(f.pendingMoves, slot)
+						}
+						done(err)
+					})
 				})
 			})
 		})
 	})
+}
+
+// RedriveMoves re-drives every interrupted slot migration to completion,
+// sequentially in slot order, then calls done. The whole chain is
+// idempotent against partial progress — FreezeSlot re-freezes (durably),
+// Handoff re-reads survivors, InstallSlot dedups already-committed records,
+// DropSlot no-ops on an already-empty slot — so re-running it from the top
+// is always safe. done receives the first error (nil when every pending
+// move completed).
+func (f *Fleet) RedriveMoves(done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	slots := make([]int, 0, len(f.pendingMoves))
+	for s := range f.pendingMoves {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	if len(slots) == 0 {
+		done(nil)
+		return
+	}
+	if f.Cfg.InjectSkipRedrive {
+		// The planted bug: declare the moves complete by bumping the epoch
+		// and broadcasting, without re-driving the chain. Records still on
+		// the source shard become unreachable (the map routes their slot to
+		// a shard that never installed them) — the no-lost-volume model
+		// check catches this.
+		next := f.authMap.Clone()
+		next.Epoch++
+		for _, s := range slots {
+			next.Slots[s] = f.pendingMoves[s]
+			delete(f.pendingMoves, s)
+		}
+		f.authMap = next
+		f.broadcastMap(next, done)
+		return
+	}
+	dsts := make([]int, len(slots))
+	for i, s := range slots {
+		dsts[i] = f.pendingMoves[s]
+	}
+	var drive func(i int)
+	drive = func(i int) {
+		if i == len(slots) {
+			done(nil)
+			return
+		}
+		f.MoveSlot(slots[i], dsts[i], func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			drive(i + 1)
+		})
+	}
+	drive(0)
 }
 
 // broadcastMap installs a new map epoch on every shard leader.

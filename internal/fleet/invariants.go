@@ -158,6 +158,41 @@ func (f *Fleet) ValidateCapacity() error {
 	return nil
 }
 
+// LeaderlessShard returns the lowest shard index currently without a
+// leader, or -1 when every shard has one. Settle loops use it to name the
+// group still electing when they time out.
+func (f *Fleet) LeaderlessShard() int {
+	for k := 0; k < f.Cfg.Shards; k++ {
+		if f.Leader(k) == nil {
+			return k
+		}
+	}
+	return -1
+}
+
+// VolumeHolders maps every volume ID to the sorted shards whose leaders
+// hold a live record for it. The fleet-level reference model checks this
+// against the ledger of client-acknowledged allocations: a live volume with
+// no holder was lost, one with two holders was duplicated by a botched
+// migration. Errors while any shard is leaderless (holders would be
+// invisible, not absent).
+func (f *Fleet) VolumeHolders() (map[string][]int, error) {
+	ms, err := f.leaders()
+	if err != nil {
+		return nil, err
+	}
+	holders := make(map[string][]int)
+	for _, m := range ms {
+		for id := range m.vols {
+			holders[id] = append(holders[id], m.shard)
+		}
+	}
+	for _, ks := range holders {
+		sort.Ints(ks)
+	}
+	return holders, nil
+}
+
 // Drained reports whether no live metadata references a unit's disks (the
 // unit-loss recovery end state).
 func (f *Fleet) Drained(unitID string) bool {
@@ -177,6 +212,39 @@ func (f *Fleet) Drained(unitID string) bool {
 		}
 	}
 	return true
+}
+
+// DrainBlocker names what still blocks a unit's drain: the first live
+// record (by shard, then kind, then volume ID) whose fragments reference
+// the unit's disks, or a leaderless shard hiding state. Returns "" once the
+// unit is drained — the explanatory companion to Drained for settle-timeout
+// reporting.
+func (f *Fleet) DrainBlocker(unitID string) string {
+	for k := 0; k < f.Cfg.Shards; k++ {
+		m := f.Leader(k)
+		if m == nil {
+			return fmt.Sprintf("shard %d leaderless", k)
+		}
+		for _, recs := range []struct {
+			kind string
+			m    map[string]VolRecord
+		}{{"volume", m.vols}, {"export", m.exports}} {
+			ids := make([]string, 0, len(recs.m))
+			for id := range recs.m {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				for _, d := range recs.m[id].Disks {
+					if di := f.Topo.Disks[d]; di != nil && di.Loc.Unit == unitID {
+						return fmt.Sprintf("shard %d %s %s still on %s (disk %s)",
+							k, recs.kind, id, unitID, d)
+					}
+				}
+			}
+		}
+	}
+	return ""
 }
 
 // VolumeCount sums volumes across shard leaders.

@@ -32,6 +32,13 @@ type Router struct {
 // timeouts, leader rotations, map refreshes and migration waits.
 const routerAttempts = 40
 
+// ErrShardUnavailable reports that the owning shard could not serve an
+// operation within the router's retry budget — quorum loss, a partition
+// between the client and every replica, or sustained leaderlessness. It is
+// the router's degradation contract: callers get a typed failure to count
+// or surface instead of an RPC that hangs forever. Test with errors.Is.
+var ErrShardUnavailable = errors.New("fleet: shard unavailable")
+
 func newRouter(f *Fleet, name string) *Router {
 	r := &Router{
 		f:        f,
@@ -98,13 +105,38 @@ func (r *Router) do(method, volume string, args any, done func(res any, err erro
 	r.attempt(method, volume, args, routerAttempts, done)
 }
 
+// backoff turns a base retry delay into full-jitter exponential backoff
+// when Cfg.RetryJitter is set: uniform in [0, base<<tried), capped at 2s.
+// (AWS-style full jitter: the spread is what breaks up the synchronized
+// retry waves a fleet of fixed-delay clients sends a recovering leader.)
+// With jitter off it returns base unchanged — the legacy schedule the
+// checked-in byte-stability goldens were recorded under. Draws come from
+// the router's home-partition scheduler RNG, so jittered runs stay
+// deterministic per seed at any engine worker count.
+func (r *Router) backoff(base time.Duration, tried int) time.Duration {
+	if !r.f.Cfg.RetryJitter || base <= 0 {
+		return base
+	}
+	const cap = 2 * time.Second
+	if tried > 8 {
+		tried = 8
+	}
+	ceil := base << tried
+	if ceil > cap {
+		ceil = cap
+	}
+	return time.Duration(r.f.Sched.Rand().Int63n(int64(ceil)))
+}
+
 func (r *Router) attempt(method, volume string, args any, left int, done func(res any, err error)) {
 	if left <= 0 {
-		done(nil, fmt.Errorf("fleet: %s %s: retries exhausted", method, volume))
+		done(nil, fmt.Errorf("%w: %s %s: %d retries exhausted",
+			ErrShardUnavailable, method, volume, routerAttempts))
 		return
 	}
 	again := func(delay time.Duration) {
 		r.cRetries.Inc()
+		delay = r.backoff(delay, routerAttempts-left)
 		r.f.Sched.After(delay, func() { r.attempt(method, volume, args, left-1, done) })
 	}
 	shard := r.map_.ShardOf(volume)

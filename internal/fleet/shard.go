@@ -46,6 +46,13 @@ type ShardMaster struct {
 
 	leading bool
 	down    bool
+	// incarnation counts crash/restart cycles; each restart campaigns under
+	// a fresh incarnation-stamped election session (see restart).
+	incarnation int
+	// elGen invalidates the election read barrier (see becomeLeader): it
+	// bumps on every elected/deposed/crash transition so a barrier that
+	// resolves after leadership already changed hands does nothing.
+	elGen int
 
 	// map_ is this replica's installed shard map.
 	map_ *ShardMap
@@ -112,6 +119,13 @@ func newShardMaster(f *Fleet, shard, replica int, store *coord.Store, p part) *S
 	}
 	m.rpc = simnet.NewRPCNode(p.net, m.rpcName)
 	m.sch = newShardScheduler(m)
+	// Leader soft state must track the replicated tree even for commits this
+	// leadership never issued: a previous leader's Allocate or Release can
+	// sit out a partition's paxos churn and apply only after the new
+	// leader's election barrier and rebuild have already run. Watches fire
+	// on local apply, so folding them here keeps m.vols a faithful cache of
+	// the tree no matter whose proposal finally landed.
+	store.WatchChildren("/vol", m.onVolEvent)
 	shardLabel := obs.L("shard", strconv.Itoa(shard))
 	rec := m.rec
 	m.cOps = rec.Counter("fleet", "ops_total", shardLabel)
@@ -147,9 +161,10 @@ func (m *ShardMaster) start() {
 	m.election.Run()
 }
 
-// crash takes the replica down hard (KillUnit).
+// crash takes the replica down hard (KillUnit, CrashReplica).
 func (m *ShardMaster) crash() {
 	m.down = true
+	m.elGen++
 	m.leading = false
 	m.rpc.Node().SetDown(true)
 	m.sch.stop()
@@ -159,25 +174,118 @@ func (m *ShardMaster) crash() {
 	m.flushQueue()
 }
 
+// restart brings a crashed replica back (RestartReplica). Leader soft state
+// stays empty until a future election's rebuild; durable state returns via
+// paxos catchup. The new election campaigns under an incarnation-stamped
+// session: the previous life's session may still own the leader znode, and
+// re-creating it by ID would refresh it — the restarted process would then
+// keep the znode alive with its own pings while never learning it leads,
+// wedging the group leaderless forever.
+func (m *ShardMaster) restart() {
+	m.down = false
+	m.leading = false
+	m.rpc.Node().SetDown(false)
+	m.frozen = make(map[int]bool)
+	// A restarted process has no soft state: liveness and disk-health views
+	// refill from agent heartbeats (each beat carries the full cumulative
+	// dead/draining sets), and rebuild() grace-stamps units on election.
+	m.unitSeen = make(map[string]simtime.Time)
+	m.deadUnit = make(map[string]bool)
+	m.badDisk = make(map[string]bool)
+	m.draining = make(map[string]bool)
+	m.incarnation++
+	m.election = coord.NewElection(m.store, "/active", m.name, m.f.Cfg.ElectionTTL)
+	m.election.SetSession(fmt.Sprintf("election:/active:%s#%d", m.name, m.incarnation))
+	m.election.OnElected = m.becomeLeader
+	m.election.OnDeposed = m.loseLeadership
+	m.election.Run()
+}
+
 func (m *ShardMaster) becomeLeader() {
+	m.elGen++
+	gen := m.elGen
 	if m.down {
 		return
 	}
-	m.leading = true
-	// Idempotent tree roots for volume records and the export ledger.
+	// Idempotent tree roots for volume records and the export ledger. The
+	// second create doubles as a read barrier: this replica may win the
+	// election while its local store replica still lags the chosen prefix
+	// (it accepted commands during a partition without yet learning they
+	// were chosen), and rebuild() from that lagging state would silently
+	// drop committed records from leader soft state. Store applies are
+	// strictly slot-ordered and the done callback fires on LOCAL apply, so
+	// once our own proposal has applied, every command chosen before this
+	// election has too. Until then the replica answers NotLeader and
+	// routers keep rotating.
 	m.store.Create("/vol", nil, "", nil)
-	m.store.Create("/exp", nil, "", nil)
-	m.rebuild()
-	m.sch.start()
-	m.rec.Instant("fleet", "shard-elected", "fleet",
-		obs.L("shard", strconv.Itoa(m.shard)), obs.L("leader", m.name))
+	m.store.Create("/exp", nil, "", func(error) {
+		if m.down || gen != m.elGen {
+			return // deposed or crashed while the barrier was in flight
+		}
+		m.leading = true
+		m.rebuild()
+		m.sch.start()
+		m.rec.Instant("fleet", "shard-elected", "fleet",
+			obs.L("shard", strconv.Itoa(m.shard)), obs.L("leader", m.name))
+	})
 }
 
 func (m *ShardMaster) loseLeadership() {
+	m.elGen++
 	m.leading = false
 	m.sch.stop()
 	m.flushQueue()
 	m.frozen = make(map[int]bool)
+}
+
+// onVolEvent folds a late-landing "/vol" tree change into leader soft
+// state (see the WatchChildren registration in newShardMaster). Ops this
+// replica issued itself are already folded before their commit applies
+// (m.vols is written optimistically), so the presence checks make the fold
+// idempotent against our own traffic.
+func (m *ShardMaster) onVolEvent(ev coord.Event) {
+	if !m.leading || m.down {
+		return
+	}
+	id := strings.TrimPrefix(ev.Path, "/vol/")
+	switch ev.Type {
+	case coord.EventCreated:
+		if _, ok := m.vols[id]; ok {
+			return
+		}
+		rec, err := decodeVol(ev.Data)
+		if err != nil {
+			return
+		}
+		m.vols[id] = rec
+		for _, d := range rec.Disks {
+			if m.ownsDisk(d) {
+				m.place(d, rec.Size)
+			}
+		}
+	case coord.EventDeleted:
+		if m.frozen[SlotOf(id)] {
+			// Migration DropSlot: onDropSlot moves the record to the export
+			// ledger itself; folding the delete here would skip that move.
+			return
+		}
+		rec, ok := m.vols[id]
+		if !ok {
+			return
+		}
+		// A previous leadership's release landing late: apply the same
+		// bookkeeping execRelease would have.
+		foreign := map[int][]string{}
+		for _, d := range rec.Disks {
+			if m.ownsDisk(d) {
+				m.unplace(d, rec.Size)
+			} else if u := m.f.Topo.UnitOfDisk(d); u != nil {
+				foreign[u.Shard] = append(foreign[u.Shard], d)
+			}
+		}
+		delete(m.vols, id)
+		m.freeForeignFragments(id, foreign)
+	}
 }
 
 // rebuild reconstructs leader soft state from the shard's replicated tree.
@@ -189,6 +297,17 @@ func (m *ShardMaster) rebuild() {
 	if data, err := m.store.Get("/map"); err == nil {
 		if mp := decodeMap(data, m.map_.Replicas); mp != nil && mp.Epoch > m.map_.Epoch {
 			m.map_ = mp
+		}
+	}
+	// Restore durable freezes so an interrupted migration's Handoff succeeds
+	// against the new leader. Slots the current map routes elsewhere are
+	// stale freezes from a completed move — drop them.
+	m.frozen = make(map[int]bool)
+	if data, err := m.store.Get("/frozen"); err == nil {
+		for _, slot := range decodeFrozen(data) {
+			if m.map_.Slots[slot] == m.shard {
+				m.frozen[slot] = true
+			}
 		}
 	}
 	load := func(root string, into map[string]VolRecord) {
@@ -247,7 +366,7 @@ func (m *ShardMaster) register() {
 	m.rpc.Register("FetchMap", func(string, any) (any, error) {
 		return FetchMapReply{ShardReply{OK: true, Map: m.map_.Clone()}}, nil
 	})
-	m.rpc.Register("FreezeSlot", m.onFreezeSlot)
+	m.rpc.RegisterAsync("FreezeSlot", m.onFreezeSlot)
 	m.rpc.Register("Handoff", m.onHandoff)
 	m.rpc.RegisterAsync("InstallSlot", m.onInstallSlot)
 	m.rpc.RegisterAsync("DropSlot", m.onDropSlot)
@@ -440,7 +559,17 @@ func (m *ShardMaster) unplace(diskID string, size int64) {
 
 func (m *ShardMaster) execAllocate(op *shardOp, a AllocateArgs) {
 	if rec, ok := m.vols[a.Volume]; ok {
-		// Idempotent re-allocate (client retry after a lost reply).
+		// Idempotent re-allocate (client retry after a lost reply) — but
+		// only once the record is durable. The in-memory entry is written
+		// optimistically before its commit lands, and a commit can be
+		// silently lost when paxos leadership moves away mid-flight (a
+		// forwarded proposal doesn't survive a partition); acknowledging
+		// from soft state alone would hand the client a volume no future
+		// rebuild will ever see. Busy until the replicated tree has it.
+		if !m.store.Exists(volPath(a.Volume)) {
+			m.opDone(op, AllocateReply{ShardReply: ShardReply{Busy: true}})
+			return
+		}
 		m.opDone(op, AllocateReply{ShardReply{OK: true}, append([]string(nil), rec.Disks...)})
 		return
 	}
@@ -497,7 +626,15 @@ func (m *ShardMaster) execLookup(op *shardOp, a LookupArgs) {
 func (m *ShardMaster) execRelease(op *shardOp, a ReleaseArgs) {
 	rec, ok := m.vols[a.Volume]
 	if !ok {
-		// Idempotent re-release.
+		// Idempotent re-release — trustworthy only once the tombstone is
+		// durable (see execAllocate): a delete whose commit was lost with a
+		// paxos leadership change leaves the record in the replicated tree,
+		// and an OK here would let the client forget a volume the next
+		// rebuild resurrects.
+		if m.store.Exists(volPath(a.Volume)) {
+			m.opDone(op, ReleaseReply{ShardReply{Busy: true}})
+			return
+		}
 		m.opDone(op, ReleaseReply{ShardReply{OK: true}})
 		return
 	}
@@ -615,16 +752,48 @@ func (m *ShardMaster) onHeartbeat(_ string, args any) (any, error) {
 
 // --- Slot migration ---
 
-func (m *ShardMaster) onFreezeSlot(_ string, args any) (any, error) {
+func (m *ShardMaster) onFreezeSlot(_ string, args any, reply func(any, error)) {
 	a := args.(FreezeSlotArgs)
 	if !m.leading {
-		return FreezeSlotReply{ShardReply{NotLeader: true}}, nil
+		reply(FreezeSlotReply{ShardReply{NotLeader: true}}, nil)
+		return
 	}
 	if m.map_.Slots[a.Slot] != m.shard {
-		return FreezeSlotReply{ShardReply{Stale: true, Map: m.map_.Clone()}}, nil
+		reply(FreezeSlotReply{ShardReply{Stale: true, Map: m.map_.Clone()}}, nil)
+		return
 	}
+	// The freeze must be durable before it is acknowledged: a leader that
+	// froze a slot in memory only and then failed over would leave its
+	// successor answering Handoff with "slot not frozen", wedging the
+	// migration. The frozen set persists as one znode; rebuild() reloads it.
 	m.frozen[a.Slot] = true
-	return FreezeSlotReply{ShardReply{OK: true}}, nil
+	m.persistFrozen(func(err error) {
+		if err != nil {
+			reply(FreezeSlotReply{ShardReply{Busy: true}}, nil)
+			return
+		}
+		reply(FreezeSlotReply{ShardReply{OK: true}}, nil)
+	})
+}
+
+// persistFrozen commits the current frozen-slot set to the "/frozen" znode.
+// Lazily created on first freeze, so fleets that never migrate slots never
+// touch it (keeps steady-state proposal streams — and the checked-in bench
+// goldens built on them — unchanged).
+func (m *ShardMaster) persistFrozen(done func(error)) {
+	data := encodeFrozen(m.frozen)
+	if m.store.Exists("/frozen") {
+		m.store.Set("/frozen", data, done)
+		return
+	}
+	m.store.Create("/frozen", data, "", func(err error) {
+		if errors.Is(err, coord.ErrExists) {
+			// Applied state lagged the Exists check; overwrite.
+			m.store.Set("/frozen", data, done)
+			return
+		}
+		done(err)
+	})
 }
 
 func (m *ShardMaster) onHandoff(_ string, args any) (any, error) {
@@ -760,14 +929,27 @@ func (m *ShardMaster) onInstallMap(_ string, args any, reply func(any, error)) {
 	if a.Map.Epoch > m.map_.Epoch {
 		m.map_ = a.Map.Clone()
 		// Thaw slots the new epoch routes elsewhere.
+		thawed := false
 		for slot := range m.frozen {
 			if m.map_.Slots[slot] != m.shard {
 				delete(m.frozen, slot)
+				thawed = true
 			}
+		}
+		// Keep the durable freeze set in step (leader only; fire-and-forget —
+		// if the commit is lost to a failover, rebuild() prunes moved-away
+		// slots against the map anyway).
+		if thawed && m.leading {
+			m.persistFrozen(func(error) {})
 		}
 	}
 	if !m.leading {
-		reply(InstallMapReply{ShardReply{OK: true}}, nil)
+		// The map above was still adopted (a free refresh), but the admin's
+		// broadcast contract is "installed at the LEADER, durably": an OK
+		// from a follower would let the broadcast succeed while the actual
+		// leader keeps routing on the old epoch — exactly the stale-leader
+		// hole a healed partition opens. Rotate the caller onward.
+		reply(InstallMapReply{ShardReply{NotLeader: true}}, nil)
 		return
 	}
 	// Persist whenever the durable copy is behind the installed epoch — not
@@ -861,6 +1043,36 @@ func decodeVol(data []byte) (VolRecord, error) {
 		rec.Disks = strings.Split(parts[2], ",")
 	}
 	return rec, nil
+}
+
+// encodeFrozen renders the frozen-slot set as "s1,s2,..." (sorted; empty
+// string for an empty set).
+func encodeFrozen(frozen map[int]bool) []byte {
+	slots := make([]int, 0, len(frozen))
+	for s := range frozen {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = strconv.Itoa(s)
+	}
+	return []byte(strings.Join(parts, ","))
+}
+
+func decodeFrozen(data []byte) []int {
+	if len(data) == 0 {
+		return nil
+	}
+	var out []int
+	for _, p := range strings.Split(string(data), ",") {
+		s, err := strconv.Atoi(p)
+		if err != nil || s < 0 || s >= NumSlots {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // encodeMap renders "epoch|owner0,owner1,...". Replica sets are static

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VolumeLedger is the fleet-level reference model of volume existence: it
+// records every client-ACKNOWLEDGED allocation and release, independent of
+// any shard's internal state. After a chaos run heals and settles, the
+// ledger is checked against what the shard leaders actually hold — the
+// no-lost-no-duplicated-volume property the per-shard capacity and map
+// invariants cannot see, because each shard's books can balance perfectly
+// while a botched migration stranded or forked a volume between them.
+//
+// Only acknowledged operations enter the ledger. An allocation whose reply
+// was lost to a fault may or may not have committed; holding the fleet to
+// account for it would false-positive, so such volumes are simply outside
+// the model (the capacity invariant still covers their bytes).
+type VolumeLedger struct {
+	live map[string]bool
+}
+
+// NewVolumeLedger returns an empty ledger.
+func NewVolumeLedger() *VolumeLedger {
+	return &VolumeLedger{live: make(map[string]bool)}
+}
+
+// Alloc records a client-acknowledged allocation.
+func (l *VolumeLedger) Alloc(volume string) { l.live[volume] = true }
+
+// Release records a client-acknowledged release.
+func (l *VolumeLedger) Release(volume string) { delete(l.live, volume) }
+
+// Live returns the sorted set of volumes the model says must exist.
+func (l *VolumeLedger) Live() []string {
+	out := make([]string, 0, len(l.live))
+	for v := range l.live {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of live volumes.
+func (l *VolumeLedger) Len() int { return len(l.live) }
+
+// Check compares the fleet's observed state against the ledger. holders
+// maps each volume ID to the shards whose leaders hold a live record for
+// it; ownerOf returns the shard the authoritative map routes a volume to.
+// It returns one violation string per defect, sorted by volume:
+//
+//   - lost: a live volume no shard holds (a migration dropped records, or
+//     a re-drive was skipped after a fault)
+//   - duplicated: a live volume held by more than one shard (an install
+//     acknowledged without its drop, forking ownership)
+//   - misplaced: a live volume held only by shards the map does not route
+//     it to (clients can never reach it — operationally lost even though
+//     the bytes exist)
+//
+// Volumes held by shards but absent from the ledger are NOT flagged: an
+// unacknowledged-but-committed allocation legitimately leaves a record the
+// model never saw.
+func (l *VolumeLedger) Check(holders map[string][]int, ownerOf func(volume string) int) []string {
+	var out []string
+	for _, v := range l.Live() {
+		hs := holders[v]
+		switch {
+		case len(hs) == 0:
+			out = append(out, fmt.Sprintf("volume %s lost: acknowledged but no shard holds it", v))
+		case len(hs) > 1:
+			out = append(out, fmt.Sprintf("volume %s duplicated: held by shards %v", v, hs))
+		default:
+			if owner := ownerOf(v); hs[0] != owner {
+				out = append(out, fmt.Sprintf(
+					"volume %s misplaced: held by shard %d but the map routes it to shard %d",
+					v, hs[0], owner))
+			}
+		}
+	}
+	return out
+}

@@ -10,12 +10,14 @@
 //
 // The Fabric deliberately supports only the fault surface the fleet uses
 // across deploy units: machine isolation (checked on the source side at send
-// and on the destination side at delivery). Link cuts, loss/dup dice, one-way
-// cuts, and brownouts remain partition-local — cross-unit traffic in the
-// fleet is unit-to-unit RPC whose failure mode is "the unit's uplink is gone",
-// which isolation models. Keeping the dice out of the cross path also keeps
-// every partition's RNG stream untouched by other partitions' traffic, which
-// the byte-determinism contract requires.
+// and on the destination side at delivery) and pairwise machine cuts
+// (CutMachines/HealMachines, checked on the source side). Loss/dup dice,
+// one-way cuts, and brownouts remain partition-local — cross-unit traffic in
+// the fleet is unit-to-unit RPC whose failure modes are "the unit's uplink is
+// gone" (isolation) and "these two units can't see each other" (a cut).
+// Keeping the dice out of the cross path also keeps every partition's RNG
+// stream untouched by other partitions' traffic, which the byte-determinism
+// contract requires.
 package simnet
 
 import (
@@ -38,6 +40,13 @@ type Fabric struct {
 	// dir maps every node name to its home partition. Written at
 	// quiescence when nodes register, read concurrently during windows.
 	dir map[string]int
+	// machines maps node name to machine fabric-wide, mirroring each
+	// partition Network's Colocate calls. Same concurrency contract as dir:
+	// written at quiescence, read mid-window by forward.
+	machines map[string]string
+	// machCuts holds severed machine pairs (keys normalized a<b). Mutated
+	// only at engine quiescence via CutMachines/HealMachines.
+	machCuts map[linkKey]bool
 
 	crossLatency   time.Duration
 	crossBandwidth float64 // bytes/sec; 0 = infinite
@@ -52,6 +61,8 @@ func NewFabric(engine *simtime.Engine) *Fabric {
 		engine:         engine,
 		nets:           make([]*Network, engine.Parts()),
 		dir:            make(map[string]int),
+		machines:       make(map[string]string),
+		machCuts:       make(map[linkKey]bool),
 		crossLatency:   engine.Lookahead(),
 		crossBandwidth: 125e6,
 	}
@@ -103,6 +114,31 @@ func (f *Fabric) register(name string, part int) {
 	f.dir[name] = part
 }
 
+// colocate mirrors a partition Network's Colocate into the fabric-wide
+// registry so cross-partition sends can resolve both endpoints' machines.
+func (f *Fabric) colocate(node, machine string) {
+	f.machines[node] = machine
+}
+
+// CutMachines severs cross-partition traffic between two machines in both
+// directions. Mutate only at engine quiescence (between RunUntil windows) —
+// the same contract as node registration. Partition-local traffic between the
+// machines is governed by each Network's own CutMachines.
+func (f *Fabric) CutMachines(a, b string) {
+	if a > b {
+		a, b = b, a
+	}
+	f.machCuts[linkKey{a, b}] = true
+}
+
+// HealMachines restores cross-partition traffic between two machines.
+func (f *Fabric) HealMachines(a, b string) {
+	if a > b {
+		a, b = b, a
+	}
+	delete(f.machCuts, linkKey{a, b})
+}
+
 // forward routes a message whose destination is not local to src. It reports
 // false when the destination is unknown fabric-wide (the caller then counts
 // the drop). Runs on src's partition goroutine mid-window: it may only touch
@@ -116,6 +152,19 @@ func (f *Fabric) forward(src *Network, msg Message) bool {
 		src.stats.Dropped++
 		src.cDropped.Inc()
 		return true
+	}
+	if len(f.machCuts) > 0 {
+		ma, mb := f.machines[msg.From], f.machines[msg.To]
+		if ma != "" && mb != "" {
+			if ma > mb {
+				ma, mb = mb, ma
+			}
+			if f.machCuts[linkKey{ma, mb}] {
+				src.stats.Dropped++
+				src.cDropped.Inc()
+				return true
+			}
+		}
 	}
 	delay := f.crossLatency
 	if f.crossBandwidth > 0 && msg.Size > 0 {

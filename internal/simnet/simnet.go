@@ -334,6 +334,9 @@ func (n *Network) Rejoin(name string) {
 // (the process-to-process path inside one host).
 func (n *Network) Colocate(node, machine string) {
 	n.machines[node] = machine
+	if n.fabric != nil {
+		n.fabric.colocate(node, machine)
+	}
 }
 
 func (n *Network) machLink(a, b string) *machLink {

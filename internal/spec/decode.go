@@ -300,6 +300,19 @@ func (d *decoder) fleetSection(v *Node, s *Spec) error {
 		case "engine_workers":
 			n, err = d.intVal(v, "fleet.engine_workers")
 			s.Fleet.EngineWorkers = int(n)
+		case "crashes":
+			n, err = d.intVal(v, "fleet.crashes")
+			s.Fleet.Crashes = int(n)
+		case "partitions":
+			n, err = d.intVal(v, "fleet.partitions")
+			s.Fleet.Partitions = int(n)
+		case "slot_moves":
+			n, err = d.intVal(v, "fleet.slot_moves")
+			s.Fleet.SlotMoves = int(n)
+		case "fault_window_sec":
+			s.Fleet.FaultWindowSec, err = d.floatVal(v, "fleet.fault_window_sec")
+		case "skip_redrive":
+			s.Fleet.SkipRedrive, err = d.boolVal(v, "fleet.skip_redrive")
 		default:
 			return false, nil
 		}

@@ -88,7 +88,11 @@ type TrafficSpec struct {
 	StreamQuantiles bool `json:"stream_quantiles"`
 }
 
-// FleetSpec shapes a fleet-mode run.
+// FleetSpec shapes a fleet-mode run. The fault fields mirror the
+// ustore-chaos fleet fault flags, so a campaign grid can sweep
+// crash/partition/migration mixes cell by cell: any of crashes,
+// partitions or slot_moves being positive adds the seeded transient-fault
+// phase between load and verify.
 type FleetSpec struct {
 	Units         int  `json:"units"`
 	Shards        int  `json:"shards"`
@@ -96,6 +100,20 @@ type FleetSpec struct {
 	Volumes       int  `json:"volumes"`
 	UnitLoss      bool `json:"unit_loss"`
 	EngineWorkers int  `json:"engine_workers"`
+
+	// Crashes is the number of shard-replica crash/restart cycles.
+	Crashes int `json:"crashes"`
+	// Partitions is the number of partition/heal (or leader-isolation)
+	// windows.
+	Partitions int `json:"partitions"`
+	// SlotMoves is the number of schedule-driven slot migrations (the first
+	// straddled by a source-leader crash; needs shards >= 2 to take effect).
+	SlotMoves int `json:"slot_moves"`
+	// FaultWindowSec is the fault-phase length in simulated seconds
+	// (0 = the harness default).
+	FaultWindowSec float64 `json:"fault_window_sec"`
+	// SkipRedrive plants the skipped-ledger-re-drive recovery bug.
+	SkipRedrive bool `json:"skip_redrive"`
 }
 
 // FidelitySpec shapes a fidelity-mode run: one named paper-fidelity check
@@ -193,8 +211,17 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("spec %q: %w", s.Name, err)
 		}
 	}
-	if s.Mode == "fleet" && (s.Fleet.Units <= 0 || s.Fleet.Shards <= 0) {
-		return fmt.Errorf("spec %q: fleet.units and fleet.shards must be positive", s.Name)
+	if s.Mode == "fleet" {
+		fl := s.Fleet
+		if fl.Units <= 0 || fl.Shards <= 0 {
+			return fmt.Errorf("spec %q: fleet.units and fleet.shards must be positive", s.Name)
+		}
+		if fl.Crashes < 0 || fl.Partitions < 0 || fl.SlotMoves < 0 || fl.FaultWindowSec < 0 {
+			return fmt.Errorf("spec %q: fleet fault fields must be non-negative", s.Name)
+		}
+		if fl.SlotMoves > 0 && fl.Shards < 2 {
+			return fmt.Errorf("spec %q: fleet.slot_moves needs fleet.shards >= 2 (a single shard has nowhere to move slots)", s.Name)
+		}
 	}
 	if s.Mode == "durability" {
 		d := s.Durability

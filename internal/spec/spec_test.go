@@ -200,6 +200,8 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		"mode: durability\ndurability:\n  scheme: raid6\n",
 		"mode: durability\ndurability:\n  trials: 0\n",
 		"mode: fleet\nfleet:\n  units: 0\n",
+		"mode: fleet\nfleet:\n  units: 8\n  shards: 2\n  crashes: -1\n",
+		"mode: fleet\nfleet:\n  units: 8\n  shards: 1\n  slot_moves: 2\n",
 		"mode: faults\nfailure:\n  model: empirical\n  age_years: 0\n",
 		"mode: faults\nfailure:\n  model: psychic\n",
 	} {
